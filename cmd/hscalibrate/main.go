@@ -1,0 +1,55 @@
+// Command hscalibrate runs the cost-model calibration micro-benchmarks
+// (the paper's Figure 3) on this host and prints the resulting grid as
+// a Go literal, suitable for embedding via hashstash.WithCalibration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hashstash/internal/costmodel"
+	"hashstash/internal/experiments"
+)
+
+func main() {
+	var (
+		full = flag.Bool("full", false, "extend the grid to 1GB tables (slow)")
+		ops  = flag.Int("ops", 1<<16, "operations measured per grid point")
+	)
+	flag.Parse()
+
+	opt := costmodel.DefaultCalibrateOptions()
+	opt.OpsPerPoint = *ops
+	if *full {
+		opt.Sizes = append(opt.Sizes, 1<<30)
+	}
+	res, err := experiments.Fig3(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hscalibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Format())
+
+	cal := res.Cal
+	fmt.Println("// Go literal for hashstash.WithCalibration:")
+	fmt.Printf("&costmodel.Calibration{\n\tSizes:  %#v,\n\tWidths: %#v,\n", cal.Sizes, cal.Widths)
+	emit := func(name string, grid [][]float64) {
+		fmt.Printf("\t%s: [][]float64{\n", name)
+		for _, row := range grid {
+			fmt.Print("\t\t{")
+			for i, v := range row {
+				if i > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Printf("%.1f", v)
+			}
+			fmt.Println("},")
+		}
+		fmt.Println("\t},")
+	}
+	emit("Insert", cal.Insert)
+	emit("Probe", cal.Probe)
+	emit("Update", cal.Update)
+	fmt.Printf("\tScanBase:    %.2f,\n\tScanPerByte: %.4f,\n}\n", cal.ScanBase, cal.ScanPerByte)
+}

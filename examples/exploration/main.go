@@ -1,0 +1,54 @@
+// Exploration reproduces the paper's Figure 2 walk-through: a data
+// exploration session of three queries where the second reuses one hash
+// table exactly and another partially, and the third rolls up the
+// cached aggregate without touching any base table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hashstash"
+)
+
+func main() {
+	db := hashstash.Open()
+	if err := db.LoadTPCH(0.01); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []struct{ label, sql string }{
+		{"Q1 (seed; shipped after 1995-02-01, group by age+orderdate)", `
+			SELECT c.c_age, o.o_orderdate, SUM(l.l_extendedprice) AS price
+			FROM customer c, orders o, lineitem l
+			WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+			  AND l.l_shipdate >= DATE '1995-02-01'
+			GROUP BY c.c_age, o.o_orderdate`},
+		{"Q2 (widen filter to 1995-01-01: partial reuse of the aggregate)", `
+			SELECT c.c_age, o.o_orderdate, SUM(l.l_extendedprice) AS price
+			FROM customer c, orders o, lineitem l
+			WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+			  AND l.l_shipdate >= DATE '1995-01-01'
+			GROUP BY c.c_age, o.o_orderdate`},
+		{"Q3 (drop c_age from GROUP BY: roll-up over the cached aggregate)", `
+			SELECT o.o_orderdate, SUM(l.l_extendedprice) AS price
+			FROM customer c, orders o, lineitem l
+			WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+			  AND l.l_shipdate >= DATE '1995-01-01'
+			GROUP BY o.o_orderdate`},
+	}
+
+	for _, q := range queries {
+		start := time.Now()
+		res, err := db.Exec(q.sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  %d groups in %v\n  decisions:", q.label, len(res.Rows), time.Since(start).Round(time.Microsecond))
+		for _, d := range res.Decisions {
+			fmt.Printf(" %s=%c(%s)", d.Operator, d.Action, d.Mode)
+		}
+		fmt.Println()
+	}
+}

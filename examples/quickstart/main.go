@@ -1,0 +1,51 @@
+// Quickstart: open a HashStash database, load TPC-H data, and watch the
+// second query reuse the hash tables the first one materialized.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hashstash"
+)
+
+func main() {
+	db := hashstash.Open()
+	if err := db.LoadTPCH(0.01); err != nil {
+		log.Fatal(err)
+	}
+
+	const q = `
+		SELECT c.c_age, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+		FROM customer c, orders o, lineitem l
+		WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+		  AND l.l_shipdate >= DATE '%s'
+		GROUP BY c.c_age`
+
+	run := func(date string) {
+		start := time.Now()
+		res, err := db.Exec(fmt.Sprintf(q, date))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var decisions string
+		for _, d := range res.Decisions {
+			decisions += fmt.Sprintf(" %s=%c", d.Operator, d.Action)
+		}
+		fmt.Printf("shipdate >= %s: %4d groups in %8v |%s\n",
+			date, len(res.Rows), time.Since(start).Round(time.Microsecond), decisions)
+	}
+
+	fmt.Println("Q1 builds three hash tables (N = new):")
+	run("1995-02-01")
+
+	fmt.Println("Q2 widens the range: partial reuse adds only the missing tuples (S = shared/reused):")
+	run("1995-01-01")
+
+	fmt.Println("Q3 repeats Q2: exact reuse answers from the cached aggregate:")
+	run("1995-01-01")
+
+	s := db.CacheStats()
+	fmt.Printf("cache: %d hash tables, %d bytes, %d hits\n", s.Entries, s.Bytes, s.Hits)
+}

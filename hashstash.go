@@ -1,0 +1,286 @@
+// Package hashstash is a main-memory analytical query engine that
+// reuses internal hash tables across queries, reproducing the system of
+// "Revisiting Reuse in Main Memory Database Systems" (Dursun, Binnig,
+// Cetintemel, Kraska — SIGMOD 2017).
+//
+// Instead of materializing operator outputs into temporary tables,
+// HashStash caches the hash tables that hash joins and hash aggregations
+// build anyway at pipeline breakers, and a reuse-aware optimizer decides
+// — per operator, with calibrated cost models — whether to reuse a
+// cached table exactly, subsumingly (post-filtering false positives),
+// partially (adding missing tuples from base tables) or overlappingly
+// (both). A query-batch interface merges mergeable queries into shared
+// plans whose operators evaluate many queries at once over query-id
+// tagged tuples.
+//
+// Quick start:
+//
+//	db := hashstash.Open()
+//	db.LoadTPCH(0.01)
+//	res, err := db.Exec(`SELECT c.c_age, SUM(l.l_extendedprice) AS revenue
+//	    FROM customer c, orders o, lineitem l
+//	    WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+//	      AND l.l_shipdate >= DATE '1995-03-15'
+//	    GROUP BY c.c_age`)
+package hashstash
+
+import (
+	"fmt"
+
+	"hashstash/internal/catalog"
+	"hashstash/internal/costmodel"
+	"hashstash/internal/htcache"
+	"hashstash/internal/matreuse"
+	"hashstash/internal/optimizer"
+	"hashstash/internal/plan"
+	"hashstash/internal/shared"
+	"hashstash/internal/sqlparser"
+	"hashstash/internal/storage"
+	"hashstash/internal/tpch"
+	"hashstash/internal/types"
+)
+
+// Value is a scalar result value.
+type Value = types.Value
+
+// Kind enumerates value kinds.
+type Kind = types.Kind
+
+// Result is an executed query's output (rows plus timing and reuse
+// decisions).
+type Result = optimizer.Result
+
+// CacheStats summarizes the hash-table cache.
+type CacheStats = htcache.Stats
+
+// Strategy selects how reuse decisions are made.
+type Strategy = optimizer.Strategy
+
+// Reuse strategies.
+const (
+	// CostModel is the HashStash default: reuse when the reuse-aware
+	// cost model says it is cheaper.
+	CostModel = optimizer.CostModel
+	// NeverReuse always builds fresh hash tables.
+	NeverReuse = optimizer.NeverReuse
+	// AlwaysReuse greedily reuses the best-matching cached table.
+	AlwaysReuse = optimizer.AlwaysReuse
+)
+
+// Engine selects the reuse machinery behind Exec.
+type Engine uint8
+
+// Engines.
+const (
+	// EngineHashStash reuses internal hash tables (the paper's system).
+	EngineHashStash Engine = iota
+	// EngineMaterialized is the materialization-based reuse baseline
+	// (temporary tables; exact+subsuming reuse only).
+	EngineMaterialized
+	// EngineNoReuse executes classically.
+	EngineNoReuse
+)
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	budget      int64
+	strategy    Strategy
+	engine      Engine
+	calibration *costmodel.Calibration
+	benefit     bool
+	partial     bool
+	overlapping bool
+}
+
+// WithCacheBudget bounds the hash-table cache (bytes); the garbage
+// collector evicts least-recently-used tables beyond it. 0 = unlimited.
+func WithCacheBudget(bytes int64) Option { return func(c *config) { c.budget = bytes } }
+
+// WithStrategy selects the reuse decision strategy.
+func WithStrategy(s Strategy) Option { return func(c *config) { c.strategy = s } }
+
+// WithEngine selects the execution engine.
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithCalibration installs a host-specific cost calibration (see the
+// hscalibrate tool); the default is a generic x86 profile.
+func WithCalibration(cal *costmodel.Calibration) Option {
+	return func(c *config) { c.calibration = cal }
+}
+
+// WithoutBenefitOptimizations disables the Section 3.4 benefit-oriented
+// optimizations (for ablation studies).
+func WithoutBenefitOptimizations() Option { return func(c *config) { c.benefit = false } }
+
+// WithoutPartialReuse disables partial reuse (ablation).
+func WithoutPartialReuse() Option { return func(c *config) { c.partial = false } }
+
+// WithoutOverlappingReuse disables overlapping reuse (ablation).
+func WithoutOverlappingReuse() Option { return func(c *config) { c.overlapping = false } }
+
+// DB is a HashStash database instance. It is single-threaded, matching
+// the paper's prototype: callers must not issue concurrent queries.
+type DB struct {
+	cat    *catalog.Catalog
+	cache  *htcache.Cache
+	opt    *optimizer.Optimizer
+	batch  *shared.Optimizer
+	mat    *matreuse.Engine
+	engine Engine
+}
+
+// Open creates an empty database.
+func Open(opts ...Option) *DB {
+	cfg := &config{strategy: CostModel, benefit: true, partial: true, overlapping: true}
+	for _, o := range opts {
+		o(cfg)
+	}
+	cat := catalog.New()
+	cache := htcache.New(cfg.budget)
+	model := costmodel.NewModel(cfg.calibration)
+	strategy := cfg.strategy
+	if cfg.engine == EngineNoReuse {
+		strategy = NeverReuse
+	}
+	opt := optimizer.New(cat, cache, model, optimizer.Options{
+		Strategy:          strategy,
+		BenefitOriented:   cfg.benefit,
+		EnablePartial:     cfg.partial,
+		EnableOverlapping: cfg.overlapping,
+	})
+	return &DB{
+		cat:    cat,
+		cache:  cache,
+		opt:    opt,
+		batch:  shared.New(opt),
+		mat:    matreuse.NewEngine(cat, cfg.budget),
+		engine: cfg.engine,
+	}
+}
+
+// LoadTPCH generates and registers a TPC-H-style database at the given
+// scale factor (1.0 = the full TPC-H size; benchmarks typically use
+// 0.01-0.1).
+func (db *DB) LoadTPCH(sf float64) error {
+	data, err := tpch.Generate(tpch.Config{SF: sf})
+	if err != nil {
+		return err
+	}
+	for _, t := range data.Tables() {
+		db.cat.Register(t)
+	}
+	return nil
+}
+
+// CreateTable registers a new empty table with the given columns.
+func (db *DB) CreateTable(name string, cols map[string]Kind, order []string) error {
+	if db.cat.Table(name) != nil {
+		return fmt.Errorf("hashstash: table %q exists", name)
+	}
+	t := storage.NewTable(name)
+	for _, cn := range order {
+		kind, ok := cols[cn]
+		if !ok {
+			return fmt.Errorf("hashstash: column %q not in cols map", cn)
+		}
+		t.AddColumn(storage.NewColumn(cn, kind))
+	}
+	db.cat.Register(t)
+	return nil
+}
+
+// InsertRows appends rows (values in column order) and refreshes
+// statistics.
+func (db *DB) InsertRows(table string, rows [][]Value) error {
+	t := db.cat.Table(table)
+	if t == nil {
+		return fmt.Errorf("hashstash: unknown table %q", table)
+	}
+	for _, row := range rows {
+		t.AppendRow(row...)
+	}
+	db.cat.Register(t) // recompute statistics
+	return nil
+}
+
+// BuildIndex creates a sorted secondary index on a column (selection
+// attributes benefit from one).
+func (db *DB) BuildIndex(table, column string) error {
+	t := db.cat.Table(table)
+	if t == nil {
+		return fmt.Errorf("hashstash: unknown table %q", table)
+	}
+	return t.BuildIndexOn(column)
+}
+
+// Tables lists the registered base tables.
+func (db *DB) Tables() []string { return db.cat.TableNames() }
+
+// Exec parses and runs one SQL query through the configured engine
+// (query-at-a-time interface).
+func (db *DB) Exec(sql string) (*Result, error) {
+	q, err := sqlparser.Parse(sql, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	return db.run(q)
+}
+
+func (db *DB) run(q *plan.Query) (*Result, error) {
+	if db.engine == EngineMaterialized {
+		return db.mat.Run(q)
+	}
+	return db.opt.Run(q)
+}
+
+// ExecBatch runs a set of queries through the query-batch interface:
+// mergeable queries share reuse-aware plans (Section 4 of the paper).
+// Results are returned in input order.
+func (db *DB) ExecBatch(sqls []string) ([]*Result, error) {
+	if db.engine != EngineHashStash {
+		// Baselines have no shared plans; run queries individually.
+		out := make([]*Result, len(sqls))
+		for i, sql := range sqls {
+			r, err := db.Exec(sql)
+			if err != nil {
+				return nil, fmt.Errorf("query %d: %w", i, err)
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	queries := make([]*plan.Query, len(sqls))
+	for i, sql := range sqls {
+		q, err := sqlparser.Parse(sql, db.cat)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		queries[i] = q
+	}
+	batch, err := db.batch.RunBatch(queries)
+	if err != nil {
+		return nil, err
+	}
+	return batch.Results, nil
+}
+
+// CacheStats reports hash-table cache statistics (temporary-table cache
+// statistics under EngineMaterialized).
+func (db *DB) CacheStats() CacheStats {
+	if db.engine == EngineMaterialized {
+		return db.mat.Cache.Stats()
+	}
+	return db.cache.Stats()
+}
+
+// ClearCache evicts every unpinned cached hash table.
+func (db *DB) ClearCache() { db.cache.Clear() }
+
+// SetCacheBudget adjusts the garbage collector's memory budget at
+// runtime and triggers collection immediately.
+func (db *DB) SetCacheBudget(bytes int64) {
+	db.cache.Budget = bytes
+	db.cache.GC()
+}

@@ -1,0 +1,188 @@
+// Package costmodel implements the reuse-aware cost model of HashStash
+// (Section 3.2 of the paper): per-operation hash-table costs calibrated
+// by micro-benchmarks over a (table size × tuple width) grid — the
+// paper's Figure 3 — and the RHJ/RHA cost equations parameterized by a
+// candidate table's contribution ratio and overhead ratio.
+//
+// All costs are in nanoseconds, so estimated plan costs are directly
+// comparable to measured wall-clock times (the accuracy experiment,
+// Figure 10, relies on this).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Calibration holds measured per-operation costs over a grid of hash
+// table sizes (bytes) and tuple widths (bytes). Grids are indexed
+// [size][width].
+type Calibration struct {
+	Sizes  []int64 // ascending, bytes
+	Widths []int   // ascending, bytes
+
+	Insert [][]float64 // ns per insert
+	Probe  [][]float64 // ns per lookup
+	Update [][]float64 // ns per in-place update
+
+	// ScanBase and ScanPerByte model the per-row cost of scanning a base
+	// table into a pipeline batch: cost = ScanBase + ScanPerByte*width.
+	ScanBase    float64
+	ScanPerByte float64
+}
+
+// Validate checks the calibration grids are well-formed.
+func (c *Calibration) Validate() error {
+	if len(c.Sizes) == 0 || len(c.Widths) == 0 {
+		return fmt.Errorf("costmodel: empty calibration grid")
+	}
+	for i := 1; i < len(c.Sizes); i++ {
+		if c.Sizes[i] <= c.Sizes[i-1] {
+			return fmt.Errorf("costmodel: sizes not ascending at %d", i)
+		}
+	}
+	for i := 1; i < len(c.Widths); i++ {
+		if c.Widths[i] <= c.Widths[i-1] {
+			return fmt.Errorf("costmodel: widths not ascending at %d", i)
+		}
+	}
+	for name, grid := range map[string][][]float64{"insert": c.Insert, "probe": c.Probe, "update": c.Update} {
+		if len(grid) != len(c.Sizes) {
+			return fmt.Errorf("costmodel: %s grid has %d size rows, want %d", name, len(grid), len(c.Sizes))
+		}
+		for i, row := range grid {
+			if len(row) != len(c.Widths) {
+				return fmt.Errorf("costmodel: %s grid row %d has %d widths, want %d", name, i, len(row), len(c.Widths))
+			}
+			for j, v := range row {
+				if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("costmodel: %s[%d][%d] = %v not positive finite", name, i, j, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// interp performs bilinear interpolation on a grid in (log2 size, width)
+// space, clamping outside the grid.
+func (c *Calibration) interp(grid [][]float64, htBytes float64, width float64) float64 {
+	if htBytes < 1 {
+		htBytes = 1
+	}
+	ls := math.Log2(htBytes)
+
+	// Locate the size cell.
+	si := 0
+	for si < len(c.Sizes)-1 && math.Log2(float64(c.Sizes[si+1])) < ls {
+		si++
+	}
+	var st float64
+	if si == len(c.Sizes)-1 {
+		st = 0
+	} else {
+		lo, hi := math.Log2(float64(c.Sizes[si])), math.Log2(float64(c.Sizes[si+1]))
+		st = (ls - lo) / (hi - lo)
+		if st < 0 {
+			st = 0
+		}
+		if st > 1 {
+			st = 1
+		}
+	}
+
+	// Locate the width cell.
+	wi := 0
+	for wi < len(c.Widths)-1 && float64(c.Widths[wi+1]) < width {
+		wi++
+	}
+	var wt float64
+	if wi == len(c.Widths)-1 {
+		wt = 0
+	} else {
+		lo, hi := float64(c.Widths[wi]), float64(c.Widths[wi+1])
+		wt = (width - lo) / (hi - lo)
+		if wt < 0 {
+			wt = 0
+		}
+		if wt > 1 {
+			wt = 1
+		}
+	}
+
+	v00 := grid[si][wi]
+	v01, v10, v11 := v00, v00, v00
+	if wi+1 < len(c.Widths) {
+		v01 = grid[si][wi+1]
+	}
+	if si+1 < len(c.Sizes) {
+		v10 = grid[si+1][wi]
+		if wi+1 < len(c.Widths) {
+			v11 = grid[si+1][wi+1]
+		} else {
+			v11 = v10
+		}
+	}
+	top := v00*(1-wt) + v01*wt
+	bot := v10*(1-wt) + v11*wt
+	return top*(1-st) + bot*st
+}
+
+// InsertCost returns the estimated ns for one insert into a table of the
+// given size and tuple width (the paper's c_i).
+func (c *Calibration) InsertCost(htBytes float64, width int) float64 {
+	return c.interp(c.Insert, htBytes, float64(width))
+}
+
+// ProbeCost returns the estimated ns for one lookup (the paper's c_l).
+func (c *Calibration) ProbeCost(htBytes float64, width int) float64 {
+	return c.interp(c.Probe, htBytes, float64(width))
+}
+
+// UpdateCost returns the estimated ns for one in-place aggregate update
+// (the paper's c_u).
+func (c *Calibration) UpdateCost(htBytes float64, width int) float64 {
+	return c.interp(c.Update, htBytes, float64(width))
+}
+
+// ScanCost returns the estimated ns to scan n rows of the given emitted
+// width from a base table.
+func (c *Calibration) ScanCost(rows float64, width int) float64 {
+	return rows * (c.ScanBase + c.ScanPerByte*float64(width))
+}
+
+// Default returns a calibration with plausible values for a modern x86
+// server, following the shape of the paper's Figure 3: costs step up at
+// cache-capacity boundaries and grow with tuple width once a tuple
+// exceeds one (insert) or two (probe, thanks to prefetching) cache
+// lines. Run `hscalibrate` to replace it with measurements of the host.
+func Default() *Calibration {
+	return &Calibration{
+		Sizes:  []int64{1 << 10, 32 << 10, 1 << 20, 32 << 20, 1 << 30},
+		Widths: []int{8, 16, 64, 128, 256},
+		Insert: [][]float64{
+			// 8B     16B    64B    128B   256B
+			{55, 56, 60, 90, 130},     // 1KB (L1)
+			{58, 60, 65, 95, 140},     // 32KB (L1/L2)
+			{70, 72, 80, 115, 165},    // 1MB (L2/L3)
+			{120, 125, 140, 190, 260}, // 32MB (L3/DRAM)
+			{180, 185, 205, 270, 360}, // 1GB (DRAM)
+		},
+		Probe: [][]float64{
+			{18, 18, 20, 22, 40},
+			{22, 22, 24, 28, 48},
+			{35, 36, 40, 46, 75},
+			{90, 92, 100, 110, 160},
+			{150, 152, 165, 180, 250},
+		},
+		Update: [][]float64{
+			{20, 20, 22, 26, 45},
+			{24, 24, 27, 32, 52},
+			{38, 39, 44, 52, 82},
+			{95, 97, 106, 118, 170},
+			{155, 158, 172, 190, 260},
+		},
+		ScanBase:    4,
+		ScanPerByte: 0.15,
+	}
+}

@@ -1,0 +1,672 @@
+package exec
+
+import (
+	"testing"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// ordersTable builds a small orders-like table:
+// okey 1..10, custkey = okey%3, date = okey*10, price = okey*1.5
+func ordersTable(t *testing.T, withIndex bool) *storage.Table {
+	t.Helper()
+	okey := storage.NewColumn("o_orderkey", types.Int64)
+	ckey := storage.NewColumn("o_custkey", types.Int64)
+	date := storage.NewColumn("o_orderdate", types.Date)
+	price := storage.NewColumn("o_totalprice", types.Float64)
+	for i := int64(1); i <= 10; i++ {
+		okey.Ints = append(okey.Ints, i)
+		ckey.Ints = append(ckey.Ints, i%3)
+		date.Ints = append(date.Ints, i*10)
+		price.Floats = append(price.Floats, float64(i)*1.5)
+	}
+	tbl := storage.NewTable("orders", okey, ckey, date, price)
+	if withIndex {
+		if err := tbl.BuildIndexOn("o_orderdate"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func dateBox(alias string, lo, hi int64) expr.Box {
+	return expr.NewBox(expr.Pred{
+		Col: storage.ColRef{Table: alias, Column: "o_orderdate"},
+		Con: expr.IntervalConstraint(types.Date, expr.Interval{
+			HasLo: true, Lo: types.NewDate(lo), LoIncl: true,
+			HasHi: true, Hi: types.NewDate(hi), HiIncl: true,
+		}),
+	})
+}
+
+func runToCollect(t *testing.T, src Source, transforms ...Transform) *Collect {
+	t.Helper()
+	schema := src.Schema()
+	if len(transforms) > 0 {
+		schema = transforms[len(transforms)-1].OutSchema()
+	}
+	sink := NewCollect(schema)
+	p := &Pipeline{Source: src, Transforms: transforms, Sink: sink}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sink
+}
+
+func TestTableScanIndexAndFullAgree(t *testing.T) {
+	for _, indexed := range []bool{true, false} {
+		tbl := ordersTable(t, indexed)
+		src, err := NewTableScan(tbl, "o", []expr.Box{dateBox("o", 30, 70)}, []string{"o_orderkey", "o_orderdate"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runToCollect(t, src)
+		if len(got.Rows) != 5 { // dates 30,40,50,60,70
+			t.Fatalf("indexed=%v: %d rows, want 5", indexed, len(got.Rows))
+		}
+		for _, row := range got.Rows {
+			if row[1].I < 30 || row[1].I > 70 {
+				t.Fatalf("indexed=%v: date %d out of range", indexed, row[1].I)
+			}
+		}
+	}
+}
+
+func TestTableScanMultipleBoxes(t *testing.T) {
+	tbl := ordersTable(t, true)
+	// Disjoint residual boxes (partial-reuse shape): [10,20] and [90,100].
+	boxes := []expr.Box{dateBox("o", 10, 20), dateBox("o", 90, 100)}
+	src, err := NewTableScan(tbl, "o", boxes, []string{"o_orderkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runToCollect(t, src)
+	if len(got.Rows) != 4 { // keys 1,2,9,10
+		t.Fatalf("%d rows, want 4", len(got.Rows))
+	}
+	if src.RowsScanned() == 0 {
+		t.Error("RowsScanned not counted")
+	}
+}
+
+func TestTableScanResidualPredicate(t *testing.T) {
+	tbl := ordersTable(t, true)
+	// Indexed date range + unindexed custkey filter.
+	box := dateBox("o", 10, 100).Intersect(expr.NewBox(expr.Pred{
+		Col: storage.ColRef{Table: "o", Column: "o_custkey"},
+		Con: expr.IntervalConstraint(types.Int64, expr.PointInterval(types.NewInt(1))),
+	}))
+	src, err := NewTableScan(tbl, "o", []expr.Box{box}, []string{"o_orderkey", "o_custkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runToCollect(t, src)
+	if len(got.Rows) != 4 { // custkey==1: orderkeys 1,4,7,10
+		t.Fatalf("%d rows, want 4", len(got.Rows))
+	}
+	for _, row := range got.Rows {
+		if row[1].I != 1 {
+			t.Fatalf("custkey = %d", row[1].I)
+		}
+	}
+}
+
+func TestTableScanEmptyBoxSkipped(t *testing.T) {
+	tbl := ordersTable(t, true)
+	empty := dateBox("o", 50, 40)
+	src, err := NewTableScan(tbl, "o", []expr.Box{empty}, []string{"o_orderkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runToCollect(t, src); len(got.Rows) != 0 {
+		t.Fatalf("%d rows from empty box", len(got.Rows))
+	}
+}
+
+func TestTableScanBadColumn(t *testing.T) {
+	tbl := ordersTable(t, false)
+	if _, err := NewTableScan(tbl, "o", nil, []string{"nope"}); err == nil {
+		t.Error("bad column accepted")
+	}
+}
+
+func TestFilterTransform(t *testing.T) {
+	tbl := ordersTable(t, false)
+	src, err := NewTableScan(tbl, "o", nil, []string{"o_orderkey", "o_orderdate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFilter(dateBox("o", 40, 60), src.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runToCollect(t, src, f)
+	if len(got.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(got.Rows))
+	}
+}
+
+func TestFilterBadColumn(t *testing.T) {
+	if _, err := NewFilter(dateBox("x", 1, 2), storage.Schema{}); err == nil {
+		t.Error("unbound filter accepted")
+	}
+}
+
+func TestComputeTransform(t *testing.T) {
+	tbl := ordersTable(t, false)
+	src, err := NewTableScan(tbl, "o", nil, []string{"o_totalprice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	double := &expr.Bin{Op: expr.OpMul,
+		L: &expr.Col{Ref: storage.ColRef{Table: "o", Column: "o_totalprice"}},
+		R: &expr.Const{V: types.NewFloat(2)}}
+	c := NewCompute(double, storage.ColRef{Column: "dbl"}, src.Schema())
+	got := runToCollect(t, src, c)
+	if len(got.Rows) != 10 {
+		t.Fatalf("%d rows", len(got.Rows))
+	}
+	for _, row := range got.Rows {
+		if row[1].F != row[0].F*2 {
+			t.Fatalf("dbl=%f price=%f", row[1].F, row[0].F)
+		}
+	}
+	if c.OutSchema().IndexOf(storage.ColRef{Column: "dbl"}) != 1 {
+		t.Error("compute schema missing output column")
+	}
+}
+
+// buildOrdersHT builds a join hash table over orders keyed by custkey,
+// carrying orderkey and orderdate.
+func buildOrdersHT(t *testing.T, tbl *storage.Table, box expr.Box) *hashtable.Table {
+	t.Helper()
+	layout := hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "o", Column: "o_custkey"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Table: "o", Column: "o_orderkey"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Table: "o", Column: "o_orderdate"}, Kind: types.Date},
+		},
+		KeyCols: 1,
+	}
+	ht := hashtable.New(layout)
+	var boxes []expr.Box
+	if box != nil {
+		boxes = []expr.Box{box}
+	}
+	src, err := NewTableScan(tbl, "o", boxes, []string{"o_custkey", "o_orderkey", "o_orderdate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := NewBuildHT(ht, src.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{Source: src, Sink: sink}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return ht
+}
+
+// custTable: custkey 0..2 with names.
+func custTable() *storage.Table {
+	ckey := storage.NewColumn("c_custkey", types.Int64)
+	name := storage.NewColumn("c_name", types.String)
+	for i := int64(0); i <= 2; i++ {
+		ckey.Ints = append(ckey.Ints, i)
+		name.Strs = append(name.Strs, "cust"+string(rune('A'+i)))
+	}
+	return storage.NewTable("customer", ckey, name)
+}
+
+func TestBuildAndProbeJoin(t *testing.T) {
+	orders := ordersTable(t, false)
+	ht := buildOrdersHT(t, orders, nil)
+	if ht.Len() != 10 {
+		t.Fatalf("build inserted %d", ht.Len())
+	}
+
+	cust := custTable()
+	src, err := NewTableScan(cust, "c", nil, []string{"c_custkey", "c_name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := NewProbe(ht,
+		[]storage.ColRef{{Table: "c", Column: "c_custkey"}},
+		[]int{1, 2}, nil, nil, src.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runToCollect(t, src, probe)
+	// Each order joins its customer exactly once: 10 result rows.
+	if len(got.Rows) != 10 {
+		t.Fatalf("join produced %d rows, want 10", len(got.Rows))
+	}
+	if probe.Matches() != 10 {
+		t.Errorf("Matches = %d", probe.Matches())
+	}
+	// Verify the join is correct: orderkey%3 == custkey.
+	okeyIdx := got.Schema.MustIndexOf(storage.ColRef{Table: "o", Column: "o_orderkey"})
+	ckeyIdx := got.Schema.MustIndexOf(storage.ColRef{Table: "c", Column: "c_custkey"})
+	for _, row := range got.Rows {
+		if row[okeyIdx].I%3 != row[ckeyIdx].I {
+			t.Fatalf("bad join row: %v", row)
+		}
+	}
+}
+
+func TestProbePostFilter(t *testing.T) {
+	orders := ordersTable(t, false)
+	// Cached HT holds ALL orders; the query wants only dates [30,70]:
+	// subsuming reuse → post-filter at probe time.
+	ht := buildOrdersHT(t, orders, nil)
+	cust := custTable()
+	src, err := NewTableScan(cust, "c", nil, []string{"c_custkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := NewProbe(ht,
+		[]storage.ColRef{{Table: "c", Column: "c_custkey"}},
+		[]int{1}, nil, dateBox("o", 30, 70), src.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runToCollect(t, src, probe)
+	if len(got.Rows) != 5 {
+		t.Fatalf("post-filtered join produced %d rows, want 5", len(got.Rows))
+	}
+	if probe.FilteredOut() != 5 {
+		t.Errorf("FilteredOut = %d, want 5", probe.FilteredOut())
+	}
+}
+
+func TestProbeStringKeyMiss(t *testing.T) {
+	layout := hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "p", Column: "p_brand"}, Kind: types.String},
+			{Ref: storage.ColRef{Table: "p", Column: "p_partkey"}, Kind: types.Int64},
+		},
+		KeyCols: 1,
+	}
+	ht := hashtable.New(layout)
+	ht.Insert([]uint64{ht.EncodeValue(types.NewString("Brand#11")), 1})
+	heapBefore := ht.Strings().Len()
+
+	// Probe with strings not in the heap: no matches, no heap growth.
+	seg := storage.NewColumn("p_brand", types.String)
+	seg.Strs = []string{"Brand#99", "Brand#11"}
+	tbl := storage.NewTable("probe", seg)
+	src, err := NewTableScan(tbl, "x", nil, []string{"p_brand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := NewProbe(ht, []storage.ColRef{{Table: "x", Column: "p_brand"}}, []int{1}, nil, nil, src.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runToCollect(t, src, probe)
+	if len(got.Rows) != 1 {
+		t.Fatalf("string probe rows = %d, want 1", len(got.Rows))
+	}
+	if ht.Strings().Len() != heapBefore {
+		t.Error("probe mutated the string heap")
+	}
+}
+
+func TestAggHTSink(t *testing.T) {
+	orders := ordersTable(t, false)
+	layout := hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "o", Column: "o_custkey"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Column: "sum_price"}, Kind: types.Float64},
+			{Ref: storage.ColRef{Column: "cnt"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Column: "min_date"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Column: "max_date"}, Kind: types.Int64},
+		},
+		KeyCols: 1,
+	}
+	ht := hashtable.New(layout)
+	src, err := NewTableScan(orders, "o", nil, []string{"o_custkey", "o_totalprice", "o_orderdate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := src.Schema()
+	sink, err := NewAggHT(ht,
+		[]storage.ColRef{{Table: "o", Column: "o_custkey"}},
+		[]AggCell{
+			{Func: expr.AggSum, InCol: schema.MustIndexOf(storage.ColRef{Table: "o", Column: "o_totalprice"}), Kind: types.Float64},
+			{Func: expr.AggCount, InCol: -1, Kind: types.Int64},
+			{Func: expr.AggMin, InCol: schema.MustIndexOf(storage.ColRef{Table: "o", Column: "o_orderdate"}), Kind: types.Int64},
+			{Func: expr.AggMax, InCol: schema.MustIndexOf(storage.ColRef{Table: "o", Column: "o_orderdate"}), Kind: types.Int64},
+		}, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Pipeline{Source: src, Sink: sink}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ht.Len() != 3 {
+		t.Fatalf("groups = %d, want 3", ht.Len())
+	}
+	if sink.Inserted() != 3 || sink.Updated() != 7 {
+		t.Errorf("inserted=%d updated=%d", sink.Inserted(), sink.Updated())
+	}
+	// Verify group custkey=1: orders 1,4,7,10 → sum=1.5*(1+4+7+10)=33,
+	// count=4, min date=10, max date=100.
+	e, found := ht.Upsert([]uint64{1})
+	if !found {
+		t.Fatal("group 1 missing")
+	}
+	if sum := types.FromBits(types.Float64, ht.Cell(e, 1)).F; sum != 33 {
+		t.Errorf("sum = %f", sum)
+	}
+	if cnt := ht.Cell(e, 2); cnt != 4 {
+		t.Errorf("count = %d", cnt)
+	}
+	if mind := int64(ht.Cell(e, 3)); mind != 10 {
+		t.Errorf("min = %d", mind)
+	}
+	if maxd := int64(ht.Cell(e, 4)); maxd != 100 {
+		t.Errorf("max = %d", maxd)
+	}
+}
+
+func TestAggHTValidation(t *testing.T) {
+	layout := hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "o", Column: "o_custkey"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Column: "x"}, Kind: types.Float64},
+		},
+		KeyCols: 1,
+	}
+	schema := storage.Schema{{Ref: storage.ColRef{Table: "o", Column: "o_custkey"}, Kind: types.Int64}}
+	// Non-count aggregate over * rejected.
+	if _, err := NewAggHT(hashtable.New(layout), []storage.ColRef{{Table: "o", Column: "o_custkey"}},
+		[]AggCell{{Func: expr.AggSum, InCol: -1, Kind: types.Float64}}, schema); err == nil {
+		t.Error("SUM(*) accepted")
+	}
+	// Layout arity mismatch rejected.
+	if _, err := NewAggHT(hashtable.New(layout), nil,
+		[]AggCell{{Func: expr.AggCount, InCol: -1, Kind: types.Int64}}, schema); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestHTScanWithPostFilter(t *testing.T) {
+	orders := ordersTable(t, false)
+	ht := buildOrdersHT(t, orders, nil)
+	src, err := NewHTScan(ht, []int{1, 2}, nil, dateBox("o", 30, 70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runToCollect(t, src)
+	if len(got.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(got.Rows))
+	}
+	if src.FilteredOut() != 5 {
+		t.Errorf("FilteredOut = %d", src.FilteredOut())
+	}
+	// Post-filter on a column not in the layout errors.
+	if _, err := NewHTScan(ht, []int{0}, nil, expr.NewBox(expr.Pred{
+		Col: storage.ColRef{Table: "z", Column: "zz"},
+		Con: expr.IntervalConstraint(types.Int64, expr.FullInterval()),
+	})); err == nil {
+		t.Error("bad post-filter accepted")
+	}
+	if _, err := NewHTScan(ht, []int{99}, nil, nil); err == nil {
+		t.Error("bad out col accepted")
+	}
+}
+
+func TestTempTableAndMultiSink(t *testing.T) {
+	orders := ordersTable(t, false)
+	src, err := NewTableScan(orders, "o", nil, []string{"o_orderkey", "o_totalprice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp := NewTempTable("tmp1", src.Schema())
+	collect := NewCollect(src.Schema())
+	p := &Pipeline{Source: src, Sink: &Multi{Sinks: []Sink{temp, collect}}}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if temp.Table.NumRows() != 10 || len(collect.Rows) != 10 {
+		t.Fatalf("temp=%d collect=%d", temp.Table.NumRows(), len(collect.Rows))
+	}
+	if temp.ByteSize() <= 0 {
+		t.Error("temp ByteSize")
+	}
+	if temp.Table.Column("o_orderkey") == nil {
+		t.Error("temp table column naming")
+	}
+	if p.RowsIn != 10 || p.RowsOut != 10 {
+		t.Errorf("pipeline stats in=%d out=%d", p.RowsIn, p.RowsOut)
+	}
+}
+
+func TestSharedScanAndReTag(t *testing.T) {
+	orders := ordersTable(t, false)
+	// Three queries with different date windows.
+	boxes := []expr.Box{
+		dateBox("o", 10, 40),  // q0: orders 1-4
+		dateBox("o", 30, 60),  // q1: orders 3-6
+		dateBox("o", 90, 100), // q2: orders 9-10
+	}
+	src, err := NewSharedScan(orders, "o", boxes, []string{"o_orderkey", "o_custkey", "o_orderdate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runToCollect(t, src)
+	// Union covers orders 1-6, 9, 10 → 8 rows.
+	if len(got.Rows) != 8 {
+		t.Fatalf("shared scan rows = %d, want 8", len(got.Rows))
+	}
+	qidIdx := got.Schema.MustIndexOf(QidRef())
+	masks := map[int64]uint64{}
+	okIdx := got.Schema.MustIndexOf(storage.ColRef{Table: "o", Column: "o_orderkey"})
+	for _, row := range got.Rows {
+		masks[row[okIdx].I] = uint64(row[qidIdx].I)
+	}
+	if masks[3] != 0b011 { // order 3 (date 30) matches q0 and q1
+		t.Errorf("mask(3) = %b", masks[3])
+	}
+	if masks[9] != 0b100 {
+		t.Errorf("mask(9) = %b", masks[9])
+	}
+
+	// Build a shared HT (key custkey) including qid + orderdate, then
+	// re-tag it for a new batch and check masks.
+	layout := hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "o", Column: "o_custkey"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Table: "o", Column: "o_orderdate"}, Kind: types.Date},
+			{Ref: QidRef(), Kind: types.Int64},
+		},
+		KeyCols: 1,
+	}
+	ht := hashtable.New(layout)
+	sink, err := NewBuildHT(ht, got.Schema[1:], nil) // custkey, orderdate, qid
+	if err != nil {
+		// Schema slice above relies on column order; rebuild explicitly.
+		t.Fatal(err)
+	}
+	for _, row := range got.Rows {
+		b := storage.NewBatch(got.Schema[1:])
+		b.Cols[0].Append(row[1])
+		b.Cols[1].Append(row[2])
+		b.Cols[2].Append(row[3])
+		sink.Consume(b)
+	}
+	if ht.Len() != 8 {
+		t.Fatalf("shared HT len = %d", ht.Len())
+	}
+
+	// Re-tag for a new batch: one query, dates [30,30].
+	if err := ReTag(ht, 2, []expr.Box{dateBox("o", 30, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	tagged := 0
+	for e := int32(0); e < int32(ht.Len()); e++ {
+		if ht.Cell(e, 2) != 0 {
+			tagged++
+			if int64(ht.Cell(e, 1)) != 30 {
+				t.Errorf("mis-tagged entry date %d", int64(ht.Cell(e, 1)))
+			}
+		}
+	}
+	if tagged != 1 {
+		t.Errorf("tagged = %d, want 1", tagged)
+	}
+
+	// Re-tag with a predicate on an unstored column fails.
+	bad := expr.NewBox(expr.Pred{
+		Col: storage.ColRef{Table: "p", Column: "p_brand"},
+		Con: expr.SetConstraint("Brand#1"),
+	})
+	if err := ReTag(ht, 2, []expr.Box{bad}); err == nil {
+		t.Error("re-tag with unstored column accepted")
+	}
+	if err := ReTag(ht, 9, nil); err == nil {
+		t.Error("bad qid col accepted")
+	}
+}
+
+func TestSharedScanValidation(t *testing.T) {
+	orders := ordersTable(t, false)
+	if _, err := NewSharedScan(orders, "o", nil, []string{"o_orderkey"}); err == nil {
+		t.Error("0 queries accepted")
+	}
+	boxes := make([]expr.Box, 65)
+	if _, err := NewSharedScan(orders, "o", boxes, []string{"o_orderkey"}); err == nil {
+		t.Error("65 queries accepted")
+	}
+	if _, err := NewSharedScan(orders, "o", make([]expr.Box, 1), []string{"zz"}); err == nil {
+		t.Error("bad column accepted")
+	}
+}
+
+func TestProbeQidIntersection(t *testing.T) {
+	// Shared join: build side entries tagged 0b01 and 0b11; probe side
+	// rows tagged 0b10. Only intersecting pairs survive with ANDed mask.
+	layout := hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "b", Column: "k"}, Kind: types.Int64},
+			{Ref: QidRef(), Kind: types.Int64},
+		},
+		KeyCols: 1,
+	}
+	ht := hashtable.New(layout)
+	ht.Insert([]uint64{1, 0b01})
+	ht.Insert([]uint64{2, 0b11})
+
+	schema := storage.Schema{
+		{Ref: storage.ColRef{Table: "p", Column: "k"}, Kind: types.Int64},
+		{Ref: QidRef(), Kind: types.Int64},
+	}
+	probe, err := NewProbe(ht, []storage.ColRef{{Table: "p", Column: "k"}}, nil, nil, nil, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.QidCol = 1                          // layout qid position
+	probe.QidInCol = schema.IndexOf(QidRef()) // input qid position
+
+	in := storage.NewBatch(schema)
+	for _, k := range []int64{1, 2} {
+		in.Cols[0].Append(types.NewInt(k))
+		in.Cols[1].Append(types.NewInt(0b10))
+	}
+	out := storage.NewBatch(probe.OutSchema())
+	probe.Apply(in, out)
+	if out.Len() != 1 {
+		t.Fatalf("qid probe rows = %d, want 1", out.Len())
+	}
+	if out.Cols[0].Ints[0] != 2 || out.Cols[1].Ints[0] != 0b10 {
+		t.Errorf("qid probe row = k%d mask%b", out.Cols[0].Ints[0], out.Cols[1].Ints[0])
+	}
+}
+
+func TestEndToEndJoinAggregate(t *testing.T) {
+	// SELECT c_name, SUM(o_totalprice) FROM customer c, orders o
+	// WHERE c_custkey = o_custkey AND o_orderdate BETWEEN 30 AND 70
+	// GROUP BY c_name
+	orders := ordersTable(t, true)
+	cust := custTable()
+
+	// Pipeline 1: build HT over filtered orders keyed by custkey.
+	ht := buildOrdersHT(t, orders, dateBox("o", 30, 70))
+
+	// Pipeline 2: scan customer, probe, aggregate.
+	src, err := NewTableScan(cust, "c", nil, []string{"c_custkey", "c_name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := NewProbe(ht, []storage.ColRef{{Table: "c", Column: "c_custkey"}}, []int{1, 2}, nil, nil, src.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No price column in HT payload — recompute via a second probe-side
+	// path would be needed; instead rebuild with price included.
+	layout := hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "o", Column: "o_custkey"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Table: "o", Column: "o_totalprice"}, Kind: types.Float64},
+		},
+		KeyCols: 1,
+	}
+	ht2 := hashtable.New(layout)
+	bsrc, err := NewTableScan(orders, "o", []expr.Box{dateBox("o", 30, 70)}, []string{"o_custkey", "o_totalprice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsink, err := NewBuildHT(ht2, bsrc.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Pipeline{Source: bsrc, Sink: bsink}).Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	probe2, err := NewProbe(ht2, []storage.ColRef{{Table: "c", Column: "c_custkey"}}, []int{1}, nil, nil, src.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = probe
+
+	aggLayout := hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "c", Column: "c_name"}, Kind: types.String},
+			{Ref: storage.ColRef{Column: "sum"}, Kind: types.Float64},
+		},
+		KeyCols: 1,
+	}
+	aggHT := hashtable.New(aggLayout)
+	aggSink, err := NewAggHT(aggHT,
+		[]storage.ColRef{{Table: "c", Column: "c_name"}},
+		[]AggCell{{Func: expr.AggSum,
+			InCol: probe2.OutSchema().MustIndexOf(storage.ColRef{Table: "o", Column: "o_totalprice"}),
+			Kind:  types.Float64}},
+		probe2.OutSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Pipeline{Source: src, Transforms: []Transform{probe2}, Sink: aggSink}).Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Orders with dates 30..70 are keys 3..7; custkeys 0,1,2,0,1.
+	// sums: cust0: (3+6)*1.5=13.5; cust1: (4+7)*1.5=16.5; cust2: 5*1.5=7.5
+	want := map[string]float64{"custA": 13.5, "custB": 16.5, "custC": 7.5}
+	if aggHT.Len() != 3 {
+		t.Fatalf("agg groups = %d", aggHT.Len())
+	}
+	for e := int32(0); e < int32(aggHT.Len()); e++ {
+		name := aggHT.CellValue(e, 0).S
+		sum := types.FromBits(types.Float64, aggHT.Cell(e, 1)).F
+		if want[name] != sum {
+			t.Errorf("group %q sum = %f, want %f", name, sum, want[name])
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package exec implements the push-based, single-threaded execution
+// engine of HashStash: pipelines of a source, a chain of batch
+// transforms, and a sink. Pipeline breakers (hash-join builds and hash
+// aggregations) are sinks that materialize the extendible hash tables
+// the rest of the system caches and reuses.
+package exec
+
+import (
+	"fmt"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// batchMatcher evaluates a predicate box against rows of a batch with a
+// fixed schema; constraints are pre-bound to column positions.
+type batchMatcher struct {
+	cols []int
+	cons []expr.Constraint
+}
+
+// newBatchMatcher binds a box against a schema. Every constrained column
+// must be present in the schema.
+func newBatchMatcher(box expr.Box, schema storage.Schema) (*batchMatcher, error) {
+	m := &batchMatcher{}
+	for _, p := range box {
+		i := schema.IndexOf(p.Col)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: predicate column %v not in schema %v", p.Col, schema)
+		}
+		m.cols = append(m.cols, i)
+		m.cons = append(m.cons, p.Con)
+	}
+	return m, nil
+}
+
+// match reports whether row i of the batch satisfies the box.
+func (m *batchMatcher) match(b *storage.Batch, i int) bool {
+	for j, ci := range m.cols {
+		vec := b.Cols[ci]
+		con := m.cons[j]
+		switch vec.Kind {
+		case types.Int64, types.Date:
+			if !con.MatchInt(vec.Ints[i]) {
+				return false
+			}
+		case types.Float64:
+			if !con.MatchFloat(vec.Floats[i]) {
+				return false
+			}
+		case types.String:
+			if !con.MatchString(vec.Strs[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tableMatcher evaluates a box against base-table rows; constraints are
+// pre-bound to columns. Predicates use alias-qualified references whose
+// Column names must exist in the table.
+type tableMatcher struct {
+	cols []*storage.Column
+	cons []expr.Constraint
+}
+
+func newTableMatcher(box expr.Box, t *storage.Table) (*tableMatcher, error) {
+	m := &tableMatcher{}
+	for _, p := range box {
+		col := t.Column(p.Col.Column)
+		if col == nil {
+			return nil, fmt.Errorf("exec: predicate column %v not in table %q", p.Col, t.Name)
+		}
+		m.cols = append(m.cols, col)
+		m.cons = append(m.cons, p.Con)
+	}
+	return m, nil
+}
+
+func (m *tableMatcher) match(row int32) bool {
+	for j, col := range m.cols {
+		con := m.cons[j]
+		switch col.Kind {
+		case types.Int64, types.Date:
+			if !con.MatchInt(col.Ints[row]) {
+				return false
+			}
+		case types.Float64:
+			if !con.MatchFloat(col.Floats[row]) {
+				return false
+			}
+		case types.String:
+			if !con.MatchString(col.Strs[row]) {
+				return false
+			}
+		}
+	}
+	return true
+}

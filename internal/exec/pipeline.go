@@ -1,0 +1,70 @@
+package exec
+
+import "hashstash/internal/storage"
+
+// Pipeline is one push-based execution unit: a source streams batches
+// through a transform chain into a sink. Hash-join build sides and
+// aggregations terminate pipelines (pipeline breakers); probes are
+// in-pipeline transforms, exactly as in produce/consume-style compiled
+// engines.
+type Pipeline struct {
+	Source     Source
+	Transforms []Transform
+	Sink       Sink
+
+	// RowsIn counts source rows, RowsOut counts rows reaching the sink.
+	RowsIn  int64
+	RowsOut int64
+}
+
+// Run streams the pipeline to completion.
+func (p *Pipeline) Run() error {
+	if err := p.Source.Open(); err != nil {
+		return err
+	}
+	// One reusable batch per stage.
+	batches := make([]*storage.Batch, len(p.Transforms)+1)
+	batches[0] = storage.NewBatch(p.Source.Schema())
+	for i, t := range p.Transforms {
+		batches[i+1] = storage.NewBatch(t.OutSchema())
+	}
+	for {
+		batches[0].Reset()
+		if !p.Source.Next(batches[0]) {
+			break
+		}
+		p.RowsIn += int64(batches[0].Len())
+		cur := batches[0]
+		for i, t := range p.Transforms {
+			next := batches[i+1]
+			next.Reset()
+			t.Apply(cur, next)
+			cur = next
+		}
+		p.RowsOut += int64(cur.Len())
+		if cur.Len() > 0 {
+			p.Sink.Consume(cur)
+		}
+	}
+	p.Sink.Finish()
+	return nil
+}
+
+// OutSchema reports the schema reaching the sink.
+func (p *Pipeline) OutSchema() storage.Schema {
+	if len(p.Transforms) > 0 {
+		return p.Transforms[len(p.Transforms)-1].OutSchema()
+	}
+	return p.Source.Schema()
+}
+
+// Run executes pipelines in order (build sides before probes; the
+// planner orders them by dependency).
+func Run(pipelines []*Pipeline) error {
+	for _, p := range pipelines {
+		if err := p.Run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"fmt"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// QidColumn is the reserved name of the query-id bitmask column flowing
+// through shared plans (Data-Query model of SharedDB): bit i set means
+// the row qualifies for query i of the batch.
+const QidColumn = "_qid"
+
+// QidRef returns the schema reference of the qid column.
+func QidRef() storage.ColRef { return storage.ColRef{Column: QidColumn} }
+
+// SharedScan evaluates the filter predicates of every query in a batch
+// during one scan of the base table, tagging each emitted row with the
+// bitmask of queries it satisfies. Rows satisfying no query are dropped.
+type SharedScan struct {
+	Table *storage.Table
+	Alias string
+	// QueryBoxes holds one predicate box per query; bit i of the emitted
+	// mask corresponds to QueryBoxes[i]. At most 64 queries per batch.
+	QueryBoxes []expr.Box
+	Cols       []string
+
+	schema   storage.Schema
+	matchers []*tableMatcher
+	pos      int
+	rowsIn   int64
+}
+
+// NewSharedScan constructs a shared scan.
+func NewSharedScan(t *storage.Table, alias string, queryBoxes []expr.Box, cols []string) (*SharedScan, error) {
+	if len(queryBoxes) == 0 || len(queryBoxes) > 64 {
+		return nil, fmt.Errorf("exec: shared scan supports 1-64 queries, got %d", len(queryBoxes))
+	}
+	s := &SharedScan{Table: t, Alias: alias, QueryBoxes: queryBoxes, Cols: cols}
+	for _, c := range cols {
+		col := t.Column(c)
+		if col == nil {
+			return nil, fmt.Errorf("exec: table %q has no column %q", t.Name, c)
+		}
+		s.schema = append(s.schema, storage.ColMeta{
+			Ref:  storage.ColRef{Table: alias, Column: c},
+			Kind: col.Kind,
+		})
+	}
+	s.schema = append(s.schema, storage.ColMeta{Ref: QidRef(), Kind: types.Int64})
+	return s, nil
+}
+
+// Schema implements Source.
+func (s *SharedScan) Schema() storage.Schema { return s.schema }
+
+// Open implements Source.
+func (s *SharedScan) Open() error {
+	s.pos = 0
+	s.matchers = s.matchers[:0]
+	for _, box := range s.QueryBoxes {
+		m, err := newTableMatcher(box, s.Table)
+		if err != nil {
+			return err
+		}
+		s.matchers = append(s.matchers, m)
+	}
+	return nil
+}
+
+// Next implements Source.
+func (s *SharedScan) Next(out *storage.Batch) bool {
+	n := s.Table.NumRows()
+	produced := 0
+	for s.pos < n && produced < storage.BatchSize {
+		row := int32(s.pos)
+		s.pos++
+		s.rowsIn++
+		var mask uint64
+		for q, m := range s.matchers {
+			if m.match(row) {
+				mask |= 1 << uint(q)
+			}
+		}
+		if mask == 0 {
+			continue
+		}
+		for i, c := range s.Cols {
+			out.Cols[i].AppendFrom(s.Table.Column(c), row)
+		}
+		out.Cols[len(s.Cols)].Append(types.NewInt(int64(mask)))
+		produced++
+	}
+	return produced > 0
+}
+
+// ReTag recomputes the qid bitmask of every entry of a reused shared
+// hash table against the predicate boxes of the *current* batch. The
+// paper mandates this before a shared operator reuses a table: stale
+// tags from a previous batch would corrupt results once query IDs are
+// recycled. Entries matching no query get mask 0 (dead, but retained —
+// eviction of individual entries is the garbage collector's business,
+// not the operator's).
+//
+// Every predicate column of every box must be stored in the table's
+// layout (HashStash's "additional attributes" benefit optimization adds
+// selection attributes to payloads for exactly this reason).
+func ReTag(ht *hashtable.Table, qidCol int, queryBoxes []expr.Box) error {
+	layout := ht.Layout()
+	if qidCol < 0 || qidCol >= len(layout.Cols) {
+		return fmt.Errorf("exec: qid column %d out of range", qidCol)
+	}
+	type boundBox struct {
+		cols []int
+		cons []expr.Constraint
+	}
+	bound := make([]boundBox, len(queryBoxes))
+	for q, box := range queryBoxes {
+		for _, p := range box {
+			ci := layout.ColIndex(p.Col)
+			if ci < 0 {
+				return fmt.Errorf("exec: re-tag predicate column %v not stored in hash table", p.Col)
+			}
+			bound[q].cols = append(bound[q].cols, ci)
+			bound[q].cons = append(bound[q].cons, p.Con)
+		}
+	}
+	n := int32(ht.Len())
+	for e := int32(0); e < n; e++ {
+		var mask uint64
+		for q := range bound {
+			match := true
+			for j, ci := range bound[q].cols {
+				con := bound[q].cons[j]
+				bits := ht.Cell(e, ci)
+				switch layout.Cols[ci].Kind {
+				case types.Int64, types.Date:
+					if !con.MatchInt(int64(bits)) {
+						match = false
+					}
+				case types.Float64:
+					if !con.MatchFloat(types.FromBits(types.Float64, bits).F) {
+						match = false
+					}
+				case types.String:
+					if !con.MatchString(ht.Strings().At(bits)) {
+						match = false
+					}
+				}
+				if !match {
+					break
+				}
+			}
+			if match {
+				mask |= 1 << uint(q)
+			}
+		}
+		ht.SetCell(e, qidCol, mask)
+	}
+	return nil
+}

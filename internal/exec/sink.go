@@ -1,0 +1,334 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// Sink consumes the batches at the end of a pipeline. Pipeline breakers
+// (hash-table builds, aggregations) are sinks.
+type Sink interface {
+	// Consume processes one batch.
+	Consume(b *storage.Batch)
+	// Finish is called once after the last batch.
+	Finish()
+}
+
+// BuildHT inserts every row into a hash table — the build phase of a
+// (reuse-aware) hash join, and the grouping phase of a shared hash
+// aggregate. When the table is reused partially, the pipeline feeding
+// this sink scans only the residual boxes, so the sink adds exactly the
+// paper's "missing tuples".
+type BuildHT struct {
+	HT *hashtable.Table
+	// InCols maps each layout column to an input schema position.
+	InCols []int
+
+	row      []uint64
+	inserted int64
+}
+
+// NewBuildHT wires a build sink: layout column i is fed from input
+// column InCols[i]. feed (optional, aligned with the layout) names the
+// input column feeding each layout column; nil uses the layout's own
+// refs (cached layouts are base-qualified, pipeline schemas
+// alias-qualified, so reuse across queries passes an explicit feed).
+func NewBuildHT(ht *hashtable.Table, in storage.Schema, feed []storage.ColRef) (*BuildHT, error) {
+	layout := ht.Layout()
+	if feed != nil && len(feed) != len(layout.Cols) {
+		return nil, fmt.Errorf("exec: feed has %d refs for %d layout columns", len(feed), len(layout.Cols))
+	}
+	s := &BuildHT{HT: ht, row: make([]uint64, len(layout.Cols))}
+	for li, m := range layout.Cols {
+		ref := m.Ref
+		if feed != nil {
+			ref = feed[li]
+		}
+		i := in.IndexOf(ref)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: build column %v not in input schema %v", ref, in)
+		}
+		if in[i].Kind != m.Kind {
+			return nil, fmt.Errorf("exec: build column %v kind %v != layout kind %v", ref, in[i].Kind, m.Kind)
+		}
+		s.InCols = append(s.InCols, i)
+	}
+	return s, nil
+}
+
+// Consume implements Sink.
+func (s *BuildHT) Consume(b *storage.Batch) {
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		for li, ci := range s.InCols {
+			vec := b.Cols[ci]
+			switch vec.Kind {
+			case types.Int64, types.Date:
+				s.row[li] = uint64(vec.Ints[i])
+			case types.Float64:
+				s.row[li] = types.NewFloat(vec.Floats[i]).Bits()
+			case types.String:
+				s.row[li] = s.HT.Strings().Intern(vec.Strs[i])
+			}
+		}
+		s.HT.Insert(s.row)
+		s.inserted++
+	}
+}
+
+// Finish implements Sink.
+func (s *BuildHT) Finish() {}
+
+// Inserted reports how many rows the sink added (the actual build cost
+// driver in the cost-model accuracy experiment).
+func (s *BuildHT) Inserted() int64 { return s.inserted }
+
+// AggCell describes one aggregate computed by an AggHT sink.
+type AggCell struct {
+	Func expr.AggFunc
+	// InCol is the input position of the (pre-computed) argument column;
+	// -1 for COUNT(*).
+	InCol int
+	// Kind is the cell kind (Float64 for SUM and float MIN/MAX, Int64
+	// for COUNT and integer MIN/MAX).
+	Kind types.Kind
+}
+
+// AggHT upserts group keys and folds aggregates in place — the pipeline
+// breaker of a (reuse-aware) hash aggregation. Layout: key columns
+// first, then one cell per aggregate.
+type AggHT struct {
+	HT *hashtable.Table
+	// GroupCols are input positions feeding the layout's key columns.
+	GroupCols []int
+	Aggs      []AggCell
+
+	key      []uint64
+	inserted int64 // new groups
+	updated  int64 // in-place updates
+}
+
+// NewAggHT wires an aggregation sink. The hash table layout must be
+// len(groupBy) key columns followed by len(aggs) cells.
+func NewAggHT(ht *hashtable.Table, groupBy []storage.ColRef, aggs []AggCell, in storage.Schema) (*AggHT, error) {
+	layout := ht.Layout()
+	if layout.KeyCols != len(groupBy) || len(layout.Cols) != len(groupBy)+len(aggs) {
+		return nil, fmt.Errorf("exec: aggregation layout mismatch: %d keys + %d aggs vs layout %d/%d",
+			len(groupBy), len(aggs), layout.KeyCols, len(layout.Cols))
+	}
+	s := &AggHT{HT: ht, Aggs: aggs, key: make([]uint64, len(groupBy))}
+	for _, ref := range groupBy {
+		i := in.IndexOf(ref)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: group-by column %v not in input schema %v", ref, in)
+		}
+		s.GroupCols = append(s.GroupCols, i)
+	}
+	for _, a := range aggs {
+		if a.InCol < -1 || a.InCol >= len(in) {
+			return nil, fmt.Errorf("exec: aggregate input column %d out of range", a.InCol)
+		}
+		if a.InCol == -1 && a.Func != expr.AggCount {
+			return nil, fmt.Errorf("exec: only COUNT may aggregate *")
+		}
+		if a.Kind == types.String {
+			return nil, fmt.Errorf("exec: string aggregates are not supported")
+		}
+	}
+	return s, nil
+}
+
+// Consume implements Sink.
+func (s *AggHT) Consume(b *storage.Batch) {
+	n := b.Len()
+	nKeys := len(s.GroupCols)
+	for i := 0; i < n; i++ {
+		for k, ci := range s.GroupCols {
+			vec := b.Cols[ci]
+			switch vec.Kind {
+			case types.Int64, types.Date:
+				s.key[k] = uint64(vec.Ints[i])
+			case types.Float64:
+				s.key[k] = types.NewFloat(vec.Floats[i]).Bits()
+			case types.String:
+				s.key[k] = s.HT.Strings().Intern(vec.Strs[i])
+			}
+		}
+		e, found := s.HT.Upsert(s.key)
+		if !found {
+			s.inserted++
+			for ai, a := range s.Aggs {
+				s.HT.SetCell(e, nKeys+ai, identityBits(a))
+			}
+		} else {
+			s.updated++
+		}
+		for ai, a := range s.Aggs {
+			cell := nKeys + ai
+			cur := s.HT.Cell(e, cell)
+			s.HT.SetCell(e, cell, foldBits(a, cur, b, i))
+		}
+	}
+}
+
+// identityBits returns the fold identity for an aggregate cell.
+func identityBits(a AggCell) uint64 {
+	switch a.Func {
+	case expr.AggSum:
+		return types.NewFloat(0).Bits()
+	case expr.AggCount:
+		return 0
+	case expr.AggMin:
+		if a.Kind == types.Float64 {
+			return types.NewFloat(math.Inf(1)).Bits()
+		}
+		return uint64(math.MaxInt64)
+	case expr.AggMax:
+		if a.Kind == types.Float64 {
+			return types.NewFloat(math.Inf(-1)).Bits()
+		}
+		return 1 << 63 // math.MinInt64 reinterpreted as uint64
+	}
+	panic(fmt.Sprintf("exec: no identity for %v", a.Func))
+}
+
+// foldBits folds row i of the batch into an aggregate cell.
+func foldBits(a AggCell, cur uint64, b *storage.Batch, i int) uint64 {
+	switch a.Func {
+	case expr.AggCount:
+		return cur + 1
+	case expr.AggSum:
+		v := argFloat(a, b, i)
+		return types.NewFloat(types.FromBits(types.Float64, cur).F + v).Bits()
+	case expr.AggMin:
+		if a.Kind == types.Float64 {
+			v := argFloat(a, b, i)
+			if v < types.FromBits(types.Float64, cur).F {
+				return types.NewFloat(v).Bits()
+			}
+			return cur
+		}
+		v := b.Cols[a.InCol].Ints[i]
+		if v < int64(cur) {
+			return uint64(v)
+		}
+		return cur
+	case expr.AggMax:
+		if a.Kind == types.Float64 {
+			v := argFloat(a, b, i)
+			if v > types.FromBits(types.Float64, cur).F {
+				return types.NewFloat(v).Bits()
+			}
+			return cur
+		}
+		v := b.Cols[a.InCol].Ints[i]
+		if v > int64(cur) {
+			return uint64(v)
+		}
+		return cur
+	}
+	panic(fmt.Sprintf("exec: cannot fold %v", a.Func))
+}
+
+func argFloat(a AggCell, b *storage.Batch, i int) float64 {
+	vec := b.Cols[a.InCol]
+	switch vec.Kind {
+	case types.Float64:
+		return vec.Floats[i]
+	case types.Int64, types.Date:
+		return float64(vec.Ints[i])
+	}
+	panic("exec: string aggregate argument")
+}
+
+// Finish implements Sink.
+func (s *AggHT) Finish() {}
+
+// Inserted reports the number of new groups created.
+func (s *AggHT) Inserted() int64 { return s.inserted }
+
+// Updated reports the number of in-place aggregate updates.
+func (s *AggHT) Updated() int64 { return s.updated }
+
+// Collect accumulates result rows.
+type Collect struct {
+	Schema storage.Schema
+	Rows   [][]types.Value
+}
+
+// NewCollect returns a collect sink for the schema.
+func NewCollect(schema storage.Schema) *Collect { return &Collect{Schema: schema} }
+
+// Consume implements Sink.
+func (s *Collect) Consume(b *storage.Batch) {
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		row := make([]types.Value, len(b.Cols))
+		for c := range b.Cols {
+			row[c] = b.Cols[c].Value(i)
+		}
+		s.Rows = append(s.Rows, row)
+	}
+}
+
+// Finish implements Sink.
+func (s *Collect) Finish() {}
+
+// TempTable materializes batches into a fresh storage table — the
+// materialization-based reuse baseline's extra spill. Column names are
+// the schema refs' Column parts (globally unique in the TPC-H schema).
+type TempTable struct {
+	Schema storage.Schema
+	Table  *storage.Table
+	bytes  int64
+}
+
+// NewTempTable creates the sink and its backing table.
+func NewTempTable(name string, schema storage.Schema) *TempTable {
+	t := storage.NewTable(name)
+	for _, m := range schema {
+		t.AddColumn(storage.NewColumn(m.Ref.Column, m.Kind))
+	}
+	return &TempTable{Schema: schema, Table: t}
+}
+
+// Consume implements Sink.
+func (s *TempTable) Consume(b *storage.Batch) {
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		for c := range b.Cols {
+			s.Table.Cols[c].Append(b.Cols[c].Value(i))
+		}
+	}
+}
+
+// Finish implements Sink.
+func (s *TempTable) Finish() { s.bytes = s.Table.ByteSize() }
+
+// ByteSize reports the materialized size.
+func (s *TempTable) ByteSize() int64 { return s.bytes }
+
+// Multi fans one pipeline out to several sinks (e.g. build the join hash
+// table and spill the same rows to a temp table).
+type Multi struct {
+	Sinks []Sink
+}
+
+// Consume implements Sink.
+func (s *Multi) Consume(b *storage.Batch) {
+	for _, sink := range s.Sinks {
+		sink.Consume(b)
+	}
+}
+
+// Finish implements Sink.
+func (s *Multi) Finish() {
+	for _, sink := range s.Sinks {
+		sink.Finish()
+	}
+}

@@ -1,0 +1,286 @@
+package exec
+
+import (
+	"fmt"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// Source produces batches for a pipeline.
+type Source interface {
+	// Open prepares the source for iteration.
+	Open() error
+	// Next fills out (which is Reset by the caller) and reports whether
+	// any rows were produced. It may produce fewer than BatchSize rows.
+	Next(out *storage.Batch) bool
+	// Schema describes the batches the source emits.
+	Schema() storage.Schema
+}
+
+// TableScan scans a base table under a disjoint union of predicate
+// boxes (normally one; partial-reuse residuals may add more). Each box
+// is evaluated with the best available secondary index; the remaining
+// predicates are applied as residual filters.
+type TableScan struct {
+	Table *storage.Table
+	// Alias qualifies emitted column references (queries address tables
+	// through aliases, e.g. "l" for lineitem).
+	Alias string
+	// Boxes is the disjoint union of predicate boxes to scan. An empty
+	// slice means scan everything.
+	Boxes []expr.Box
+	// Cols lists the table columns to emit, aliased.
+	Cols []string
+
+	schema  storage.Schema
+	boxIdx  int
+	rows    []int32 // row ids for the current box (index path), nil → full scan
+	pos     int
+	matcher *tableMatcher
+	full    bool
+	// stats
+	rowsScanned int64
+}
+
+// NewTableScan constructs a scan. Every requested column must exist.
+func NewTableScan(t *storage.Table, alias string, boxes []expr.Box, cols []string) (*TableScan, error) {
+	s := &TableScan{Table: t, Alias: alias, Boxes: boxes, Cols: cols}
+	for _, c := range cols {
+		col := t.Column(c)
+		if col == nil {
+			return nil, fmt.Errorf("exec: table %q has no column %q", t.Name, c)
+		}
+		s.schema = append(s.schema, storage.ColMeta{
+			Ref:  storage.ColRef{Table: alias, Column: c},
+			Kind: col.Kind,
+		})
+	}
+	if len(boxes) == 0 {
+		s.Boxes = []expr.Box{nil}
+	}
+	return s, nil
+}
+
+// Schema implements Source.
+func (s *TableScan) Schema() storage.Schema { return s.schema }
+
+// Open implements Source.
+func (s *TableScan) Open() error {
+	s.boxIdx = -1
+	return s.advanceBox()
+}
+
+// advanceBox prepares iteration state for the next box.
+func (s *TableScan) advanceBox() error {
+	s.boxIdx++
+	s.pos = 0
+	s.rows = nil
+	s.full = false
+	s.matcher = nil
+	if s.boxIdx >= len(s.Boxes) {
+		return nil
+	}
+	box := s.Boxes[s.boxIdx]
+	if box.Empty() {
+		return s.advanceBox()
+	}
+	// Pick an indexed, non-full interval constraint to drive the scan.
+	var residual expr.Box
+	indexed := false
+	for _, p := range box {
+		if !indexed && p.Con.Kind != types.String && !p.Con.IsFull() {
+			if ix := s.Table.IndexOn(p.Col.Column); ix != nil {
+				iv := p.Con.Iv
+				s.rows = ix.Range(iv.Lo, iv.Hi, iv.HasLo, iv.HasHi, iv.LoIncl, iv.HiIncl)
+				indexed = true
+				continue
+			}
+		}
+		residual = append(residual, p)
+	}
+	if !indexed {
+		s.full = true
+	}
+	if len(residual) > 0 {
+		m, err := newTableMatcher(residual, s.Table)
+		if err != nil {
+			return err
+		}
+		s.matcher = m
+	}
+	return nil
+}
+
+// Next implements Source.
+func (s *TableScan) Next(out *storage.Batch) bool {
+	for s.boxIdx < len(s.Boxes) {
+		produced := out.Len()
+		if s.full {
+			n := s.Table.NumRows()
+			for s.pos < n && produced < storage.BatchSize {
+				row := int32(s.pos)
+				s.pos++
+				s.rowsScanned++
+				if s.matcher != nil && !s.matcher.match(row) {
+					continue
+				}
+				s.emit(out, row)
+				produced++
+			}
+			if produced > 0 {
+				return true
+			}
+			if s.pos >= n {
+				if err := s.advanceBox(); err != nil {
+					return false
+				}
+				continue
+			}
+		} else {
+			for s.pos < len(s.rows) && produced < storage.BatchSize {
+				row := s.rows[s.pos]
+				s.pos++
+				s.rowsScanned++
+				if s.matcher != nil && !s.matcher.match(row) {
+					continue
+				}
+				s.emit(out, row)
+				produced++
+			}
+			if produced > 0 {
+				return true
+			}
+			if s.pos >= len(s.rows) {
+				if err := s.advanceBox(); err != nil {
+					return false
+				}
+				continue
+			}
+		}
+	}
+	return false
+}
+
+func (s *TableScan) emit(out *storage.Batch, row int32) {
+	for i, c := range s.Cols {
+		out.Cols[i].AppendFrom(s.Table.Column(c), row)
+	}
+}
+
+// RowsScanned reports how many base rows the scan touched (actual-cost
+// statistic for the optimizer accuracy experiment).
+func (s *TableScan) RowsScanned() int64 { return s.rowsScanned }
+
+// HTScan iterates the entries of a cached hash table, decoding a subset
+// of its layout columns, optionally post-filtering (subsuming-reuse) and
+// optionally keeping only entries whose qid-mask cell intersects a mask
+// (shared plans).
+type HTScan struct {
+	HT *hashtable.Table
+	// OutCols lists layout column positions to emit.
+	OutCols []int
+	// PostFilter is evaluated against decoded entry values; nil means no
+	// filtering. Its predicates reference layout column refs.
+	PostFilter expr.Box
+	// QidCol is the layout position of the query-id bitmask column, or
+	// -1; QidMask selects entries with any overlapping bit.
+	QidCol  int
+	QidMask uint64
+
+	schema   storage.Schema
+	pfCols   []int
+	pfCons   []expr.Constraint
+	pos      int32
+	filtered int64
+}
+
+// NewHTScan constructs a hash-table scan. outRefs (optional, aligned
+// with outCols) renames emitted columns.
+func NewHTScan(ht *hashtable.Table, outCols []int, outRefs []storage.ColRef, postFilter expr.Box) (*HTScan, error) {
+	if outRefs != nil && len(outRefs) != len(outCols) {
+		return nil, fmt.Errorf("exec: outRefs has %d entries for %d out columns", len(outRefs), len(outCols))
+	}
+	s := &HTScan{HT: ht, OutCols: outCols, PostFilter: postFilter, QidCol: -1}
+	layout := ht.Layout()
+	for oi, ci := range outCols {
+		if ci < 0 || ci >= len(layout.Cols) {
+			return nil, fmt.Errorf("exec: HT scan column %d out of range", ci)
+		}
+		m := layout.Cols[ci]
+		if outRefs != nil {
+			m.Ref = outRefs[oi]
+		}
+		s.schema = append(s.schema, m)
+	}
+	for _, p := range postFilter {
+		ci := layout.ColIndex(p.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("exec: post-filter column %v not in hash table layout", p.Col)
+		}
+		s.pfCols = append(s.pfCols, ci)
+		s.pfCons = append(s.pfCons, p.Con)
+	}
+	return s, nil
+}
+
+// Schema implements Source.
+func (s *HTScan) Schema() storage.Schema { return s.schema }
+
+// Open implements Source.
+func (s *HTScan) Open() error {
+	s.pos = 0
+	return nil
+}
+
+// Next implements Source.
+func (s *HTScan) Next(out *storage.Batch) bool {
+	n := int32(s.HT.Len())
+	produced := 0
+	layout := s.HT.Layout()
+	for s.pos < n && produced < storage.BatchSize {
+		e := s.pos
+		s.pos++
+		if s.QidCol >= 0 && s.HT.Cell(e, s.QidCol)&s.QidMask == 0 {
+			continue
+		}
+		if !s.entryMatches(e, layout) {
+			s.filtered++
+			continue
+		}
+		for i, ci := range s.OutCols {
+			out.Cols[i].Append(s.HT.CellValue(e, ci))
+		}
+		produced++
+	}
+	return produced > 0
+}
+
+func (s *HTScan) entryMatches(e int32, layout hashtable.Layout) bool {
+	for j, ci := range s.pfCols {
+		con := s.pfCons[j]
+		kind := layout.Cols[ci].Kind
+		bits := s.HT.Cell(e, ci)
+		switch kind {
+		case types.Int64, types.Date:
+			if !con.MatchInt(int64(bits)) {
+				return false
+			}
+		case types.Float64:
+			if !con.MatchFloat(types.FromBits(types.Float64, bits).F) {
+				return false
+			}
+		case types.String:
+			if !con.MatchString(s.HT.Strings().At(bits)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FilteredOut reports how many entries the post-filter rejected (the
+// false positives of subsuming reuse).
+func (s *HTScan) FilteredOut() int64 { return s.filtered }

@@ -1,0 +1,274 @@
+package exec
+
+import (
+	"fmt"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// Transform maps an input batch to an output batch. Transforms may drop
+// rows (filters) or multiply them (probes); the runner allocates one
+// output batch per transform and reuses it across calls.
+type Transform interface {
+	// OutSchema describes the batches the transform emits.
+	OutSchema() storage.Schema
+	// Apply consumes in and appends to out (already Reset by the runner).
+	Apply(in, out *storage.Batch)
+}
+
+// Filter drops rows not satisfying a predicate box.
+type Filter struct {
+	matcher *batchMatcher
+	schema  storage.Schema
+}
+
+// NewFilter binds a box against the input schema.
+func NewFilter(box expr.Box, in storage.Schema) (*Filter, error) {
+	m, err := newBatchMatcher(box, in)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{matcher: m, schema: in}, nil
+}
+
+// OutSchema implements Transform.
+func (f *Filter) OutSchema() storage.Schema { return f.schema }
+
+// Apply implements Transform.
+func (f *Filter) Apply(in, out *storage.Batch) {
+	n := in.Len()
+	for i := 0; i < n; i++ {
+		if !f.matcher.match(in, i) {
+			continue
+		}
+		for c := range in.Cols {
+			out.Cols[c].Append(in.Cols[c].Value(i))
+		}
+	}
+}
+
+// Compute appends one computed column to each row.
+type Compute struct {
+	Expr   expr.Expr
+	Ref    storage.ColRef
+	schema storage.Schema
+}
+
+// NewCompute constructs a compute transform producing column ref.
+func NewCompute(e expr.Expr, ref storage.ColRef, in storage.Schema) *Compute {
+	schema := append(storage.Schema{}, in...)
+	schema = append(schema, storage.ColMeta{Ref: ref, Kind: e.ResultKind(in)})
+	return &Compute{Expr: e, Ref: ref, schema: schema}
+}
+
+// OutSchema implements Transform.
+func (c *Compute) OutSchema() storage.Schema { return c.schema }
+
+// Apply implements Transform.
+func (c *Compute) Apply(in, out *storage.Batch) {
+	n := in.Len()
+	for i := 0; i < n; i++ {
+		for ci := range in.Cols {
+			out.Cols[ci].Append(in.Cols[ci].Value(i))
+		}
+		out.Cols[len(in.Cols)].Append(c.Expr.EvalRow(in, i))
+	}
+}
+
+// Project reorders/subsets the columns of a batch and may rename them.
+type Project struct {
+	Cols   []int
+	schema storage.Schema
+}
+
+// NewProject builds a projection; outRefs (optional, aligned with cols)
+// renames the projected columns.
+func NewProject(cols []int, outRefs []storage.ColRef, in storage.Schema) (*Project, error) {
+	p := &Project{Cols: cols}
+	for i, ci := range cols {
+		if ci < 0 || ci >= len(in) {
+			return nil, fmt.Errorf("exec: project column %d out of range", ci)
+		}
+		m := in[ci]
+		if outRefs != nil {
+			m.Ref = outRefs[i]
+		}
+		p.schema = append(p.schema, m)
+	}
+	return p, nil
+}
+
+// OutSchema implements Transform.
+func (p *Project) OutSchema() storage.Schema { return p.schema }
+
+// Apply implements Transform.
+func (p *Project) Apply(in, out *storage.Batch) {
+	n := in.Len()
+	for i := 0; i < n; i++ {
+		for oi, ci := range p.Cols {
+			out.Cols[oi].Append(in.Cols[ci].Value(i))
+		}
+	}
+}
+
+// Probe is the probe phase of a (reuse-aware) hash join: each input row
+// probes the hash table and joins with every matching entry. PostFilter
+// eliminates false positives when the table is reused subsumingly, and
+// QidCol/QidMask restricts matches in shared plans.
+type Probe struct {
+	HT *hashtable.Table
+	// KeyCols are input positions forming the probe key, ordered to
+	// match the hash table's key columns.
+	KeyCols []int
+	// EmitCols lists layout positions appended to each output row.
+	EmitCols []int
+	// PostFilter rejects entries (layout refs); nil accepts all.
+	PostFilter expr.Box
+	// QidCol is the layout position of the qid bitmask, or -1.
+	QidCol int
+	// QidInCol is the input position of the probe side's qid mask, or -1.
+	// When both are set, the output mask is the AND of the two and rows
+	// with empty masks are dropped; the mask column must be listed in
+	// EmitCols or present on the input to be re-emitted.
+	QidInCol int
+
+	schema   storage.Schema
+	pfCols   []int
+	pfCons   []expr.Constraint
+	keyKinds []types.Kind
+	matches  int64
+	filtered int64
+}
+
+// NewProbe constructs a probe transform. The output schema is the input
+// schema followed by the emitted hash-table columns; emitRefs (optional,
+// aligned with emitCols) renames emitted columns — cached tables store
+// base-qualified layouts, while pipelines flow alias-qualified columns.
+func NewProbe(ht *hashtable.Table, keyCols []storage.ColRef, emitCols []int, emitRefs []storage.ColRef, postFilter expr.Box, in storage.Schema) (*Probe, error) {
+	layout := ht.Layout()
+	if len(keyCols) != layout.KeyCols {
+		return nil, fmt.Errorf("exec: probe key has %d columns, table key has %d", len(keyCols), layout.KeyCols)
+	}
+	if emitRefs != nil && len(emitRefs) != len(emitCols) {
+		return nil, fmt.Errorf("exec: emitRefs has %d entries for %d emit columns", len(emitRefs), len(emitCols))
+	}
+	p := &Probe{HT: ht, EmitCols: emitCols, PostFilter: postFilter, QidCol: -1, QidInCol: -1}
+	for _, ref := range keyCols {
+		i := in.IndexOf(ref)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: probe key column %v not in input schema", ref)
+		}
+		p.KeyCols = append(p.KeyCols, i)
+		p.keyKinds = append(p.keyKinds, in[i].Kind)
+	}
+	p.schema = append(storage.Schema{}, in...)
+	for ei, ci := range emitCols {
+		if ci < 0 || ci >= len(layout.Cols) {
+			return nil, fmt.Errorf("exec: probe emit column %d out of range", ci)
+		}
+		m := layout.Cols[ci]
+		if emitRefs != nil {
+			m.Ref = emitRefs[ei]
+		}
+		p.schema = append(p.schema, m)
+	}
+	for _, pr := range postFilter {
+		ci := layout.ColIndex(pr.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("exec: probe post-filter column %v not in layout", pr.Col)
+		}
+		p.pfCols = append(p.pfCols, ci)
+		p.pfCons = append(p.pfCons, pr.Con)
+	}
+	return p, nil
+}
+
+// OutSchema implements Transform.
+func (p *Probe) OutSchema() storage.Schema { return p.schema }
+
+// Apply implements Transform.
+func (p *Probe) Apply(in, out *storage.Batch) {
+	n := in.Len()
+	key := make([]uint64, len(p.KeyCols))
+	for i := 0; i < n; i++ {
+		ok := true
+		for k, ci := range p.KeyCols {
+			vec := in.Cols[ci]
+			switch vec.Kind {
+			case types.Int64, types.Date:
+				key[k] = uint64(vec.Ints[i])
+			case types.Float64:
+				key[k] = types.NewFloat(vec.Floats[i]).Bits()
+			case types.String:
+				id, found := p.HT.Strings().Lookup(vec.Strs[i])
+				if !found {
+					ok = false
+				}
+				key[k] = id
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		it := p.HT.Probe(key)
+		for e := it.Next(); e != -1; e = it.Next() {
+			if !p.entryMatches(e) {
+				p.filtered++
+				continue
+			}
+			var mask uint64
+			if p.QidCol >= 0 && p.QidInCol >= 0 {
+				mask = p.HT.Cell(e, p.QidCol) & uint64(in.Cols[p.QidInCol].Ints[i])
+				if mask == 0 {
+					continue
+				}
+			}
+			p.matches++
+			for c := range in.Cols {
+				if c == p.QidInCol && p.QidCol >= 0 {
+					out.Cols[c].Append(types.NewInt(int64(mask)))
+					continue
+				}
+				out.Cols[c].Append(in.Cols[c].Value(i))
+			}
+			for oi, ci := range p.EmitCols {
+				out.Cols[len(in.Cols)+oi].Append(p.HT.CellValue(e, ci))
+			}
+		}
+	}
+}
+
+func (p *Probe) entryMatches(e int32) bool {
+	layout := p.HT.Layout()
+	for j, ci := range p.pfCols {
+		con := p.pfCons[j]
+		bits := p.HT.Cell(e, ci)
+		switch layout.Cols[ci].Kind {
+		case types.Int64, types.Date:
+			if !con.MatchInt(int64(bits)) {
+				return false
+			}
+		case types.Float64:
+			if !con.MatchFloat(types.FromBits(types.Float64, bits).F) {
+				return false
+			}
+		case types.String:
+			if !con.MatchString(p.HT.Strings().At(bits)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Matches reports the number of join matches produced.
+func (p *Probe) Matches() int64 { return p.matches }
+
+// FilteredOut reports post-filtered false positives (subsuming reuse).
+func (p *Probe) FilteredOut() int64 { return p.filtered }

@@ -1,0 +1,139 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AggFunc identifies an aggregation function.
+type AggFunc uint8
+
+// Supported aggregation functions. All except Avg are additive, which is
+// what makes partial- and overlapping-reuse of aggregation hash tables
+// possible; the optimizer's benefit-oriented rewrite therefore replaces
+// AVG with SUM and COUNT at plan time (Section 3.4 of the paper).
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// Additive reports whether the function can be merged across disjoint
+// partitions of its input (sum/count/min/max are; avg is not).
+func (f AggFunc) Additive() bool { return f != AggAvg }
+
+// String implements fmt.Stringer.
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	}
+	return "AGG?"
+}
+
+// AggSpec is one aggregate in a query's select list.
+type AggSpec struct {
+	Func  AggFunc
+	Arg   Expr // nil for COUNT(*)
+	Alias string
+}
+
+// String renders the aggregate.
+func (a AggSpec) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	s := fmt.Sprintf("%s(%s)", a.Func, arg)
+	if a.Alias != "" {
+		s += " AS " + a.Alias
+	}
+	return s
+}
+
+// Name returns the output column name of the aggregate: the alias when
+// present, else a canonical derived name.
+func (a AggSpec) Name() string {
+	if a.Alias != "" {
+		return a.Alias
+	}
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	n := strings.ToLower(a.Func.String()) + "(" + arg + ")"
+	return n
+}
+
+// SpecsEqual reports whether two aggregate lists compute the same
+// functions over the same arguments in the same order.
+func SpecsEqual(a, b []AggSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Func != b[i].Func {
+			return false
+		}
+		switch {
+		case a[i].Arg == nil && b[i].Arg == nil:
+		case a[i].Arg == nil || b[i].Arg == nil:
+			return false
+		case !Equal(a[i].Arg, b[i].Arg):
+			return false
+		}
+	}
+	return true
+}
+
+// RewriteAvg applies the paper's benefit-oriented aggregate rewrite:
+// every AVG(x) becomes the pair SUM(x), COUNT(x) so the resulting hash
+// table supports partial- and overlapping-reuse. It returns the rewritten
+// list plus, for each original position, the indexes holding the pieces
+// needed to reconstruct the original value (sum index and count index for
+// rewritten AVGs; identical indexes otherwise).
+func RewriteAvg(specs []AggSpec) (out []AggSpec, srcIdx [][2]int) {
+	srcIdx = make([][2]int, len(specs))
+	find := func(f AggFunc, arg Expr) int {
+		for i, s := range out {
+			if s.Func != f {
+				continue
+			}
+			if s.Arg == nil && arg == nil {
+				return i
+			}
+			if s.Arg != nil && arg != nil && Equal(s.Arg, arg) {
+				return i
+			}
+		}
+		return -1
+	}
+	add := func(f AggFunc, arg Expr, alias string) int {
+		if i := find(f, arg); i >= 0 {
+			return i
+		}
+		out = append(out, AggSpec{Func: f, Arg: arg, Alias: alias})
+		return len(out) - 1
+	}
+	for i, s := range specs {
+		if s.Func == AggAvg {
+			si := add(AggSum, s.Arg, "")
+			ci := add(AggCount, s.Arg, "")
+			srcIdx[i] = [2]int{si, ci}
+			continue
+		}
+		j := add(s.Func, s.Arg, s.Alias)
+		srcIdx[i] = [2]int{j, j}
+	}
+	return out, srcIdx
+}

@@ -1,0 +1,295 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+func colref(t, c string) storage.ColRef { return storage.ColRef{Table: t, Column: c} }
+
+func intPred(table, col string, lo, hi int64) Pred {
+	return Pred{Col: colref(table, col), Con: IntervalConstraint(types.Int64, iv(lo, hi))}
+}
+
+func TestNewBoxNormalizes(t *testing.T) {
+	b := NewBox(
+		intPred("o", "date", 0, 100),
+		intPred("o", "date", 50, 200), // duplicate column intersects
+		intPred("c", "age", 30, 60),
+	)
+	if len(b) != 2 {
+		t.Fatalf("normalized box has %d preds: %v", len(b), b)
+	}
+	// Canonical order: c.age before o.date.
+	if b[0].Col != colref("c", "age") || b[1].Col != colref("o", "date") {
+		t.Errorf("box not sorted: %v", b)
+	}
+	con, ok := b.Constraint(colref("o", "date"))
+	if !ok || !con.Iv.Equal(iv(50, 100)) {
+		t.Errorf("merged constraint = %v", con)
+	}
+	if _, ok := b.Constraint(colref("x", "y")); ok {
+		t.Error("constraint on absent column")
+	}
+	cols := b.Columns()
+	if len(cols) != 2 || cols[0] != colref("c", "age") {
+		t.Errorf("Columns = %v", cols)
+	}
+}
+
+func TestBoxClassifyPaperCases(t *testing.T) {
+	// Figure 4 of the paper: cached HT2 has age >= 20; requests vary.
+	age := func(lo int64) Box {
+		return NewBox(Pred{Col: colref("c", "age"),
+			Con: IntervalConstraint(types.Int64, Interval{HasLo: true, Lo: types.NewInt(lo), LoIncl: true})})
+	}
+	cached := age(20)
+
+	if got := Classify(cached, age(20)); got != RelEqual {
+		t.Errorf("equal case = %v", got)
+	}
+	// Request age>=30: cached holds extra tuples → subsuming.
+	if got := Classify(cached, age(30)); got != RelSubsuming {
+		t.Errorf("subsuming case = %v", got)
+	}
+	// Request age>=10: cached is missing [10,20) → partial.
+	if got := Classify(cached, age(10)); got != RelPartial {
+		t.Errorf("partial case = %v", got)
+	}
+	// Overlapping: cached age in [20,50], request [40, 90].
+	c2 := NewBox(intPred("c", "age", 20, 50))
+	r2 := NewBox(intPred("c", "age", 40, 90))
+	if got := Classify(c2, r2); got != RelOverlapping {
+		t.Errorf("overlapping case = %v", got)
+	}
+	// Disjoint.
+	if got := Classify(NewBox(intPred("c", "age", 0, 10)), r2); got != RelDisjoint {
+		t.Errorf("disjoint case = %v", got)
+	}
+}
+
+func TestClassifyDifferentColumns(t *testing.T) {
+	cand := NewBox(intPred("o", "date", 0, 100))
+	req := NewBox(intPred("c", "age", 30, 60))
+	// Candidate constrains o.date, request doesn't → candidate can't
+	// cover request; request constrains c.age which candidate doesn't →
+	// request can't... candidate covers request? No: candidate's tuples
+	// all satisfy date∈[0,100]; request wants all ages 30-60 regardless
+	// of date. Sets overlap but neither contains the other.
+	if got := Classify(cand, req); got != RelOverlapping {
+		t.Errorf("cross-column classify = %v", got)
+	}
+	// Empty request box is covered by anything → subsuming (not equal
+	// unless both empty).
+	empty := NewBox(intPred("c", "age", 10, 0))
+	if got := Classify(cand, empty); got != RelSubsuming {
+		t.Errorf("empty request = %v", got)
+	}
+	if got := Classify(empty, empty); got != RelEqual {
+		t.Errorf("both empty = %v", got)
+	}
+}
+
+func TestBoxCoversUnconstrained(t *testing.T) {
+	wide := Box{} // full space
+	narrow := NewBox(intPred("o", "date", 0, 10))
+	if !wide.Covers(narrow) {
+		t.Error("full box should cover narrow")
+	}
+	if narrow.Covers(wide) {
+		t.Error("narrow box should not cover full")
+	}
+	if got := Classify(wide, narrow); got != RelSubsuming {
+		t.Errorf("full vs narrow = %v", got)
+	}
+	if got := Classify(narrow, wide); got != RelPartial {
+		t.Errorf("narrow vs full = %v", got)
+	}
+}
+
+func TestBoxDifferenceSingleColumn(t *testing.T) {
+	req := NewBox(intPred("l", "ship", 0, 100))
+	cached := NewBox(intPred("l", "ship", 30, 100))
+	pieces, ok := req.Difference(cached)
+	if !ok || len(pieces) != 1 {
+		t.Fatalf("difference = %v ok=%v", pieces, ok)
+	}
+	con, _ := pieces[0].Constraint(colref("l", "ship"))
+	if !con.Iv.Equal(ivOpen(0, 30, true, false)) {
+		t.Errorf("residual = %v", con.Iv)
+	}
+}
+
+func TestBoxDifferenceMultiColumn(t *testing.T) {
+	req := NewBox(intPred("a", "x", 0, 10), intPred("a", "y", 0, 10))
+	cached := NewBox(intPred("a", "x", 5, 15), intPred("a", "y", 5, 15))
+	pieces, ok := req.Difference(cached)
+	if !ok {
+		t.Fatal("not expressible")
+	}
+	// Verify by exhaustive point check.
+	for x := int64(-2); x <= 12; x++ {
+		for y := int64(-2); y <= 12; y++ {
+			inReq := x >= 0 && x <= 10 && y >= 0 && y <= 10
+			inCached := x >= 5 && x <= 15 && y >= 5 && y <= 15
+			count := 0
+			for _, p := range pieces {
+				cx, _ := p.Constraint(colref("a", "x"))
+				cy, hasY := p.Constraint(colref("a", "y"))
+				okX := cx.MatchInt(x)
+				okY := !hasY || cy.MatchInt(y)
+				if okX && okY {
+					count++
+				}
+			}
+			want := 0
+			if inReq && !inCached {
+				want = 1
+			}
+			if count != want {
+				t.Fatalf("point (%d,%d): in %d pieces, want %d", x, y, count, want)
+			}
+		}
+	}
+}
+
+func TestBoxDifferenceStringInexpressible(t *testing.T) {
+	req := Box{} // full space
+	cached := NewBox(Pred{Col: colref("c", "seg"), Con: SetConstraint("BUILDING")})
+	if _, ok := req.Difference(cached); ok {
+		t.Error("string complement should be inexpressible")
+	}
+	// But when the request constrains the string column, it is expressible.
+	req2 := NewBox(Pred{Col: colref("c", "seg"), Con: SetConstraint("BUILDING", "AUTOMOBILE")})
+	pieces, ok := req2.Difference(cached)
+	if !ok || len(pieces) != 1 {
+		t.Fatalf("string diff = %v ok=%v", pieces, ok)
+	}
+	con, _ := pieces[0].Constraint(colref("c", "seg"))
+	if len(con.Set) != 1 || con.Set[0] != "AUTOMOBILE" {
+		t.Errorf("string residual = %v", con.Set)
+	}
+}
+
+func TestBoxDifferenceEdgeCases(t *testing.T) {
+	b := NewBox(intPred("a", "x", 0, 10))
+	empty := NewBox(intPred("a", "x", 5, 1))
+	pieces, ok := empty.Difference(b)
+	if !ok || pieces != nil {
+		t.Errorf("empty minus b = %v", pieces)
+	}
+	pieces, ok = b.Difference(empty)
+	if !ok || len(pieces) != 1 || !pieces[0].Equal(b) {
+		t.Errorf("b minus empty = %v", pieces)
+	}
+	pieces, ok = b.Difference(Box{})
+	if !ok || len(pieces) != 0 {
+		t.Errorf("b minus full = %v", pieces)
+	}
+}
+
+// Property: for random 2-column integer boxes, Difference partitions
+// req \ cand exactly (pointwise check), and Classify agrees with the
+// pointwise set relations.
+func TestBoxAlgebraProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	f := func(ax0, ax1, ay0, ay1, bx0, bx1, by0, by1 int8) bool {
+		mk := func(x0, x1, y0, y1 int8) Box {
+			return NewBox(
+				intPred("t", "x", int64(min8(x0, x1)), int64(max8(x0, x1))),
+				intPred("t", "y", int64(min8(y0, y1)), int64(max8(y0, y1))),
+			)
+		}
+		a := mk(ax0, ax1, ay0, ay1)
+		b := mk(bx0, bx1, by0, by1)
+		pieces, ok := a.Difference(b)
+		if !ok {
+			return false // integer boxes are always expressible
+		}
+		matches := func(bx Box, x, y int64) bool {
+			cx, hasX := bx.Constraint(colref("t", "x"))
+			cy, hasY := bx.Constraint(colref("t", "y"))
+			return (!hasX || cx.MatchInt(x)) && (!hasY || cy.MatchInt(y))
+		}
+		aCoversB, bCoversA, intersects, equalSets := true, true, false, true
+		for x := int64(-129); x <= 128; x++ {
+			for y := int64(-129); y <= 128; y++ {
+				inA, inB := matches(a, x, y), matches(b, x, y)
+				if inA && inB {
+					intersects = true
+				}
+				if inB && !inA {
+					aCoversB = false
+				}
+				if inA && !inB {
+					bCoversA = false
+				}
+				if inA != inB {
+					equalSets = false
+				}
+				count := 0
+				for _, p := range pieces {
+					if matches(p, x, y) {
+						count++
+					}
+				}
+				want := 0
+				if inA && !inB {
+					want = 1
+				}
+				if count != want {
+					return false
+				}
+			}
+		}
+		rel := Classify(b, a) // candidate=b, request=a
+		switch rel {
+		case RelEqual:
+			return equalSets || a.Empty() && b.Empty()
+		case RelSubsuming:
+			return bCoversA
+		case RelPartial:
+			return aCoversB
+		case RelOverlapping:
+			return intersects && !aCoversB && !bCoversA
+		case RelDisjoint:
+			return !intersects
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxStringAndKey(t *testing.T) {
+	if Box(nil).String() != "TRUE" {
+		t.Error("nil box should render TRUE")
+	}
+	b := NewBox(intPred("o", "date", 1, 2))
+	if b.String() != "o.date [1, 2]" {
+		t.Errorf("box String = %q", b.String())
+	}
+	if b.Key() != b.String() {
+		t.Error("Key should equal String")
+	}
+	if (Pred{Col: colref("o", "date"), Con: IntervalConstraint(types.Int64, iv(1, 2))}).String() != "o.date [1, 2]" {
+		t.Error("pred String")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	names := map[Relation]string{
+		RelDisjoint: "disjoint", RelEqual: "exact", RelSubsuming: "subsuming",
+		RelPartial: "partial", RelOverlapping: "overlapping", Relation(99): "relation(?)",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("Relation(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}

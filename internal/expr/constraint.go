@@ -1,0 +1,398 @@
+// Package expr implements the predicate and expression model of
+// HashStash. Predicates are conjunctions ("boxes") of single-column
+// constraints — intervals over numeric/date columns and value sets over
+// string columns. The reuse-aware optimizer classifies a cached hash
+// table against a requesting operator purely with the set algebra defined
+// here: equality (exact reuse), containment (subsuming / partial reuse),
+// intersection (overlapping reuse) and difference (the residual predicate
+// that fetches "missing" tuples from base tables).
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hashstash/internal/types"
+)
+
+// Interval is a (possibly half-open, possibly unbounded) interval over an
+// ordered column domain. The zero Interval is unbounded on both sides,
+// i.e. the full domain.
+type Interval struct {
+	HasLo  bool
+	Lo     types.Value
+	LoIncl bool
+	HasHi  bool
+	Hi     types.Value
+	HiIncl bool
+}
+
+// FullInterval returns the unconstrained interval.
+func FullInterval() Interval { return Interval{} }
+
+// PointInterval returns the degenerate interval [v, v].
+func PointInterval(v types.Value) Interval {
+	return Interval{HasLo: true, Lo: v, LoIncl: true, HasHi: true, Hi: v, HiIncl: true}
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v types.Value) bool {
+	if iv.HasLo {
+		c := v.Compare(iv.Lo)
+		if c < 0 || (c == 0 && !iv.LoIncl) {
+			return false
+		}
+	}
+	if iv.HasHi {
+		c := v.Compare(iv.Hi)
+		if c > 0 || (c == 0 && !iv.HiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the interval contains no values. Discrete
+// domains are treated conservatively: only orderings provable for every
+// domain count as empty.
+func (iv Interval) Empty() bool {
+	if !iv.HasLo || !iv.HasHi {
+		return false
+	}
+	c := iv.Lo.Compare(iv.Hi)
+	if c > 0 {
+		return true
+	}
+	if c == 0 {
+		return !(iv.LoIncl && iv.HiIncl)
+	}
+	return false
+}
+
+// Equal reports structural interval equality.
+func (iv Interval) Equal(o Interval) bool {
+	if iv.HasLo != o.HasLo || iv.HasHi != o.HasHi {
+		return false
+	}
+	if iv.HasLo && (!iv.Lo.Equal(o.Lo) || iv.LoIncl != o.LoIncl) {
+		return false
+	}
+	if iv.HasHi && (!iv.Hi.Equal(o.Hi) || iv.HiIncl != o.HiIncl) {
+		return false
+	}
+	return true
+}
+
+// loCovers reports whether iv's lower bound admits everything o's lower
+// bound admits.
+func (iv Interval) loCovers(o Interval) bool {
+	if !iv.HasLo {
+		return true
+	}
+	if !o.HasLo {
+		return false
+	}
+	c := iv.Lo.Compare(o.Lo)
+	if c < 0 {
+		return true
+	}
+	if c > 0 {
+		return false
+	}
+	return iv.LoIncl || !o.LoIncl
+}
+
+// hiCovers reports whether iv's upper bound admits everything o's upper
+// bound admits.
+func (iv Interval) hiCovers(o Interval) bool {
+	if !iv.HasHi {
+		return true
+	}
+	if !o.HasHi {
+		return false
+	}
+	c := iv.Hi.Compare(o.Hi)
+	if c > 0 {
+		return true
+	}
+	if c < 0 {
+		return false
+	}
+	return iv.HiIncl || !o.HiIncl
+}
+
+// Covers reports whether iv ⊇ o as sets.
+func (iv Interval) Covers(o Interval) bool {
+	if o.Empty() {
+		return true
+	}
+	return iv.loCovers(o) && iv.hiCovers(o)
+}
+
+// Intersect returns the interval iv ∩ o: the tighter of the two lower
+// bounds combined with the tighter of the two upper bounds.
+func (iv Interval) Intersect(o Interval) Interval {
+	out := iv
+	if o.HasLo {
+		if !out.HasLo {
+			out.HasLo, out.Lo, out.LoIncl = true, o.Lo, o.LoIncl
+		} else if c := o.Lo.Compare(out.Lo); c > 0 || (c == 0 && !o.LoIncl) {
+			out.Lo, out.LoIncl = o.Lo, o.LoIncl
+		}
+	}
+	if o.HasHi {
+		if !out.HasHi {
+			out.HasHi, out.Hi, out.HiIncl = true, o.Hi, o.HiIncl
+		} else if c := o.Hi.Compare(out.Hi); c < 0 || (c == 0 && !o.HiIncl) {
+			out.Hi, out.HiIncl = o.Hi, o.HiIncl
+		}
+	}
+	return out
+}
+
+// Intersects reports whether iv ∩ o is non-empty.
+func (iv Interval) Intersects(o Interval) bool { return !iv.Intersect(o).Empty() }
+
+// Difference returns iv \ o as up to two disjoint intervals.
+func (iv Interval) Difference(o Interval) []Interval {
+	if iv.Empty() {
+		return nil
+	}
+	inter := iv.Intersect(o)
+	if inter.Empty() {
+		return []Interval{iv}
+	}
+	var out []Interval
+	// Left piece: values in iv below the intersection's lower bound.
+	if inter.HasLo {
+		left := iv
+		left.HasHi, left.Hi, left.HiIncl = true, inter.Lo, !inter.LoIncl
+		if !left.Empty() {
+			out = append(out, left)
+		}
+	}
+	// Right piece: values in iv above the intersection's upper bound.
+	if inter.HasHi {
+		right := iv
+		right.HasLo, right.Lo, right.LoIncl = true, inter.Hi, !inter.HiIncl
+		if !right.Empty() {
+			out = append(out, right)
+		}
+	}
+	return out
+}
+
+// String renders the interval in math notation.
+func (iv Interval) String() string {
+	var b strings.Builder
+	if iv.HasLo {
+		if iv.LoIncl {
+			b.WriteByte('[')
+		} else {
+			b.WriteByte('(')
+		}
+		b.WriteString(iv.Lo.String())
+	} else {
+		b.WriteString("(-inf")
+	}
+	b.WriteString(", ")
+	if iv.HasHi {
+		b.WriteString(iv.Hi.String())
+		if iv.HiIncl {
+			b.WriteByte(']')
+		} else {
+			b.WriteByte(')')
+		}
+	} else {
+		b.WriteString("+inf)")
+	}
+	return b.String()
+}
+
+// Constraint restricts a single column: an Interval for ordered kinds, a
+// sorted value set for strings. A Constraint with Kind==String and empty
+// Set matches nothing (the empty set), so constructors always populate
+// Set for string constraints.
+type Constraint struct {
+	Kind types.Kind
+	Iv   Interval
+	Set  []string // sorted, deduplicated; used iff Kind == String
+}
+
+// IntervalConstraint builds a numeric/date constraint.
+func IntervalConstraint(kind types.Kind, iv Interval) Constraint {
+	if kind == types.String {
+		panic("expr: interval constraint on string column")
+	}
+	return Constraint{Kind: kind, Iv: iv}
+}
+
+// SetConstraint builds a string IN-set constraint.
+func SetConstraint(vals ...string) Constraint {
+	set := append([]string(nil), vals...)
+	sort.Strings(set)
+	// Deduplicate in place.
+	out := set[:0]
+	for i, s := range set {
+		if i == 0 || s != set[i-1] {
+			out = append(out, s)
+		}
+	}
+	return Constraint{Kind: types.String, Set: out}
+}
+
+// Match reports whether value v satisfies the constraint.
+func (c Constraint) Match(v types.Value) bool {
+	if c.Kind == types.String {
+		i := sort.SearchStrings(c.Set, v.S)
+		return i < len(c.Set) && c.Set[i] == v.S
+	}
+	return c.Iv.Contains(v)
+}
+
+// MatchString is Match specialised to string columns.
+func (c Constraint) MatchString(s string) bool {
+	i := sort.SearchStrings(c.Set, s)
+	return i < len(c.Set) && c.Set[i] == s
+}
+
+// MatchInt is Match specialised to int/date columns.
+func (c Constraint) MatchInt(v int64) bool {
+	if c.Iv.HasLo {
+		lo := c.Iv.Lo.AsInt()
+		if v < lo || (v == lo && !c.Iv.LoIncl) {
+			return false
+		}
+	}
+	if c.Iv.HasHi {
+		hi := c.Iv.Hi.AsInt()
+		if v > hi || (v == hi && !c.Iv.HiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchFloat is Match specialised to float columns.
+func (c Constraint) MatchFloat(v float64) bool {
+	if c.Iv.HasLo {
+		lo := c.Iv.Lo.AsFloat()
+		if v < lo || (v == lo && !c.Iv.LoIncl) {
+			return false
+		}
+	}
+	if c.Iv.HasHi {
+		hi := c.Iv.Hi.AsFloat()
+		if v > hi || (v == hi && !c.Iv.HiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the constraint matches no values.
+func (c Constraint) Empty() bool {
+	if c.Kind == types.String {
+		return len(c.Set) == 0
+	}
+	return c.Iv.Empty()
+}
+
+// IsFull reports whether the constraint admits every value of the domain.
+// Finite string sets are never full.
+func (c Constraint) IsFull() bool {
+	if c.Kind == types.String {
+		return false
+	}
+	return !c.Iv.HasLo && !c.Iv.HasHi
+}
+
+// Equal reports set equality of two constraints over the same column.
+func (c Constraint) Equal(o Constraint) bool {
+	if c.Kind != o.Kind {
+		return false
+	}
+	if c.Kind == types.String {
+		if len(c.Set) != len(o.Set) {
+			return false
+		}
+		for i := range c.Set {
+			if c.Set[i] != o.Set[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return c.Iv.Equal(o.Iv)
+}
+
+// Covers reports whether c ⊇ o as sets.
+func (c Constraint) Covers(o Constraint) bool {
+	if c.Kind == types.String {
+		for _, s := range o.Set {
+			if !c.MatchString(s) {
+				return false
+			}
+		}
+		return true
+	}
+	return c.Iv.Covers(o.Iv)
+}
+
+// Intersect returns c ∩ o.
+func (c Constraint) Intersect(o Constraint) Constraint {
+	if c.Kind == types.String {
+		var set []string
+		for _, s := range c.Set {
+			if o.MatchString(s) {
+				set = append(set, s)
+			}
+		}
+		return Constraint{Kind: types.String, Set: set}
+	}
+	return Constraint{Kind: c.Kind, Iv: c.Iv.Intersect(o.Iv)}
+}
+
+// Intersects reports whether c ∩ o is non-empty.
+func (c Constraint) Intersects(o Constraint) bool { return !c.Intersect(o).Empty() }
+
+// Difference returns c \ o as zero or more disjoint constraints.
+func (c Constraint) Difference(o Constraint) []Constraint {
+	if c.Kind == types.String {
+		var set []string
+		for _, s := range c.Set {
+			if !o.MatchString(s) {
+				set = append(set, s)
+			}
+		}
+		if len(set) == 0 {
+			return nil
+		}
+		return []Constraint{{Kind: types.String, Set: set}}
+	}
+	ivs := c.Iv.Difference(o.Iv)
+	out := make([]Constraint, 0, len(ivs))
+	for _, iv := range ivs {
+		out = append(out, Constraint{Kind: c.Kind, Iv: iv})
+	}
+	return out
+}
+
+// Full returns the unconstrained constraint for a kind. For strings there
+// is no finite universal set, so Full is represented by an interval-kind
+// wildcard; callers treat absence of a Pred as "unconstrained" instead.
+func Full(kind types.Kind) Constraint {
+	if kind == types.String {
+		panic("expr: no universal string constraint; omit the predicate instead")
+	}
+	return Constraint{Kind: kind}
+}
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	if c.Kind == types.String {
+		return fmt.Sprintf("IN {%s}", strings.Join(c.Set, ","))
+	}
+	return c.Iv.String()
+}

@@ -1,0 +1,143 @@
+package expr
+
+import (
+	"fmt"
+
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// Expr is a scalar expression evaluated over batch rows. The engine
+// evaluates arithmetic in float64 (the only arithmetic the workloads
+// perform is price computation, e.g. extendedprice * (1 - discount));
+// column references preserve their native kind.
+type Expr interface {
+	// ResultKind reports the kind the expression produces given an input
+	// schema.
+	ResultKind(s storage.Schema) types.Kind
+	// EvalRow evaluates the expression for row i of the batch.
+	EvalRow(b *storage.Batch, i int) types.Value
+	// Walk visits every column reference in the expression.
+	Walk(fn func(storage.ColRef))
+	// String renders the expression as SQL-ish text.
+	String() string
+}
+
+// Col is a column reference expression.
+type Col struct {
+	Ref storage.ColRef
+}
+
+// ResultKind implements Expr.
+func (c *Col) ResultKind(s storage.Schema) types.Kind {
+	i := s.IndexOf(c.Ref)
+	if i < 0 {
+		panic(fmt.Sprintf("expr: column %v not in schema %v", c.Ref, s))
+	}
+	return s[i].Kind
+}
+
+// EvalRow implements Expr.
+func (c *Col) EvalRow(b *storage.Batch, i int) types.Value {
+	return b.Cols[b.Schema.MustIndexOf(c.Ref)].Value(i)
+}
+
+// Walk implements Expr.
+func (c *Col) Walk(fn func(storage.ColRef)) { fn(c.Ref) }
+
+// String implements Expr.
+func (c *Col) String() string { return c.Ref.String() }
+
+// Const is a literal expression.
+type Const struct {
+	V types.Value
+}
+
+// ResultKind implements Expr.
+func (c *Const) ResultKind(storage.Schema) types.Kind { return c.V.Kind }
+
+// EvalRow implements Expr.
+func (c *Const) EvalRow(*storage.Batch, int) types.Value { return c.V }
+
+// Walk implements Expr.
+func (c *Const) Walk(func(storage.ColRef)) {}
+
+// String implements Expr.
+func (c *Const) String() string {
+	if c.V.Kind == types.String {
+		return "'" + c.V.S + "'"
+	}
+	return c.V.String()
+}
+
+// BinOp identifies an arithmetic operator.
+type BinOp byte
+
+// Arithmetic operators.
+const (
+	OpAdd BinOp = '+'
+	OpSub BinOp = '-'
+	OpMul BinOp = '*'
+	OpDiv BinOp = '/'
+)
+
+// Bin is a binary arithmetic expression; it always produces Float64.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// ResultKind implements Expr.
+func (b *Bin) ResultKind(storage.Schema) types.Kind { return types.Float64 }
+
+// EvalRow implements Expr.
+func (b *Bin) EvalRow(batch *storage.Batch, i int) types.Value {
+	l := b.L.EvalRow(batch, i).AsFloat()
+	r := b.R.EvalRow(batch, i).AsFloat()
+	switch b.Op {
+	case OpAdd:
+		return types.NewFloat(l + r)
+	case OpSub:
+		return types.NewFloat(l - r)
+	case OpMul:
+		return types.NewFloat(l * r)
+	case OpDiv:
+		return types.NewFloat(l / r)
+	}
+	panic(fmt.Sprintf("expr: unknown operator %q", b.Op))
+}
+
+// Walk implements Expr.
+func (b *Bin) Walk(fn func(storage.ColRef)) {
+	b.L.Walk(fn)
+	b.R.Walk(fn)
+}
+
+// String implements Expr.
+func (b *Bin) String() string {
+	return fmt.Sprintf("(%s %c %s)", b.L.String(), b.Op, b.R.String())
+}
+
+// Eval evaluates an expression over a whole batch, appending to out.
+func Eval(e Expr, b *storage.Batch, out *storage.Vec) {
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		out.Append(e.EvalRow(b, i))
+	}
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b Expr) bool {
+	switch x := a.(type) {
+	case *Col:
+		y, ok := b.(*Col)
+		return ok && x.Ref == y.Ref
+	case *Const:
+		y, ok := b.(*Const)
+		return ok && x.V.Kind == y.V.Kind && x.V.Equal(y.V)
+	case *Bin:
+		y, ok := b.(*Bin)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	}
+	return false
+}

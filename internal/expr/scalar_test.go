@@ -1,0 +1,222 @@
+package expr
+
+import (
+	"testing"
+
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+func testBatch() *storage.Batch {
+	schema := storage.Schema{
+		{Ref: colref("l", "price"), Kind: types.Float64},
+		{Ref: colref("l", "disc"), Kind: types.Float64},
+		{Ref: colref("l", "qty"), Kind: types.Int64},
+		{Ref: colref("l", "comment"), Kind: types.String},
+	}
+	b := storage.NewBatch(schema)
+	rows := []struct {
+		price, disc float64
+		qty         int64
+		comment     string
+	}{
+		{100, 0.1, 2, "a"},
+		{50, 0.0, 1, "b"},
+		{200, 0.5, 5, "c"},
+	}
+	for _, r := range rows {
+		b.Cols[0].Append(types.NewFloat(r.price))
+		b.Cols[1].Append(types.NewFloat(r.disc))
+		b.Cols[2].Append(types.NewInt(r.qty))
+		b.Cols[3].Append(types.NewString(r.comment))
+	}
+	return b
+}
+
+func TestColExpr(t *testing.T) {
+	b := testBatch()
+	c := &Col{Ref: colref("l", "qty")}
+	if c.ResultKind(b.Schema) != types.Int64 {
+		t.Error("ResultKind")
+	}
+	if got := c.EvalRow(b, 2); got.I != 5 {
+		t.Errorf("EvalRow = %v", got)
+	}
+	var seen []storage.ColRef
+	c.Walk(func(r storage.ColRef) { seen = append(seen, r) })
+	if len(seen) != 1 || seen[0] != colref("l", "qty") {
+		t.Errorf("Walk = %v", seen)
+	}
+	if c.String() != "l.qty" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestColExprMissingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for missing column")
+		}
+	}()
+	(&Col{Ref: colref("x", "y")}).ResultKind(storage.Schema{})
+}
+
+func TestConstExpr(t *testing.T) {
+	c := &Const{V: types.NewFloat(1.5)}
+	if c.ResultKind(nil) != types.Float64 {
+		t.Error("ResultKind")
+	}
+	if c.EvalRow(nil, 0).F != 1.5 {
+		t.Error("EvalRow")
+	}
+	c.Walk(func(storage.ColRef) { t.Error("const should not walk refs") })
+	if c.String() != "1.5" {
+		t.Errorf("String = %q", c.String())
+	}
+	if (&Const{V: types.NewString("x")}).String() != "'x'" {
+		t.Error("string const quoting")
+	}
+}
+
+func TestBinExpr(t *testing.T) {
+	b := testBatch()
+	// revenue = price * (1 - disc)
+	rev := &Bin{Op: OpMul,
+		L: &Col{Ref: colref("l", "price")},
+		R: &Bin{Op: OpSub, L: &Const{V: types.NewFloat(1)}, R: &Col{Ref: colref("l", "disc")}},
+	}
+	if rev.ResultKind(b.Schema) != types.Float64 {
+		t.Error("ResultKind")
+	}
+	want := []float64{90, 50, 100}
+	for i, w := range want {
+		if got := rev.EvalRow(b, i).F; got != w {
+			t.Errorf("row %d rev = %f, want %f", i, got, w)
+		}
+	}
+	refs := 0
+	rev.Walk(func(storage.ColRef) { refs++ })
+	if refs != 2 {
+		t.Errorf("Walk found %d refs", refs)
+	}
+	if rev.String() != "(l.price * (1 - l.disc))" {
+		t.Errorf("String = %q", rev.String())
+	}
+
+	sum := &Bin{Op: OpAdd, L: &Const{V: types.NewFloat(1)}, R: &Const{V: types.NewFloat(2)}}
+	if sum.EvalRow(nil, 0).F != 3 {
+		t.Error("add")
+	}
+	div := &Bin{Op: OpDiv, L: &Const{V: types.NewFloat(6)}, R: &Const{V: types.NewFloat(2)}}
+	if div.EvalRow(nil, 0).F != 3 {
+		t.Error("div")
+	}
+}
+
+func TestEvalBatch(t *testing.T) {
+	b := testBatch()
+	out := storage.NewVec(types.Float64)
+	Eval(&Col{Ref: colref("l", "price")}, b, out)
+	if out.Len() != 3 || out.Floats[0] != 100 {
+		t.Errorf("Eval batch = %v", out.Floats)
+	}
+}
+
+func TestExprEqual(t *testing.T) {
+	a := &Bin{Op: OpMul, L: &Col{Ref: colref("l", "p")}, R: &Const{V: types.NewFloat(2)}}
+	b := &Bin{Op: OpMul, L: &Col{Ref: colref("l", "p")}, R: &Const{V: types.NewFloat(2)}}
+	c := &Bin{Op: OpAdd, L: &Col{Ref: colref("l", "p")}, R: &Const{V: types.NewFloat(2)}}
+	if !Equal(a, b) {
+		t.Error("identical trees not equal")
+	}
+	if Equal(a, c) {
+		t.Error("different ops equal")
+	}
+	if Equal(a, a.L) {
+		t.Error("different shapes equal")
+	}
+	if !Equal(&Col{Ref: colref("x", "y")}, &Col{Ref: colref("x", "y")}) {
+		t.Error("col equality")
+	}
+	if Equal(&Const{V: types.NewInt(1)}, &Const{V: types.NewFloat(1)}) {
+		t.Error("kind-differing consts equal")
+	}
+}
+
+func TestAggSpec(t *testing.T) {
+	s := AggSpec{Func: AggSum, Arg: &Col{Ref: colref("l", "price")}, Alias: "total"}
+	if s.String() != "SUM(l.price) AS total" {
+		t.Errorf("String = %q", s.String())
+	}
+	if s.Name() != "total" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	cnt := AggSpec{Func: AggCount}
+	if cnt.String() != "COUNT(*)" || cnt.Name() != "count(*)" {
+		t.Errorf("count spec: %q %q", cnt.String(), cnt.Name())
+	}
+	for f, want := range map[AggFunc]string{AggSum: "SUM", AggCount: "COUNT", AggMin: "MIN", AggMax: "MAX", AggAvg: "AVG", AggFunc(9): "AGG?"} {
+		if f.String() != want {
+			t.Errorf("AggFunc(%d) = %q", f, f.String())
+		}
+	}
+	if AggAvg.Additive() || !AggSum.Additive() || !AggMin.Additive() {
+		t.Error("Additive flags wrong")
+	}
+}
+
+func TestSpecsEqual(t *testing.T) {
+	p := &Col{Ref: colref("l", "price")}
+	a := []AggSpec{{Func: AggSum, Arg: p}, {Func: AggCount}}
+	b := []AggSpec{{Func: AggSum, Arg: &Col{Ref: colref("l", "price")}}, {Func: AggCount}}
+	if !SpecsEqual(a, b) {
+		t.Error("equal specs not equal")
+	}
+	if SpecsEqual(a, a[:1]) {
+		t.Error("length-differing specs equal")
+	}
+	if SpecsEqual(a, []AggSpec{{Func: AggMax, Arg: p}, {Func: AggCount}}) {
+		t.Error("func-differing specs equal")
+	}
+	if SpecsEqual(a, []AggSpec{{Func: AggSum}, {Func: AggCount}}) {
+		t.Error("nil-arg-differing specs equal")
+	}
+}
+
+func TestRewriteAvg(t *testing.T) {
+	price := &Col{Ref: colref("l", "price")}
+	specs := []AggSpec{
+		{Func: AggAvg, Arg: price, Alias: "avg_price"},
+		{Func: AggSum, Arg: price, Alias: "sum_price"},
+		{Func: AggCount, Arg: price},
+	}
+	out, src := RewriteAvg(specs)
+	// AVG should reuse the SUM and COUNT already present (after dedup the
+	// rewritten list holds SUM, COUNT only).
+	if len(out) != 2 {
+		t.Fatalf("rewritten = %v", out)
+	}
+	if out[0].Func != AggSum || out[1].Func != AggCount {
+		t.Errorf("rewritten funcs = %v", out)
+	}
+	if src[0] != [2]int{0, 1} {
+		t.Errorf("avg sources = %v", src[0])
+	}
+	if src[1] != [2]int{0, 0} || src[2] != [2]int{1, 1} {
+		t.Errorf("identity sources = %v %v", src[1], src[2])
+	}
+
+	// No AVG: unchanged.
+	plain := []AggSpec{{Func: AggMin, Arg: price}}
+	out2, src2 := RewriteAvg(plain)
+	if len(out2) != 1 || out2[0].Func != AggMin || src2[0] != [2]int{0, 0} {
+		t.Errorf("plain rewrite = %v %v", out2, src2)
+	}
+
+	// AVG(*) is nonsensical but must not crash; COUNT(*) pairs with SUM(nil).
+	weird := []AggSpec{{Func: AggAvg}}
+	out3, _ := RewriteAvg(weird)
+	if len(out3) != 2 {
+		t.Errorf("weird rewrite = %v", out3)
+	}
+}

@@ -1,0 +1,412 @@
+// Package hashtable implements the extendible hash table that HashStash
+// caches and reuses. It is the data structure a hash join's build phase
+// and a hash aggregation materialize at a pipeline breaker.
+//
+// Design, following Section 3.2 of the paper:
+//
+//   - Extendible hashing with a power-of-two directory of buckets and
+//     per-bucket chains. Growing the table only doubles the directory
+//     and splits individual overflowing buckets lazily — entries are
+//     never rehashed en masse, which keeps the resize cost (c_resize in
+//     the cost model) proportional to the directory, not the data.
+//
+//   - Entries live in flat, append-only arenas (hash array, chain-link
+//     array, one contiguous payload array of fixed-width rows). There is
+//     no per-entry allocation: Go's GC never traverses entries, and
+//     probes touch memory sequentially per chain. Strings are interned
+//     into a StringHeap and stored as 8-byte ids.
+//
+//   - A row is len(Layout.Cols) 8-byte cells; the first KeyCols cells
+//     form the equality key. Join tables use Insert (duplicate keys
+//     chain), aggregation tables use Upsert (find-or-create) and update
+//     aggregate cells in place.
+package hashtable
+
+import (
+	"fmt"
+
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+const (
+	initialDepth = 3  // directory starts with 8 slots
+	maxDepth     = 26 // directory growth cap (64M slots)
+	bucketCap    = 8  // average chain length that triggers a split
+)
+
+// Layout describes the fixed-width payload row of a hash table.
+type Layout struct {
+	// Cols lists the payload columns in row order.
+	Cols []storage.ColMeta
+	// KeyCols is the number of leading columns forming the equality key.
+	KeyCols int
+}
+
+// RowWidthBytes reports the row width in bytes (the cost model's tWidth).
+func (l Layout) RowWidthBytes() int { return len(l.Cols) * 8 }
+
+// ColIndex returns the position of ref in the layout, or -1.
+func (l Layout) ColIndex(ref storage.ColRef) int {
+	for i, m := range l.Cols {
+		if m.Ref == ref {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks internal consistency.
+func (l Layout) Validate() error {
+	if l.KeyCols < 0 || l.KeyCols > len(l.Cols) {
+		return fmt.Errorf("hashtable: key cols %d out of range for %d columns", l.KeyCols, len(l.Cols))
+	}
+	seen := make(map[storage.ColRef]bool, len(l.Cols))
+	for _, m := range l.Cols {
+		if seen[m.Ref] {
+			return fmt.Errorf("hashtable: duplicate column %v in layout", m.Ref)
+		}
+		seen[m.Ref] = true
+	}
+	return nil
+}
+
+type bucket struct {
+	head       int32 // first entry index, -1 when empty
+	n          int32 // chain length
+	localDepth uint8
+	// nextSplit is the chain length at which the next split attempt is
+	// allowed. It doubles whenever a split fails to separate a chain
+	// (identical key hashes cannot be split apart), bounding the work
+	// wasted on skewed keys: without it every insert into a stuck
+	// bucket would pay an O(chain + directory) split attempt.
+	nextSplit int32
+}
+
+// Table is an extendible hash table over fixed-width rows.
+type Table struct {
+	layout   Layout
+	nCols    int
+	dir      []int32 // directory: bucket index per slot
+	buckets  []bucket
+	hashes   []uint64 // per-entry full hash
+	next     []int32  // per-entry chain link
+	payload  []uint64 // nCols cells per entry
+	nEntries int
+	strs     *StringHeap
+	resizes  int // directory doublings (cost model statistic)
+	splits   int // bucket splits (cost model statistic)
+}
+
+// New creates an empty table with the given layout.
+func New(layout Layout) *Table {
+	if err := layout.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Table{
+		layout: layout,
+		nCols:  len(layout.Cols),
+		strs:   NewStringHeap(),
+	}
+	nslots := 1 << initialDepth
+	t.dir = make([]int32, nslots)
+	t.buckets = make([]bucket, nslots)
+	for i := range t.buckets {
+		t.dir[i] = int32(i)
+		t.buckets[i] = bucket{head: -1, localDepth: initialDepth, nextSplit: bucketCap}
+	}
+	return t
+}
+
+// Layout returns the table's row layout.
+func (t *Table) Layout() Layout { return t.layout }
+
+// Len reports the number of entries.
+func (t *Table) Len() int { return t.nEntries }
+
+// Strings returns the table's string heap.
+func (t *Table) Strings() *StringHeap { return t.strs }
+
+// Resizes reports how many directory doublings have occurred.
+func (t *Table) Resizes() int { return t.resizes }
+
+// Splits reports how many bucket splits have occurred.
+func (t *Table) Splits() int { return t.splits }
+
+// DirSize reports the current directory size in slots.
+func (t *Table) DirSize() int { return len(t.dir) }
+
+// ByteSize estimates the memory footprint of the table: directory,
+// buckets, entry arenas and string heap. This is the htSize input of the
+// reuse-aware cost model.
+func (t *Table) ByteSize() int64 {
+	return int64(len(t.dir))*4 +
+		int64(len(t.buckets))*13 +
+		int64(len(t.hashes))*8 +
+		int64(len(t.next))*4 +
+		int64(len(t.payload))*8 +
+		t.strs.ByteSize()
+}
+
+// HashKey hashes a key (the first KeyCols cells of a row).
+func HashKey(key []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, k := range key {
+		h = types.HashCombine(h, types.Mix64(k))
+	}
+	return h
+}
+
+// globalDepth is implied by the directory size.
+func (t *Table) globalDepth() uint8 {
+	d := uint8(0)
+	for 1<<d < len(t.dir) {
+		d++
+	}
+	return d
+}
+
+func (t *Table) slot(h uint64) int32 { return int32(h & uint64(len(t.dir)-1)) }
+
+// Insert appends a row whose first KeyCols cells form the key. Duplicate
+// keys are allowed (join build side). The row slice is copied.
+func (t *Table) Insert(row []uint64) {
+	if len(row) != t.nCols {
+		panic(fmt.Sprintf("hashtable: Insert row has %d cells, layout has %d", len(row), t.nCols))
+	}
+	h := HashKey(row[:t.layout.KeyCols])
+	t.insertHashed(h, row)
+}
+
+func (t *Table) insertHashed(h uint64, row []uint64) {
+	bi := t.dir[t.slot(h)]
+	b := &t.buckets[bi]
+	if b.n >= b.nextSplit && t.maybeSplit(bi, h) {
+		bi = t.dir[t.slot(h)]
+		b = &t.buckets[bi]
+	}
+	idx := int32(t.nEntries)
+	t.hashes = append(t.hashes, h)
+	t.next = append(t.next, b.head)
+	t.payload = append(t.payload, row...)
+	b.head = idx
+	b.n++
+	t.nEntries++
+}
+
+// maybeSplit splits the bucket holding hash h, doubling the directory if
+// needed. It reports whether a split occurred.
+func (t *Table) maybeSplit(bi int32, h uint64) bool {
+	b := &t.buckets[bi]
+	gd := t.globalDepth()
+	if b.localDepth == gd {
+		if gd >= maxDepth {
+			return false
+		}
+		// Double the directory: each new slot mirrors its low-half twin.
+		old := t.dir
+		t.dir = make([]int32, len(old)*2)
+		copy(t.dir, old)
+		copy(t.dir[len(old):], old)
+		t.resizes++
+		gd++
+	}
+	// Split bucket bi on bit localDepth: entries whose hash has the bit
+	// set move to a fresh bucket.
+	oldDepth := b.localDepth
+	bit := uint64(1) << oldDepth
+	newBi := int32(len(t.buckets))
+	t.buckets = append(t.buckets, bucket{head: -1, localDepth: oldDepth + 1, nextSplit: bucketCap})
+	b = &t.buckets[bi] // reload: append may have moved the backing array
+	b.localDepth = oldDepth + 1
+	nb := &t.buckets[newBi]
+
+	// Redistribute the chain.
+	cur := b.head
+	total := b.n
+	b.head, b.n = -1, 0
+	for cur != -1 {
+		nxt := t.next[cur]
+		if t.hashes[cur]&bit != 0 {
+			t.next[cur] = nb.head
+			nb.head = cur
+			nb.n++
+		} else {
+			t.next[cur] = b.head
+			b.head = cur
+			b.n++
+		}
+		cur = nxt
+	}
+	if b.n == 0 || nb.n == 0 {
+		// The chain did not separate (duplicate keys): back off so the
+		// next attempt happens only after the chain doubles.
+		backoff := 2 * total
+		if backoff < bucketCap {
+			backoff = bucketCap
+		}
+		b.nextSplit, nb.nextSplit = backoff, backoff
+	} else {
+		b.nextSplit, nb.nextSplit = bucketCap, bucketCap
+	}
+	// Redirect directory slots. All slots mapping to bi share the same
+	// low oldDepth bits (the bucket's suffix), so the slots moving to
+	// the new bucket are exactly suffix|bit, stepping by 2^(oldDepth+1)
+	// — touching len(dir)/2^(oldDepth+1) slots instead of scanning the
+	// whole directory (which would make bulk loads quadratic).
+	suffix := h & (bit - 1)
+	for s := suffix | bit; s < uint64(len(t.dir)); s += bit << 1 {
+		t.dir[s] = newBi
+	}
+	t.splits++
+	return true
+}
+
+// keyEqual compares the key cells of entry e against key.
+func (t *Table) keyEqual(e int32, key []uint64) bool {
+	base := int(e) * t.nCols
+	for i, k := range key {
+		if t.payload[base+i] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// Iterator walks the entries matching one key.
+type Iterator struct {
+	t    *Table
+	cur  int32
+	hash uint64
+	key  []uint64
+}
+
+// Probe returns an iterator over entries whose key equals key.
+func (t *Table) Probe(key []uint64) Iterator {
+	if len(key) != t.layout.KeyCols {
+		panic(fmt.Sprintf("hashtable: Probe key has %d cells, layout key has %d", len(key), t.layout.KeyCols))
+	}
+	h := HashKey(key)
+	return Iterator{t: t, cur: t.buckets[t.dir[t.slot(h)]].head, hash: h, key: key}
+}
+
+// Next returns the next matching entry index, or -1 when exhausted.
+func (it *Iterator) Next() int32 {
+	for it.cur != -1 {
+		e := it.cur
+		it.cur = it.t.next[e]
+		if it.t.hashes[e] == it.hash && it.t.keyEqual(e, it.key) {
+			return e
+		}
+	}
+	return -1
+}
+
+// Upsert finds the entry with the given key or creates it with the key
+// cells set and all other cells zero. It returns the entry index and
+// whether the entry already existed.
+func (t *Table) Upsert(key []uint64) (entry int32, found bool) {
+	if len(key) != t.layout.KeyCols {
+		panic(fmt.Sprintf("hashtable: Upsert key has %d cells, layout key has %d", len(key), t.layout.KeyCols))
+	}
+	h := HashKey(key)
+	cur := t.buckets[t.dir[t.slot(h)]].head
+	for cur != -1 {
+		if t.hashes[cur] == h && t.keyEqual(cur, key) {
+			return cur, true
+		}
+		cur = t.next[cur]
+	}
+	row := make([]uint64, t.nCols)
+	copy(row, key)
+	t.insertHashed(h, row)
+	return int32(t.nEntries - 1), false
+}
+
+// Cell returns cell col of entry e.
+func (t *Table) Cell(e int32, col int) uint64 { return t.payload[int(e)*t.nCols+col] }
+
+// SetCell stores v into cell col of entry e.
+func (t *Table) SetCell(e int32, col int, v uint64) { t.payload[int(e)*t.nCols+col] = v }
+
+// CellValue decodes cell col of entry e as a typed value using the
+// layout's kind (strings resolve through the heap).
+func (t *Table) CellValue(e int32, col int) types.Value {
+	bits := t.Cell(e, col)
+	kind := t.layout.Cols[col].Kind
+	if kind == types.String {
+		return types.NewString(t.strs.At(bits))
+	}
+	return types.FromBits(kind, bits)
+}
+
+// EncodeValue encodes a typed value into its 8-byte cell representation,
+// interning strings into the table's heap.
+func (t *Table) EncodeValue(v types.Value) uint64 {
+	if v.Kind == types.String {
+		return t.strs.Intern(v.S)
+	}
+	return v.Bits()
+}
+
+// CheckInvariants validates the extendible-hashing structure; tests and
+// failure-injection hooks call it. It verifies that (1) every directory
+// slot points at a valid bucket whose localDepth ≤ globalDepth, (2) all
+// slots sharing a bucket agree on the bucket's depth-masked suffix,
+// (3) every entry is reachable from exactly one bucket and hashes to it,
+// and (4) chain counts match.
+func (t *Table) CheckInvariants() error {
+	gd := t.globalDepth()
+	if 1<<gd != len(t.dir) {
+		return fmt.Errorf("hashtable: directory size %d is not a power of two", len(t.dir))
+	}
+	seen := make([]bool, t.nEntries)
+	counted := 0
+	for s, bi := range t.dir {
+		if bi < 0 || int(bi) >= len(t.buckets) {
+			return fmt.Errorf("hashtable: slot %d points at bad bucket %d", s, bi)
+		}
+		b := t.buckets[bi]
+		if b.localDepth > gd {
+			return fmt.Errorf("hashtable: bucket %d localDepth %d > globalDepth %d", bi, b.localDepth, gd)
+		}
+		// The slot's low localDepth bits must match the canonical slot of
+		// the bucket (its head entry's hash suffix, when non-empty).
+		if b.head != -1 {
+			mask := (uint64(1) << b.localDepth) - 1
+			if uint64(s)&mask != t.hashes[b.head]&mask {
+				return fmt.Errorf("hashtable: slot %d suffix mismatch for bucket %d", s, bi)
+			}
+		}
+	}
+	for bi, b := range t.buckets {
+		mask := (uint64(1) << b.localDepth) - 1
+		var suffix uint64
+		first := true
+		n := int32(0)
+		for cur := b.head; cur != -1; cur = t.next[cur] {
+			if cur < 0 || int(cur) >= t.nEntries {
+				return fmt.Errorf("hashtable: bucket %d chain hits bad entry %d", bi, cur)
+			}
+			if seen[cur] {
+				return fmt.Errorf("hashtable: entry %d reachable twice", cur)
+			}
+			seen[cur] = true
+			counted++
+			if first {
+				suffix = t.hashes[cur] & mask
+				first = false
+			} else if t.hashes[cur]&mask != suffix {
+				return fmt.Errorf("hashtable: bucket %d mixes hash suffixes", bi)
+			}
+			n++
+		}
+		if n != b.n {
+			return fmt.Errorf("hashtable: bucket %d count %d != chain length %d", bi, b.n, n)
+		}
+	}
+	if counted != t.nEntries {
+		return fmt.Errorf("hashtable: %d entries reachable, want %d", counted, t.nEntries)
+	}
+	return nil
+}

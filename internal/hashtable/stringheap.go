@@ -1,0 +1,49 @@
+package hashtable
+
+// StringHeap interns strings for fixed-width payload rows: a string
+// column stores the 8-byte intern id instead of the string itself, so
+// entry rows stay flat and pointer-free (keeping Go's GC out of probe
+// loops). The heap is owned by one hash table and shares the table's
+// lifetime.
+type StringHeap struct {
+	strs  []string
+	index map[string]uint64
+	bytes int64
+}
+
+// NewStringHeap returns an empty heap.
+func NewStringHeap() *StringHeap {
+	return &StringHeap{index: make(map[string]uint64)}
+}
+
+// Intern returns the id for s, adding it on first use.
+func (h *StringHeap) Intern(s string) uint64 {
+	if id, ok := h.index[s]; ok {
+		return id
+	}
+	id := uint64(len(h.strs))
+	h.strs = append(h.strs, s)
+	h.index[s] = id
+	h.bytes += int64(len(s))
+	return id
+}
+
+// At returns the string for a previously interned id.
+func (h *StringHeap) At(id uint64) string { return h.strs[id] }
+
+// Lookup returns the id for s without interning it. Probe pipelines use
+// it: a probe key whose string was never interned cannot match any entry,
+// and must not grow the build side's heap.
+func (h *StringHeap) Lookup(s string) (uint64, bool) {
+	id, ok := h.index[s]
+	return id, ok
+}
+
+// Len reports the number of interned strings.
+func (h *StringHeap) Len() int { return len(h.strs) }
+
+// ByteSize estimates the heap's memory footprint.
+func (h *StringHeap) ByteSize() int64 {
+	// String bytes + per-entry header/index overhead.
+	return h.bytes + int64(len(h.strs))*48
+}

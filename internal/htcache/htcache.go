@@ -1,0 +1,323 @@
+// Package htcache implements the Hash Table Manager (HTM) of HashStash:
+// a cache of internal hash tables with lineage and statistics, plus the
+// coarse-grained LRU garbage collector of Section 5 of the paper.
+//
+// Lineage records are stored base-table-qualified (aliases stripped), so
+// a hash table built by one query matches a structurally identical
+// sub-plan of any later query regardless of alias choice. The cache
+// itself performs only structural candidate retrieval; classifying a
+// candidate into the exact/subsuming/partial/overlapping reuse cases is
+// predicate algebra and lives with the optimizer.
+package htcache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
+	"hashstash/internal/storage"
+)
+
+// Kind labels what materialized a cached hash table.
+type Kind uint8
+
+const (
+	// JoinBuild is the build side of a hash join (entries are tuples).
+	JoinBuild Kind = iota
+	// Aggregate is a hash aggregation (entries are groups).
+	Aggregate
+	// SharedJoinBuild is a join build carrying query-id tags.
+	SharedJoinBuild
+	// SharedGrouping is the grouping phase of a shared aggregation:
+	// entries are individual tuples (not folded aggregates), tagged.
+	SharedGrouping
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case JoinBuild:
+		return "join-build"
+	case Aggregate:
+		return "aggregate"
+	case SharedJoinBuild:
+		return "shared-join-build"
+	case SharedGrouping:
+		return "shared-grouping"
+	}
+	return "kind(?)"
+}
+
+// Lineage describes the plan fragment that produced a hash table, in
+// base-qualified form. Together with the predicate box it is the node
+// of the paper's recycle graph that refers to a materialized table.
+type Lineage struct {
+	Kind Kind
+	// Tables are the sorted base tables of the fragment's input.
+	Tables []string
+	// JoinSig canonically encodes the fragment's internal join edges
+	// (plan.SubgraphSignature output).
+	JoinSig string
+	// Filter is the base-qualified predicate box applied to the input.
+	Filter expr.Box
+	// KeyCols are the base-qualified hash key columns, in key order.
+	KeyCols []storage.ColRef
+	// GroupBy lists base-qualified grouping columns (Aggregate and
+	// SharedGrouping kinds); for Aggregate tables it equals KeyCols.
+	GroupBy []storage.ColRef
+	// Aggs lists the folded aggregates (Aggregate kind only),
+	// base-qualified.
+	Aggs []expr.AggSpec
+	// QidCol is the layout position of the query-id tag column, or -1.
+	QidCol int
+}
+
+// StructKey returns the structural grouping key: everything that must
+// match exactly before predicate classification makes sense.
+func (l Lineage) StructKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%s|", l.Kind, l.JoinSig)
+	for _, k := range l.KeyCols {
+		b.WriteString(k.String())
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	for _, g := range l.GroupBy {
+		b.WriteString(g.String())
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Entry is one cached hash table with usage statistics.
+type Entry struct {
+	ID      int64
+	HT      *hashtable.Table
+	Lineage Lineage
+
+	// LastUsed is a logical timestamp maintained by the cache clock.
+	LastUsed int64
+	// Hits counts reuses (not the initial registration).
+	Hits int64
+	// Pins counts active users; pinned entries are never evicted.
+	Pins int
+	// Bytes is the footprint recorded at registration/release time.
+	Bytes int64
+}
+
+// Stats summarizes cache state for experiments and monitoring.
+type Stats struct {
+	Entries     int
+	Bytes       int64
+	Hits        int64
+	Evictions   int64
+	Registered  int64
+	EvictedByes int64
+	// HitRatio is hits per registered element (the paper's Figure 7b
+	// reports the average reuse count per cached element).
+	HitRatio float64
+}
+
+// Cache is the hash table cache. It is single-threaded, like the rest
+// of the HashStash prototype.
+type Cache struct {
+	// Budget is the memory budget in bytes; 0 means unlimited.
+	Budget int64
+
+	entries    map[int64]*Entry
+	byStruct   map[string][]*Entry
+	nextID     int64
+	clock      int64
+	hits       int64
+	evictions  int64
+	registered int64
+	evictedB   int64
+}
+
+// New returns an empty cache with the given budget (0 = unlimited).
+func New(budget int64) *Cache {
+	return &Cache{
+		Budget:   budget,
+		entries:  make(map[int64]*Entry),
+		byStruct: make(map[string][]*Entry),
+	}
+}
+
+// tick advances the logical clock.
+func (c *Cache) tick() int64 {
+	c.clock++
+	return c.clock
+}
+
+// Register admits a hash table with its lineage, triggering garbage
+// collection if the budget is exceeded. The returned entry is pinned
+// until Release — a table being built must not be evicted mid-query.
+func (c *Cache) Register(ht *hashtable.Table, lin Lineage) *Entry {
+	e := &Entry{
+		ID:       c.nextID,
+		HT:       ht,
+		Lineage:  lin,
+		LastUsed: c.tick(),
+		Pins:     1,
+		Bytes:    ht.ByteSize(),
+	}
+	c.nextID++
+	c.entries[e.ID] = e
+	key := lin.StructKey()
+	c.byStruct[key] = append(c.byStruct[key], e)
+	c.registered++
+	c.GC()
+	return e
+}
+
+// Candidates returns cached entries whose structure matches the lineage
+// probe (kind, join signature, key columns, group-by), most recently
+// used first. Predicate classification is the caller's job.
+func (c *Cache) Candidates(probe Lineage) []*Entry {
+	list := c.byStruct[probe.StructKey()]
+	out := make([]*Entry, 0, len(list))
+	out = append(out, list...)
+	sort.Slice(out, func(i, j int) bool { return out[i].LastUsed > out[j].LastUsed })
+	return out
+}
+
+// CandidatesByKind returns all entries of a kind over the given join
+// signature regardless of keys/grouping — used for the aggregate
+// "group-by subset" exact-reuse extension, where the cached table's
+// group-by may be a superset of the request's.
+func (c *Cache) CandidatesByKind(kind Kind, joinSig string) []*Entry {
+	var out []*Entry
+	for _, e := range c.entries {
+		if e.Lineage.Kind == kind && e.Lineage.JoinSig == joinSig {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LastUsed != out[j].LastUsed {
+			return out[i].LastUsed > out[j].LastUsed
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Pin marks an entry in use (reused by a plan) and counts the hit.
+func (c *Cache) Pin(e *Entry) {
+	e.Pins++
+	e.Hits++
+	c.hits++
+	e.LastUsed = c.tick()
+}
+
+// Release drops one pin and refreshes the entry's statistics (its table
+// may have grown through partial-reuse additions).
+func (c *Cache) Release(e *Entry) {
+	if e.Pins > 0 {
+		e.Pins--
+	}
+	e.Bytes = e.HT.ByteSize()
+	e.LastUsed = c.tick()
+	c.GC()
+}
+
+// Touch refreshes recency without counting a reuse.
+func (c *Cache) Touch(e *Entry) { e.LastUsed = c.tick() }
+
+// Get returns the entry with the given id, or nil.
+func (c *Cache) Get(id int64) *Entry { return c.entries[id] }
+
+// Len reports the number of cached tables.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// TotalBytes reports the cache footprint.
+func (c *Cache) TotalBytes() int64 {
+	var total int64
+	for _, e := range c.entries {
+		total += e.Bytes
+	}
+	return total
+}
+
+// GC evicts least-recently-used unpinned tables until the cache fits
+// its budget. It returns the number of evicted tables. With Budget==0
+// it never evicts.
+func (c *Cache) GC() int {
+	if c.Budget <= 0 {
+		return 0
+	}
+	evicted := 0
+	for c.TotalBytes() > c.Budget {
+		var victim *Entry
+		for _, e := range c.entries {
+			if e.Pins > 0 {
+				continue
+			}
+			if victim == nil || e.LastUsed < victim.LastUsed {
+				victim = e
+			}
+		}
+		if victim == nil {
+			break // everything pinned; cannot evict further
+		}
+		c.evict(victim)
+		evicted++
+	}
+	return evicted
+}
+
+func (c *Cache) evict(e *Entry) {
+	delete(c.entries, e.ID)
+	key := e.Lineage.StructKey()
+	list := c.byStruct[key]
+	for i, x := range list {
+		if x.ID == e.ID {
+			c.byStruct[key] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(c.byStruct[key]) == 0 {
+		delete(c.byStruct, key)
+	}
+	c.evictions++
+	c.evictedB += e.Bytes
+}
+
+// Evict removes a specific entry (used by tests and administrative
+// commands); pinned entries are refused.
+func (c *Cache) Evict(e *Entry) error {
+	if e.Pins > 0 {
+		return fmt.Errorf("htcache: entry %d is pinned", e.ID)
+	}
+	if _, ok := c.entries[e.ID]; !ok {
+		return fmt.Errorf("htcache: entry %d not cached", e.ID)
+	}
+	c.evict(e)
+	return nil
+}
+
+// Clear drops every unpinned entry.
+func (c *Cache) Clear() {
+	for _, e := range c.entries {
+		if e.Pins == 0 {
+			c.evict(e)
+		}
+	}
+}
+
+// Stats returns a snapshot of cache statistics.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Entries:     len(c.entries),
+		Bytes:       c.TotalBytes(),
+		Hits:        c.hits,
+		Evictions:   c.evictions,
+		Registered:  c.registered,
+		EvictedByes: c.evictedB,
+	}
+	if c.registered > 0 {
+		s.HitRatio = float64(c.hits) / float64(c.registered)
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+package optimizer
+
+import (
+	"sort"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/plan"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// Cardinality estimation: classic System-R style. Because every TPC-H
+// column name is globally unique, a full multi-relation filter box can
+// be handed to each relation's statistics — predicates on other
+// relations' columns are simply not found and ignored.
+
+// relRows estimates the rows of one relation under a filter box.
+func (o *Optimizer) relRows(q *plan.Query, relIdx int, filter expr.Box) float64 {
+	rel := q.Relations[relIdx]
+	ts := o.Cat.Stats(rel.Table)
+	if ts == nil {
+		return 1
+	}
+	return ts.EstimateRows(filter)
+}
+
+// colNDV returns the distinct count of an alias-qualified column.
+func (o *Optimizer) colNDV(q *plan.Query, ref storage.ColRef) float64 {
+	rel := q.RelByAlias(ref.Table)
+	if rel == nil {
+		return 1
+	}
+	ts := o.Cat.Stats(rel.Table)
+	if ts == nil {
+		return 1
+	}
+	cs, ok := ts.Cols[ref.Column]
+	if !ok || cs.NDV < 1 {
+		return 1
+	}
+	return float64(cs.NDV)
+}
+
+// maskRows estimates the output cardinality of joining the masked
+// relations under the given alias-qualified filter box.
+func (o *Optimizer) maskRows(q *plan.Query, mask int, filter expr.Box) float64 {
+	rows := 1.0
+	for i := range q.Relations {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		rows *= o.relRows(q, i, filter)
+	}
+	for _, j := range q.Joins {
+		a, b := q.AliasIndex(j.Left.Table), q.AliasIndex(j.Right.Table)
+		if a < 0 || b < 0 || mask&(1<<uint(a)) == 0 || mask&(1<<uint(b)) == 0 {
+			continue
+		}
+		ndv := o.colNDV(q, j.Left)
+		if r := o.colNDV(q, j.Right); r > ndv {
+			ndv = r
+		}
+		if ndv > 0 {
+			rows /= ndv
+		}
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	return rows
+}
+
+// maskFilter collects the query's filter predicates belonging to the
+// masked relations (alias-qualified).
+func maskFilter(q *plan.Query, mask int) expr.Box {
+	var out expr.Box
+	for _, p := range q.Filter {
+		i := q.AliasIndex(p.Col.Table)
+		if i >= 0 && mask&(1<<uint(i)) != 0 {
+			out = append(out, p)
+		}
+	}
+	return expr.NewBox(out...)
+}
+
+// scanIndexed reports whether a scan of the relation under the box can
+// be driven by a secondary index (affects the scan cost estimate).
+func (o *Optimizer) scanIndexed(q *plan.Query, relIdx int, box expr.Box) bool {
+	rel := q.Relations[relIdx]
+	tbl := o.Cat.Table(rel.Table)
+	if tbl == nil {
+		return false
+	}
+	for _, p := range box {
+		if p.Col.Table != rel.Alias {
+			continue
+		}
+		if p.Con.IsFull() || p.Con.Kind == types.String {
+			continue
+		}
+		if tbl.IndexOn(p.Col.Column) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// scanCost estimates scanning relation relIdx under the union of boxes.
+func (o *Optimizer) scanCost(q *plan.Query, relIdx int, boxes []expr.Box, emitted int) float64 {
+	rel := q.Relations[relIdx]
+	ts := o.Cat.Stats(rel.Table)
+	width := emitted * 8
+	var total float64
+	for _, box := range boxes {
+		outRows := ts.EstimateRows(box)
+		if o.scanIndexed(q, relIdx, box) {
+			total += o.Model.ScanCost(outRows, width)
+		} else {
+			total += o.Model.ScanCost(float64(ts.Rows), width)
+		}
+	}
+	return total
+}
+
+// neededCols computes, per alias, the sorted set of columns a plan for
+// the query must carry: join keys, select/group-by columns, aggregate
+// arguments, and — with the benefit-oriented "additional attributes"
+// optimization — every selection attribute, so that the hash tables
+// built by this query stay post-filterable and re-taggable for future
+// reuse.
+func (o *Optimizer) neededCols(q *plan.Query) map[string][]string {
+	set := make(map[string]map[string]bool)
+	add := func(ref storage.ColRef) {
+		if q.RelByAlias(ref.Table) == nil {
+			return
+		}
+		if set[ref.Table] == nil {
+			set[ref.Table] = make(map[string]bool)
+		}
+		set[ref.Table][ref.Column] = true
+	}
+	for _, j := range q.Joins {
+		add(j.Left)
+		add(j.Right)
+	}
+	for _, s := range q.Select {
+		add(s)
+	}
+	for _, g := range q.GroupBy {
+		add(g)
+	}
+	for _, a := range q.Aggs {
+		if a.Arg != nil {
+			a.Arg.Walk(add)
+		}
+	}
+	if o.Opts.BenefitOriented {
+		for _, p := range q.Filter {
+			add(p.Col)
+		}
+	}
+	out := make(map[string][]string, len(set))
+	for alias, cols := range set {
+		list := make([]string, 0, len(cols))
+		for c := range cols {
+			list = append(list, c)
+		}
+		sort.Strings(list)
+		out[alias] = list
+	}
+	// Every relation must emit at least its join keys; a relation with
+	// no needed columns (rare) still contributes its first column so a
+	// scan schema exists.
+	for i, rel := range q.Relations {
+		if len(out[rel.Alias]) == 0 {
+			tbl := o.Cat.Table(rel.Table)
+			if tbl != nil && len(tbl.Cols) > 0 {
+				out[rel.Alias] = []string{tbl.Cols[0].Name}
+			}
+		}
+		_ = i
+	}
+	return out
+}
+
+// unionIfBox delegates to the expr package's exact box union.
+func unionIfBox(a, b expr.Box) (expr.Box, bool) { return expr.UnionIfBox(a, b) }

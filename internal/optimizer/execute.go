@@ -1,0 +1,147 @@
+package optimizer
+
+import (
+	"time"
+
+	"hashstash/internal/exec"
+	"hashstash/internal/plan"
+	"hashstash/internal/types"
+)
+
+// Result is a fully executed query.
+type Result struct {
+	Columns []string
+	Rows    [][]types.Value
+
+	// PlanTime and ExecTime separate optimization from execution.
+	PlanTime time.Duration
+	ExecTime time.Duration
+	// EstimatedCost is the optimizer's estimate (ns) for the chosen plan.
+	EstimatedCost float64
+	// Decisions is the per-operator reuse decision log.
+	Decisions []Decision
+}
+
+// Run plans, compiles and executes a query, maintaining the hash-table
+// cache (pins, registrations, lineage updates after partial reuse).
+func (o *Optimizer) Run(q *plan.Query) (*Result, error) {
+	t0 := time.Now()
+	planned, err := o.PlanQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := o.Compile(planned)
+	if err != nil {
+		return nil, err
+	}
+	planTime := time.Since(t0)
+
+	t1 := time.Now()
+	runErr := exec.Run(compiled.Pipelines)
+	execTime := time.Since(t1)
+
+	if runErr == nil {
+		// Partial/overlapping reuse widened cached tables' content;
+		// their lineage must reflect it before anyone else matches them.
+		for _, fu := range compiled.filterUpdates {
+			fu.entry.Lineage.Filter = fu.newFilter
+		}
+	}
+	for _, e := range compiled.pinned {
+		o.Cache.Release(e)
+	}
+	for _, e := range compiled.created {
+		o.Cache.Release(e)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	return &Result{
+		Columns:       compiled.Columns,
+		Rows:          compiled.Out.Rows,
+		PlanTime:      planTime,
+		ExecTime:      execTime,
+		EstimatedCost: planned.EstimatedCost,
+		Decisions:     planned.Decisions(),
+	}, nil
+}
+
+// SubPlanEstimate pairs an enumerated sub-plan alternative with its
+// cost estimate (the Figure 10 accuracy experiment enumerates these and
+// compares against measured runtimes).
+type SubPlanEstimate struct {
+	Mask      int
+	Tables    string
+	Node      *Node
+	Estimated float64
+}
+
+// EnumerateSubPlans re-runs the enumeration, collecting every
+// alternative (per connected relation mask, one entry per build option
+// and partition) with its estimated cost.
+func (o *Optimizer) EnumerateSubPlans(q *plan.Query) ([]SubPlanEstimate, error) {
+	if err := q.Validate(o.Cat); err != nil {
+		return nil, err
+	}
+	ctx := &planContext{q: q, needed: o.neededCols(q), memo: make(map[int]*Node)}
+	full := (1 << uint(len(q.Relations))) - 1
+	var out []SubPlanEstimate
+	for mask := 1; mask <= full; mask++ {
+		if mask&(mask-1) == 0 || !q.ConnectedSubgraph(mask) {
+			continue
+		}
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			comp := mask &^ sub
+			if comp == 0 || !q.ConnectedSubgraph(sub) || !q.ConnectedSubgraph(comp) {
+				continue
+			}
+			crossing := q.CrossingJoins(sub, comp)
+			if len(crossing) == 0 {
+				continue
+			}
+			buildKeys, probeKeys := splitKeys(q, crossing, sub)
+			probePlan := o.bestPlan(ctx, comp)
+			options := o.joinBuildOptions(q, sub, buildKeys, probePlan.OutRows, ctx.needed, func(m int) *Node {
+				return o.bestPlan(ctx, m)
+			})
+			outRows := o.joinOutRows(q, mask)
+			for i := range options {
+				opt := &options[i]
+				node := &Node{
+					Kind: nodeJoin, Mask: mask, BuildMask: sub,
+					Build: opt.buildPlan, Probe: probePlan,
+					BuildKeys: buildKeys, ProbeKeys: probeKeys,
+					BuildFilter: maskFilter(q, sub),
+					Reuse:       &opt.choice, OutRows: outRows,
+					Cost: probePlan.Cost + opt.totalCost,
+				}
+				out = append(out, SubPlanEstimate{
+					Mask:      mask,
+					Tables:    buildTables(q, mask),
+					Node:      node,
+					Estimated: node.Cost,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// MeasureSubPlan executes one sub-plan alternative in isolation (no
+// cache registration) and returns its wall-clock time. The plan's
+// output is drained into a throwaway collector.
+func (o *Optimizer) MeasureSubPlan(q *plan.Query, node *Node) (time.Duration, error) {
+	c := &compiler{o: o, q: q, needed: o.neededCols(q), out: &Compiled{}, register: false}
+	src, tfs, schema, err := c.compileStream(node)
+	if err != nil {
+		return 0, err
+	}
+	collect := exec.NewCollect(schema)
+	c.out.Pipelines = append(c.out.Pipelines, &exec.Pipeline{Source: src, Transforms: tfs, Sink: collect})
+	t0 := time.Now()
+	if err := exec.Run(c.out.Pipelines); err != nil {
+		return 0, err
+	}
+	return time.Since(t0), nil
+}

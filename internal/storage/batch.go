@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"fmt"
+
+	"hashstash/internal/types"
+)
+
+// BatchSize is the number of rows processed per pipeline step. 1024 rows
+// keeps per-batch column vectors inside the L1/L2 caches for typical
+// widths, mirroring vectorized engines.
+const BatchSize = 1024
+
+// Vec is a column vector of intermediate results. Unlike Column it is a
+// transient, reusable buffer.
+type Vec struct {
+	Kind   types.Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+}
+
+// NewVec returns an empty vector of the given kind with capacity for one
+// batch.
+func NewVec(kind types.Kind) *Vec {
+	v := &Vec{Kind: kind}
+	switch kind {
+	case types.Int64, types.Date:
+		v.Ints = make([]int64, 0, BatchSize)
+	case types.Float64:
+		v.Floats = make([]float64, 0, BatchSize)
+	case types.String:
+		v.Strs = make([]string, 0, BatchSize)
+	}
+	return v
+}
+
+// Reset truncates the vector to zero length, keeping capacity.
+func (v *Vec) Reset() {
+	v.Ints = v.Ints[:0]
+	v.Floats = v.Floats[:0]
+	v.Strs = v.Strs[:0]
+}
+
+// Len reports the vector length.
+func (v *Vec) Len() int {
+	switch v.Kind {
+	case types.Int64, types.Date:
+		return len(v.Ints)
+	case types.Float64:
+		return len(v.Floats)
+	case types.String:
+		return len(v.Strs)
+	}
+	return 0
+}
+
+// Append adds one value of the vector's kind.
+func (v *Vec) Append(val types.Value) {
+	switch v.Kind {
+	case types.Int64, types.Date:
+		v.Ints = append(v.Ints, val.I)
+	case types.Float64:
+		v.Floats = append(v.Floats, val.F)
+	case types.String:
+		v.Strs = append(v.Strs, val.S)
+	}
+}
+
+// AppendFrom copies row i of the source column into the vector.
+func (v *Vec) AppendFrom(c *Column, i int32) {
+	switch v.Kind {
+	case types.Int64, types.Date:
+		v.Ints = append(v.Ints, c.Ints[i])
+	case types.Float64:
+		v.Floats = append(v.Floats, c.Floats[i])
+	case types.String:
+		v.Strs = append(v.Strs, c.Strs[i])
+	}
+}
+
+// Value returns the value at row i.
+func (v *Vec) Value(i int) types.Value {
+	switch v.Kind {
+	case types.Int64:
+		return types.NewInt(v.Ints[i])
+	case types.Date:
+		return types.NewDate(v.Ints[i])
+	case types.Float64:
+		return types.NewFloat(v.Floats[i])
+	case types.String:
+		return types.NewString(v.Strs[i])
+	}
+	panic("storage: bad vec kind")
+}
+
+// ColRef names a column flowing through a pipeline: the originating table
+// alias plus the column name. Computed columns use an empty Table and a
+// synthetic name.
+type ColRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference as table.column.
+func (r ColRef) String() string {
+	if r.Table == "" {
+		return r.Column
+	}
+	return r.Table + "." + r.Column
+}
+
+// ColMeta couples a column reference with its kind.
+type ColMeta struct {
+	Ref  ColRef
+	Kind types.Kind
+}
+
+// Schema describes the columns of a Batch, in order.
+type Schema []ColMeta
+
+// IndexOf returns the position of ref in the schema, or -1.
+func (s Schema) IndexOf(ref ColRef) int {
+	for i, m := range s {
+		if m.Ref == ref {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndexOf is IndexOf but panics when the reference is absent; plan
+// compilation uses it for references that were validated earlier.
+func (s Schema) MustIndexOf(ref ColRef) int {
+	i := s.IndexOf(ref)
+	if i < 0 {
+		panic(fmt.Sprintf("storage: schema has no column %v (schema %v)", ref, s))
+	}
+	return i
+}
+
+// Batch is a set of equal-length column vectors described by a Schema.
+type Batch struct {
+	Schema Schema
+	Cols   []*Vec
+}
+
+// NewBatch allocates a batch matching the schema.
+func NewBatch(schema Schema) *Batch {
+	b := &Batch{Schema: schema, Cols: make([]*Vec, len(schema))}
+	for i, m := range schema {
+		b.Cols[i] = NewVec(m.Kind)
+	}
+	return b
+}
+
+// Len reports the row count of the batch.
+func (b *Batch) Len() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// Reset truncates all vectors.
+func (b *Batch) Reset() {
+	for _, c := range b.Cols {
+		c.Reset()
+	}
+}

@@ -1,0 +1,136 @@
+// Package storage implements the in-memory column store that HashStash
+// executes over: typed columns, tables with sorted secondary indexes on
+// selection attributes, and the column-vector batches that flow through
+// the push-based execution pipelines.
+//
+// The engine is single-threaded by design (matching the paper's
+// prototype), so none of these structures synchronize internally.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"hashstash/internal/types"
+)
+
+// Column is a typed base-table column. Exactly one of the data slices is
+// populated, selected by Kind (Ints also backs Date columns).
+type Column struct {
+	Name   string
+	Kind   types.Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+}
+
+// NewColumn returns an empty column of the given kind.
+func NewColumn(name string, kind types.Kind) *Column {
+	return &Column{Name: name, Kind: kind}
+}
+
+// Len reports the number of rows in the column.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case types.Int64, types.Date:
+		return len(c.Ints)
+	case types.Float64:
+		return len(c.Floats)
+	case types.String:
+		return len(c.Strs)
+	}
+	return 0
+}
+
+// Append adds one value; its kind must match the column kind.
+func (c *Column) Append(v types.Value) {
+	if v.Kind != c.Kind && !(c.Kind == types.Date && v.Kind == types.Int64) {
+		panic(fmt.Sprintf("storage: append %v value to %v column %q", v.Kind, c.Kind, c.Name))
+	}
+	switch c.Kind {
+	case types.Int64, types.Date:
+		c.Ints = append(c.Ints, v.I)
+	case types.Float64:
+		c.Floats = append(c.Floats, v.F)
+	case types.String:
+		c.Strs = append(c.Strs, v.S)
+	}
+}
+
+// Value returns the value at row i.
+func (c *Column) Value(i int) types.Value {
+	switch c.Kind {
+	case types.Int64:
+		return types.NewInt(c.Ints[i])
+	case types.Date:
+		return types.NewDate(c.Ints[i])
+	case types.Float64:
+		return types.NewFloat(c.Floats[i])
+	case types.String:
+		return types.NewString(c.Strs[i])
+	}
+	panic("storage: bad column kind")
+}
+
+// less orders two rows of the column; used by index construction.
+func (c *Column) less(i, j int32) bool {
+	switch c.Kind {
+	case types.Int64, types.Date:
+		return c.Ints[i] < c.Ints[j]
+	case types.Float64:
+		return c.Floats[i] < c.Floats[j]
+	case types.String:
+		return c.Strs[i] < c.Strs[j]
+	}
+	return false
+}
+
+// Index is a sorted secondary index: Perm lists all row ids of the table
+// ordered by the indexed column's value. Range lookups binary-search the
+// permutation and return a contiguous run of row ids.
+type Index struct {
+	Col  *Column
+	Perm []int32
+}
+
+// BuildIndex sorts the table's rows by the column value.
+func BuildIndex(col *Column) *Index {
+	perm := make([]int32, col.Len())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return col.less(perm[a], perm[b]) })
+	return &Index{Col: col, Perm: perm}
+}
+
+// Range returns the slice of the permutation whose column values v
+// satisfy lo <= v <= hi under the given inclusivity flags. Unbounded ends
+// are expressed by hasLo/hasHi=false. The returned slice aliases the
+// index; callers must not modify it.
+func (ix *Index) Range(lo, hi types.Value, hasLo, hasHi, loIncl, hiIncl bool) []int32 {
+	n := len(ix.Perm)
+	start := 0
+	if hasLo {
+		start = sort.Search(n, func(i int) bool {
+			cmp := ix.Col.Value(int(ix.Perm[i])).Compare(lo)
+			if loIncl {
+				return cmp >= 0
+			}
+			return cmp > 0
+		})
+	}
+	end := n
+	if hasHi {
+		end = sort.Search(n, func(i int) bool {
+			cmp := ix.Col.Value(int(ix.Perm[i])).Compare(hi)
+			if hiIncl {
+				return cmp > 0
+			}
+			return cmp >= 0
+		})
+	}
+	if start > end {
+		return nil
+	}
+	return ix.Perm[start:end]
+}

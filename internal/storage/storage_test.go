@@ -1,0 +1,297 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hashstash/internal/types"
+)
+
+func intCol(name string, vals ...int64) *Column {
+	c := NewColumn(name, types.Int64)
+	c.Ints = vals
+	return c
+}
+
+func TestColumnAppendValue(t *testing.T) {
+	ci := NewColumn("i", types.Int64)
+	cf := NewColumn("f", types.Float64)
+	cs := NewColumn("s", types.String)
+	cd := NewColumn("d", types.Date)
+	ci.Append(types.NewInt(7))
+	cf.Append(types.NewFloat(1.5))
+	cs.Append(types.NewString("x"))
+	cd.Append(types.NewDate(42))
+	cd.Append(types.NewInt(43)) // int into date column is allowed
+	if ci.Value(0).I != 7 || cf.Value(0).F != 1.5 || cs.Value(0).S != "x" {
+		t.Error("column values wrong after append")
+	}
+	if cd.Len() != 2 || cd.Value(1).I != 43 || cd.Value(1).Kind != types.Date {
+		t.Errorf("date column: %v", cd.Value(1))
+	}
+}
+
+func TestColumnAppendKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	NewColumn("i", types.Int64).Append(types.NewString("x"))
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := NewTable("t", intCol("a"), NewColumn("b", types.String))
+	tbl.AppendRow(types.NewInt(1), types.NewString("one"))
+	tbl.AppendRow(types.NewInt(2), types.NewString("two"))
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+	if tbl.Column("a") == nil || tbl.Column("zz") != nil {
+		t.Error("Column lookup broken")
+	}
+	if tbl.ColumnIndex("b") != 1 || tbl.ColumnIndex("zz") != -1 {
+		t.Error("ColumnIndex broken")
+	}
+	if err := tbl.Check(); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	if tbl.ByteSize() <= 0 {
+		t.Error("ByteSize should be positive")
+	}
+}
+
+func TestTableCheckDetectsRaggedColumns(t *testing.T) {
+	tbl := NewTable("t", intCol("a", 1, 2), intCol("b", 1))
+	if err := tbl.Check(); err == nil {
+		t.Error("Check should fail on ragged columns")
+	}
+}
+
+func TestTableDuplicateColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate column")
+		}
+	}()
+	NewTable("t", intCol("a"), intCol("a"))
+}
+
+func TestAppendRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong arity")
+		}
+	}()
+	NewTable("t", intCol("a")).AppendRow()
+}
+
+func TestIndexRangeInt(t *testing.T) {
+	tbl := NewTable("t", intCol("a", 5, 1, 9, 3, 7, 3))
+	if err := tbl.BuildIndexOn("a"); err != nil {
+		t.Fatal(err)
+	}
+	ix := tbl.IndexOn("a")
+	if ix == nil {
+		t.Fatal("index missing")
+	}
+
+	collect := func(rows []int32) []int64 {
+		var out []int64
+		for _, r := range rows {
+			out = append(out, tbl.Column("a").Ints[r])
+		}
+		return out
+	}
+
+	// Closed range [3, 7].
+	got := collect(ix.Range(types.NewInt(3), types.NewInt(7), true, true, true, true))
+	want := []int64{3, 3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("range [3,7] = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range [3,7] = %v, want %v", got, want)
+		}
+	}
+
+	// Open lower bound (3, 7].
+	got = collect(ix.Range(types.NewInt(3), types.NewInt(7), true, true, false, true))
+	if len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Errorf("range (3,7] = %v", got)
+	}
+
+	// Unbounded below, exclusive above: (-inf, 5).
+	got = collect(ix.Range(types.Value{}, types.NewInt(5), false, true, false, false))
+	if len(got) != 3 {
+		t.Errorf("range <5 = %v", got)
+	}
+
+	// Fully unbounded returns everything.
+	if n := len(ix.Range(types.Value{}, types.Value{}, false, false, false, false)); n != 6 {
+		t.Errorf("unbounded range returned %d rows", n)
+	}
+
+	// Empty range.
+	if rows := ix.Range(types.NewInt(100), types.NewInt(200), true, true, true, true); len(rows) != 0 {
+		t.Errorf("expected empty range, got %v", rows)
+	}
+}
+
+func TestIndexRangeString(t *testing.T) {
+	c := NewColumn("s", types.String)
+	c.Strs = []string{"BUILDING", "AUTOMOBILE", "MACHINERY", "BUILDING"}
+	ix := BuildIndex(c)
+	rows := ix.Range(types.NewString("BUILDING"), types.NewString("BUILDING"), true, true, true, true)
+	if len(rows) != 2 {
+		t.Errorf("equality via range returned %d rows", len(rows))
+	}
+}
+
+func TestIndexBuildOnMissingColumn(t *testing.T) {
+	tbl := NewTable("t", intCol("a", 1))
+	if err := tbl.BuildIndexOn("nope"); err == nil {
+		t.Error("expected error for missing column")
+	}
+}
+
+// Property: for random data and random closed ranges, the index returns
+// exactly the rows a full scan would.
+func TestIndexRangeMatchesScanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(50))
+		}
+		col := intCol("a", vals...)
+		ix := BuildIndex(col)
+		lo := int64(r.Intn(50))
+		hi := lo + int64(r.Intn(10))
+		got := ix.Range(types.NewInt(lo), types.NewInt(hi), true, true, true, true)
+		want := 0
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				want++
+			}
+		}
+		if len(got) != want {
+			return false
+		}
+		for _, row := range got {
+			v := vals[row]
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexPermIsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	ix := BuildIndex(intCol("a", vals...))
+	sorted := sort.SliceIsSorted(ix.Perm, func(a, b int) bool {
+		return vals[ix.Perm[a]] < vals[ix.Perm[b]]
+	})
+	if !sorted {
+		t.Error("index permutation is not sorted by value")
+	}
+}
+
+func TestVecBasics(t *testing.T) {
+	for _, kind := range []types.Kind{types.Int64, types.Float64, types.String, types.Date} {
+		v := NewVec(kind)
+		if v.Len() != 0 {
+			t.Errorf("new vec len %d", v.Len())
+		}
+		switch kind {
+		case types.Int64:
+			v.Append(types.NewInt(1))
+		case types.Float64:
+			v.Append(types.NewFloat(1))
+		case types.String:
+			v.Append(types.NewString("a"))
+		case types.Date:
+			v.Append(types.NewDate(1))
+		}
+		if v.Len() != 1 {
+			t.Errorf("%v vec len after append = %d", kind, v.Len())
+		}
+		if v.Value(0).Kind != kind {
+			t.Errorf("%v vec value kind = %v", kind, v.Value(0).Kind)
+		}
+		v.Reset()
+		if v.Len() != 0 {
+			t.Errorf("%v vec len after reset = %d", kind, v.Len())
+		}
+	}
+}
+
+func TestVecAppendFrom(t *testing.T) {
+	col := intCol("a", 10, 20, 30)
+	v := NewVec(types.Int64)
+	v.AppendFrom(col, 2)
+	v.AppendFrom(col, 0)
+	if v.Len() != 2 || v.Ints[0] != 30 || v.Ints[1] != 10 {
+		t.Errorf("AppendFrom result: %v", v.Ints)
+	}
+}
+
+func TestBatchAndSchema(t *testing.T) {
+	schema := Schema{
+		{Ref: ColRef{Table: "l", Column: "qty"}, Kind: types.Int64},
+		{Ref: ColRef{Column: "rev"}, Kind: types.Float64},
+	}
+	b := NewBatch(schema)
+	if b.Len() != 0 {
+		t.Errorf("empty batch len %d", b.Len())
+	}
+	if schema.IndexOf(ColRef{Table: "l", Column: "qty"}) != 0 {
+		t.Error("IndexOf failed")
+	}
+	if schema.IndexOf(ColRef{Table: "x", Column: "y"}) != -1 {
+		t.Error("IndexOf should be -1 for missing")
+	}
+	if schema.MustIndexOf(ColRef{Column: "rev"}) != 1 {
+		t.Error("MustIndexOf failed")
+	}
+	b.Cols[0].Append(types.NewInt(1))
+	b.Cols[1].Append(types.NewFloat(2))
+	if b.Len() != 1 {
+		t.Errorf("batch len %d", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Error("batch reset failed")
+	}
+
+	if (ColRef{Table: "l", Column: "qty"}).String() != "l.qty" {
+		t.Error("ColRef.String with table")
+	}
+	if (ColRef{Column: "rev"}).String() != "rev" {
+		t.Error("ColRef.String computed")
+	}
+}
+
+func TestMustIndexOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndexOf should panic for missing column")
+		}
+	}()
+	Schema{}.MustIndexOf(ColRef{Column: "x"})
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"hashstash/internal/expr"
+	"hashstash/internal/plan"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// Exp2Trace reproduces the seven-query sequence of the paper's
+// Experiment 2a (Figure 8a / Table 8b): a 5-way SPJA seed query over
+// LINEITEM, ORDERS, PART, CUSTOMER and SUPPLIER followed by six user
+// interactions. The first four follow-ups modify the o_orderdate
+// selection predicate exactly as Table 8b lists; the last two modify
+// the group-by keys (drill-down adds p_brand, roll-up removes p_mfgr).
+func Exp2Trace() []Step {
+	mk := func(kind Interaction, lo, hi string, groupBy []storage.ColRef) Step {
+		loD, hiD := types.MustParseDate(lo), types.MustParseDate(hi)
+		q := &plan.Query{
+			Relations: []plan.Rel{
+				{Alias: "c", Table: "customer"},
+				{Alias: "o", Table: "orders"},
+				{Alias: "l", Table: "lineitem"},
+				{Alias: "p", Table: "part"},
+				{Alias: "s", Table: "supplier"},
+			},
+			Joins: []plan.JoinPred{
+				{Left: colRef("c", "c_custkey"), Right: colRef("o", "o_custkey")},
+				{Left: colRef("o", "o_orderkey"), Right: colRef("l", "l_orderkey")},
+				{Left: colRef("l", "l_partkey"), Right: colRef("p", "p_partkey")},
+				{Left: colRef("l", "l_suppkey"), Right: colRef("s", "s_suppkey")},
+			},
+			Filter: expr.NewBox(expr.Pred{
+				Col: colRef("o", "o_orderdate"),
+				Con: expr.IntervalConstraint(types.Date, expr.Interval{
+					HasLo: true, Lo: types.NewDate(loD), LoIncl: true,
+					HasHi: true, Hi: types.NewDate(hiD), HiIncl: false,
+				}),
+			}),
+			Select:  append([]storage.ColRef{}, groupBy...),
+			GroupBy: append([]storage.ColRef{}, groupBy...),
+			Aggs: []expr.AggSpec{
+				{Func: expr.AggSum, Arg: &expr.Col{Ref: colRef("l", "l_extendedprice")}, Alias: "revenue"},
+			},
+		}
+		return Step{Query: q, Kind: kind, Lo: loD, Hi: hiD}
+	}
+
+	gbMfgr := []storage.ColRef{colRef("p", "p_mfgr")}
+	gbMfgrBrand := []storage.ColRef{colRef("p", "p_mfgr"), colRef("p", "p_brand")}
+	gbBrand := []storage.ColRef{colRef("p", "p_brand")}
+
+	return []Step{
+		// Seed: o_orderdate in [1996-01-01, 1998-01-01).
+		mk(Seed, "1996-01-01", "1998-01-01", gbMfgr),
+		// Zoom In: 1996-06-01 .. 1996-09-01.
+		mk(ZoomIn, "1996-06-01", "1996-09-01", gbMfgr),
+		// Zoom Out: 1992-01-01 .. 1998-01-01.
+		mk(ZoomOut, "1992-01-01", "1998-01-01", gbMfgr),
+		// Shift Much: 1996-09-01 .. 1998-01-01.
+		mk(ShiftMuch, "1996-09-01", "1998-01-01", gbMfgr),
+		// Shift Less: 1994-01-01 .. 1998-01-01.
+		mk(ShiftLess, "1994-01-01", "1998-01-01", gbMfgr),
+		// Drill Down: add p_brand to the group-by.
+		mk(DrillDown, "1994-01-01", "1998-01-01", gbMfgrBrand),
+		// Roll Up: remove p_mfgr.
+		mk(RollUp, "1994-01-01", "1998-01-01", gbBrand),
+	}
+}
+
+func colRef(a, c string) storage.ColRef { return storage.ColRef{Table: a, Column: c} }
