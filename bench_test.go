@@ -8,6 +8,7 @@ package hashstash
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -249,5 +250,55 @@ func BenchmarkQueryAtATime(b *testing.B) {
 		if _, err := db.Exec(sql); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelScanAgg measures morsel-driven parallel execution of
+// a scan-heavy TPC-H aggregation (Q1 shape: full lineitem scan, tiny
+// group count) against the serial path. The cache is cleared between
+// iterations so every run rebuilds its aggregation table — the
+// benchmark times the build pipeline, not a cache hit. The acceptance
+// bar for the parallel runner is ≥2x at 4 workers.
+func BenchmarkParallelScanAgg(b *testing.B) {
+	const sql = `
+		SELECT l.l_returnflag, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+		       COUNT(*) AS n, AVG(l.l_quantity) AS avg_qty
+		FROM lineitem l
+		GROUP BY l.l_returnflag`
+	var golden []string
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			db := Open(WithParallelism(workers), WithMorselRows(16*1024))
+			if err := db.LoadTPCH(0.05); err != nil {
+				b.Fatal(err)
+			}
+			res, err := db.Exec(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Serial-vs-parallel golden results must be identical.
+			rows := canonical(res)
+			if golden == nil {
+				golden = rows
+			} else if len(rows) != len(golden) {
+				b.Fatalf("parallel result has %d rows, serial %d", len(rows), len(golden))
+			} else {
+				for i := range rows {
+					if rows[i] != golden[i] {
+						b.Fatalf("row %d: %q != serial %q", i, rows[i], golden[i])
+					}
+				}
+			}
+			db.ClearCache()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Exec(sql); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				db.ClearCache()
+				b.StartTimer()
+			}
+		})
 	}
 }

@@ -25,13 +25,18 @@ import (
 
 func main() {
 	var (
-		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		budget = flag.Int64("cache", 0, "hash table cache budget in bytes (0 = unlimited)")
-		maxRow = flag.Int("rows", 20, "maximum result rows to print")
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		budget   = flag.Int64("cache", 0, "hash table cache budget in bytes (0 = unlimited)")
+		maxRow   = flag.Int("rows", 20, "maximum result rows to print")
+		parallel = flag.Int("parallel", 0, "execution worker-pool size (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
-	db := hashstash.Open(hashstash.WithCacheBudget(*budget))
+	opts := []hashstash.Option{hashstash.WithCacheBudget(*budget)}
+	if *parallel > 0 {
+		opts = append(opts, hashstash.WithParallelism(*parallel))
+	}
+	db := hashstash.Open(opts...)
 	fmt.Printf("loading TPC-H SF=%.3f... ", *sf)
 	start := time.Now()
 	if err := db.LoadTPCH(*sf); err != nil {
@@ -84,8 +89,8 @@ func main() {
 		for _, d := range res.Decisions {
 			decisions = append(decisions, fmt.Sprintf("%s:%c(%s)", d.Operator, d.Action, d.Mode))
 		}
-		fmt.Printf("%d rows, plan %v + exec %v; reuse: %s\n",
+		fmt.Printf("%d rows, plan %v + exec %v (%d rows in / %d out); reuse: %s\n",
 			len(res.Rows), res.PlanTime.Round(time.Microsecond), res.ExecTime.Round(time.Microsecond),
-			strings.Join(decisions, " "))
+			res.RowsIn, res.RowsOut, strings.Join(decisions, " "))
 	}
 }

@@ -1,0 +1,3 @@
+module hashstash
+
+go 1.24

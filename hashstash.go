@@ -13,6 +13,23 @@
 // plans whose operators evaluate many queries at once over query-id
 // tagged tuples.
 //
+// # Parallel execution
+//
+// Query pipelines execute with morsel-driven parallelism: every scan is
+// split into independent morsels (row ranges of a base table, an index
+// run or a cached hash table's entry arena, ~64K rows each) that a pool
+// of workers claims from a shared dispenser. Pipeline breakers build
+// per-worker partial hash tables that are merged into one immutable
+// table at pipeline end, so probe pipelines — and cross-query reuse —
+// stay lock-free on the hot path. WithParallelism configures the pool;
+// the default uses every available CPU.
+//
+// Exec is safe to call from many goroutines. The hash-table cache
+// guards its registry with an RWMutex and protects in-use tables from
+// LRU eviction with reference-counted pins; queries that widen a cached
+// table in place (partial/overlapping reuse) serialize through an
+// exclusive execution lock while read-only reuse proceeds concurrently.
+//
 // Quick start:
 //
 //	db := hashstash.Open()
@@ -26,6 +43,8 @@ package hashstash
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"hashstash/internal/catalog"
 	"hashstash/internal/costmodel"
@@ -92,6 +111,8 @@ type config struct {
 	benefit     bool
 	partial     bool
 	overlapping bool
+	parallelism int
+	morselRows  int
 }
 
 // WithCacheBudget bounds the hash-table cache (bytes); the garbage
@@ -120,20 +141,39 @@ func WithoutPartialReuse() Option { return func(c *config) { c.partial = false }
 // WithoutOverlappingReuse disables overlapping reuse (ablation).
 func WithoutOverlappingReuse() Option { return func(c *config) { c.overlapping = false } }
 
-// DB is a HashStash database instance. It is single-threaded, matching
-// the paper's prototype: callers must not issue concurrent queries.
+// WithParallelism sets the morsel-driven execution worker-pool size.
+// n <= 1 executes pipelines serially; the default is
+// runtime.GOMAXPROCS(0).
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithMorselRows overrides the morsel granularity (rows per scan unit);
+// 0 uses the storage default (~64K rows). Mostly useful in tests and
+// benchmarks.
+func WithMorselRows(rows int) Option { return func(c *config) { c.morselRows = rows } }
+
+// DB is a HashStash database instance. Exec and ExecBatch are safe for
+// concurrent use (the materialized baseline engine serializes
+// internally); schema changes — LoadTPCH, CreateTable, InsertRows,
+// BuildIndex — must not run concurrently with queries.
 type DB struct {
 	cat    *catalog.Catalog
 	cache  *htcache.Cache
 	opt    *optimizer.Optimizer
 	batch  *shared.Optimizer
 	mat    *matreuse.Engine
+	matMu  sync.Mutex // the materialized baseline engine is single-threaded
 	engine Engine
 }
 
 // Open creates an empty database.
 func Open(opts ...Option) *DB {
-	cfg := &config{strategy: CostModel, benefit: true, partial: true, overlapping: true}
+	cfg := &config{
+		strategy:    CostModel,
+		benefit:     true,
+		partial:     true,
+		overlapping: true,
+		parallelism: runtime.GOMAXPROCS(0),
+	}
 	for _, o := range opts {
 		o(cfg)
 	}
@@ -149,6 +189,8 @@ func Open(opts ...Option) *DB {
 		BenefitOriented:   cfg.benefit,
 		EnablePartial:     cfg.partial,
 		EnableOverlapping: cfg.overlapping,
+		Parallelism:       cfg.parallelism,
+		MorselRows:        cfg.morselRows,
 	})
 	return &DB{
 		cat:    cat,
@@ -230,6 +272,8 @@ func (db *DB) Exec(sql string) (*Result, error) {
 
 func (db *DB) run(q *plan.Query) (*Result, error) {
 	if db.engine == EngineMaterialized {
+		db.matMu.Lock()
+		defer db.matMu.Unlock()
 		return db.mat.Run(q)
 	}
 	return db.opt.Run(q)
@@ -281,6 +325,5 @@ func (db *DB) ClearCache() { db.cache.Clear() }
 // SetCacheBudget adjusts the garbage collector's memory budget at
 // runtime and triggers collection immediately.
 func (db *DB) SetCacheBudget(bytes int64) {
-	db.cache.Budget = bytes
-	db.cache.GC()
+	db.cache.SetBudget(bytes)
 }

@@ -1,8 +1,13 @@
-// Package exec implements the push-based, single-threaded execution
-// engine of HashStash: pipelines of a source, a chain of batch
-// transforms, and a sink. Pipeline breakers (hash-join builds and hash
-// aggregations) are sinks that materialize the extendible hash tables
-// the rest of the system caches and reuses.
+// Package exec implements the push-based execution engine of
+// HashStash: pipelines of a source, a chain of batch transforms, and a
+// sink. Pipeline breakers (hash-join builds and hash aggregations) are
+// sinks that materialize the extendible hash tables the rest of the
+// system caches and reuses.
+//
+// Pipelines execute serially (Run) or with morsel-driven parallelism
+// (RunParallel): sources split into independent morsels consumed by a
+// worker pool, and pipeline-breaker sinks build per-worker partial hash
+// tables merged at pipeline end, keeping probes lock-free.
 package exec
 
 import (

@@ -1,0 +1,263 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// Morsel-driven parallel execution: a pipeline's source is split into
+// independent morsel-sized sub-sources; a pool of workers claims morsels
+// from a shared counter and streams each through the (stateless, shared)
+// transform chain into a per-worker sink. Per-worker sinks build private
+// partial hash tables that are merged into the pipeline's real sink at
+// Finish, so the published table is immutable and later probes stay
+// lock-free. Pipelines still execute in dependency order — parallelism
+// is within a pipeline, as in morsel-driven engines.
+
+// MorselSource is a Source that can split itself into independent
+// sub-sources over disjoint row ranges.
+type MorselSource interface {
+	Source
+	// Morsels partitions the source into sub-sources covering at most
+	// rows rows each (rows <= 0 uses storage.DefaultMorselRows). It
+	// returns nil when the source cannot be split; the runner then falls
+	// back to serial execution, which surfaces any underlying error.
+	Morsels(rows int) []Source
+}
+
+// Parallelism configures the parallel runner.
+type Parallelism struct {
+	// Workers is the worker-pool size; values <= 1 run serially.
+	Workers int
+	// MorselRows is the morsel granularity (<= 0 uses
+	// storage.DefaultMorselRows).
+	MorselRows int
+}
+
+// RunParallel executes pipelines in order, running each pipeline's
+// morsels across a worker pool. Pipelines whose source cannot be split
+// or whose sink has no parallel merge strategy run serially.
+func RunParallel(pipelines []*Pipeline, par Parallelism) error {
+	for _, p := range pipelines {
+		if err := p.runParallel(par); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pipeline) runParallel(par Parallelism) error {
+	if par.Workers <= 1 {
+		return p.Run()
+	}
+	ms, ok := p.Source.(MorselSource)
+	if !ok {
+		return p.Run()
+	}
+	sources := ms.Morsels(par.MorselRows)
+	if len(sources) < 2 {
+		return p.Run()
+	}
+	nw := par.Workers
+	if nw > len(sources) {
+		nw = len(sources)
+	}
+	merge := mergeSinkFor(p.Sink, nw)
+	if merge == nil {
+		return p.Run()
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, nw)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sink := merge.worker(w)
+			batches := p.newBatches()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(sources) {
+					return
+				}
+				if err := p.stream(sources[i], batches, sink); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	merge.merge()
+	p.Sink.Finish()
+	return nil
+}
+
+// mergeSink adapts a pipeline sink for parallel consumption: worker(w)
+// returns an independent sink for worker w; merge folds the worker
+// results into the adapted sink after all workers finish.
+type mergeSink interface {
+	worker(w int) Sink
+	merge()
+}
+
+// mergeSinkFor returns the parallel adapter for a sink, or nil when the
+// sink type has no parallel strategy (TempTable, Multi — those
+// pipelines run serially).
+func mergeSinkFor(s Sink, nw int) mergeSink {
+	switch s := s.(type) {
+	case *BuildHT:
+		return newParallelBuild(s, nw)
+	case *AggHT:
+		return newParallelAgg(s, nw)
+	case *Collect:
+		return newParallelCollect(s, nw)
+	}
+	return nil
+}
+
+// parallelBuild gives each worker a private partial hash table with the
+// target's layout and chains every partial's entries into the target at
+// merge (parallel join build).
+type parallelBuild struct {
+	target *BuildHT
+	parts  []*BuildHT
+}
+
+func newParallelBuild(t *BuildHT, nw int) *parallelBuild {
+	pb := &parallelBuild{target: t, parts: make([]*BuildHT, nw)}
+	for w := range pb.parts {
+		pb.parts[w] = &BuildHT{
+			HT:     hashtable.New(t.HT.Layout()),
+			InCols: t.InCols,
+			row:    make([]uint64, len(t.InCols)),
+		}
+	}
+	return pb
+}
+
+func (pb *parallelBuild) worker(w int) Sink { return pb.parts[w] }
+
+func (pb *parallelBuild) merge() {
+	for _, part := range pb.parts {
+		pb.target.HT.MergeFrom(part.HT)
+		pb.target.inserted += part.inserted
+	}
+}
+
+// parallelAgg gives each worker a private partial aggregation table and
+// folds the partial groups into the target at merge.
+type parallelAgg struct {
+	target *AggHT
+	parts  []*AggHT
+}
+
+func newParallelAgg(t *AggHT, nw int) *parallelAgg {
+	pa := &parallelAgg{target: t, parts: make([]*AggHT, nw)}
+	for w := range pa.parts {
+		pa.parts[w] = &AggHT{
+			HT:        hashtable.New(t.HT.Layout()),
+			GroupCols: t.GroupCols,
+			Aggs:      t.Aggs,
+			key:       make([]uint64, len(t.GroupCols)),
+		}
+	}
+	return pa
+}
+
+func (pa *parallelAgg) worker(w int) Sink { return pa.parts[w] }
+
+func (pa *parallelAgg) merge() {
+	nKeys := len(pa.target.GroupCols)
+	fold := func(col int, dst, src uint64) uint64 {
+		return mergeAggBits(pa.target.Aggs[col-nKeys], dst, src)
+	}
+	for _, part := range pa.parts {
+		// Serial-equivalent counters: every row the partial consumed
+		// either created a group in the target (counted by the merge) or
+		// folded into an existing one.
+		rows := part.inserted + part.updated
+		created := pa.target.HT.MergeGroupsFrom(part.HT, fold)
+		pa.target.inserted += created
+		pa.target.updated += rows - created
+	}
+}
+
+// mergeAggBits folds two partial aggregate cells into one — the
+// cell-level counterpart of foldBits (COUNT partials add, unlike the
+// per-row +1).
+func mergeAggBits(a AggCell, dst, src uint64) uint64 {
+	switch a.Func {
+	case expr.AggCount:
+		return dst + src
+	case expr.AggSum:
+		return types.NewFloat(types.FromBits(types.Float64, dst).F + types.FromBits(types.Float64, src).F).Bits()
+	case expr.AggMin:
+		if a.Kind == types.Float64 {
+			if types.FromBits(types.Float64, src).F < types.FromBits(types.Float64, dst).F {
+				return src
+			}
+			return dst
+		}
+		if int64(src) < int64(dst) {
+			return src
+		}
+		return dst
+	case expr.AggMax:
+		if a.Kind == types.Float64 {
+			if types.FromBits(types.Float64, src).F > types.FromBits(types.Float64, dst).F {
+				return src
+			}
+			return dst
+		}
+		if int64(src) > int64(dst) {
+			return src
+		}
+		return dst
+	}
+	panic("exec: cannot merge aggregate")
+}
+
+// parallelCollect accumulates rows per worker and concatenates them at
+// merge. Row order is worker-dependent (SQL result sets are unordered;
+// tests compare sorted rows).
+type parallelCollect struct {
+	target *Collect
+	parts  []*Collect
+}
+
+func newParallelCollect(t *Collect, nw int) *parallelCollect {
+	pc := &parallelCollect{target: t, parts: make([]*Collect, nw)}
+	for w := range pc.parts {
+		pc.parts[w] = NewCollect(t.Schema)
+	}
+	return pc
+}
+
+func (pc *parallelCollect) worker(w int) Sink { return pc.parts[w] }
+
+func (pc *parallelCollect) merge() {
+	for _, part := range pc.parts {
+		pc.target.Rows = append(pc.target.Rows, part.Rows...)
+	}
+}
+
+// Ensure split sources satisfy the interface.
+var (
+	_ MorselSource = (*TableScan)(nil)
+	_ MorselSource = (*HTScan)(nil)
+	_ Source       = (*tableScanMorsel)(nil)
+	_ Source       = (*htScanMorsel)(nil)
+	_              = storage.DefaultMorselRows
+)

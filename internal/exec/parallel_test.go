@@ -1,0 +1,286 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// bigTable builds an n-row table: key 0..n-1, grp = key%groups,
+// val = key*0.5, tag = "t<key%7>".
+func bigTable(t testing.TB, n, groups int, withIndex bool) *storage.Table {
+	t.Helper()
+	key := storage.NewColumn("b_key", types.Int64)
+	grp := storage.NewColumn("b_grp", types.Int64)
+	val := storage.NewColumn("b_val", types.Float64)
+	tag := storage.NewColumn("b_tag", types.String)
+	for i := 0; i < n; i++ {
+		key.Ints = append(key.Ints, int64(i))
+		grp.Ints = append(grp.Ints, int64(i%groups))
+		val.Floats = append(val.Floats, float64(i)*0.5)
+		tag.Strs = append(tag.Strs, fmt.Sprintf("t%d", i%7))
+	}
+	tbl := storage.NewTable("big", key, grp, val, tag)
+	if withIndex {
+		if err := tbl.BuildIndexOn("b_key"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func keyBox(lo, hi int64) expr.Box {
+	return expr.NewBox(expr.Pred{
+		Col: storage.ColRef{Table: "b", Column: "b_key"},
+		Con: expr.IntervalConstraint(types.Int64, expr.Interval{
+			HasLo: true, Lo: types.NewInt(lo), LoIncl: true,
+			HasHi: true, Hi: types.NewInt(hi), HiIncl: true,
+		}),
+	})
+}
+
+// sortedRows canonicalizes a collected result for order-independent
+// comparison (parallel merge order is worker-dependent).
+func sortedRows(rows [][]types.Value) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		s := ""
+		for _, v := range row {
+			s += v.String() + "|"
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertSameRows(t *testing.T, serial, parallel [][]types.Value) {
+	t.Helper()
+	s, p := sortedRows(serial), sortedRows(parallel)
+	if len(s) != len(p) {
+		t.Fatalf("row count: serial %d, parallel %d", len(s), len(p))
+	}
+	for i := range s {
+		if s[i] != p[i] {
+			t.Fatalf("row %d: serial %q != parallel %q", i, s[i], p[i])
+		}
+	}
+}
+
+func TestTableScanMorselsCoverAllRows(t *testing.T) {
+	tbl := bigTable(t, 10_000, 10, true)
+	for _, tc := range []struct {
+		name  string
+		boxes []expr.Box
+	}{
+		{"full", nil},
+		{"indexed", []expr.Box{keyBox(1000, 8999)}},
+		{"twoBoxes", []expr.Box{keyBox(0, 999), keyBox(9000, 9999)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func() *TableScan {
+				src, err := NewTableScan(tbl, "b", tc.boxes, []string{"b_key"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return src
+			}
+			serial := runToCollect(t, mk())
+
+			src := mk()
+			morsels := src.Morsels(1024)
+			if len(morsels) < 2 {
+				t.Fatalf("expected several morsels, got %d", len(morsels))
+			}
+			var rows [][]types.Value
+			for _, m := range morsels {
+				c := runToCollect(t, m)
+				rows = append(rows, c.Rows...)
+			}
+			assertSameRows(t, serial.Rows, rows)
+		})
+	}
+}
+
+// scanAggPipeline compiles SELECT b_grp, SUM(b_val), COUNT(*), MIN(b_key),
+// MAX(b_key) FROM big WHERE key in box GROUP BY b_grp into a pipeline.
+func scanAggPipeline(t *testing.T, tbl *storage.Table, boxes []expr.Box) (*Pipeline, *hashtable.Table) {
+	t.Helper()
+	src, err := NewTableScan(tbl, "b", boxes, []string{"b_key", "b_grp", "b_val"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grpRef := storage.ColRef{Table: "b", Column: "b_grp"}
+	layout := hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: grpRef, Kind: types.Int64},
+			{Ref: storage.ColRef{Column: "sum_val"}, Kind: types.Float64},
+			{Ref: storage.ColRef{Column: "cnt"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Column: "min_key"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Column: "max_key"}, Kind: types.Int64},
+		},
+		KeyCols: 1,
+	}
+	ht := hashtable.New(layout)
+	schema := src.Schema()
+	aggs := []AggCell{
+		{Func: expr.AggSum, InCol: schema.MustIndexOf(storage.ColRef{Table: "b", Column: "b_val"}), Kind: types.Float64},
+		{Func: expr.AggCount, InCol: -1, Kind: types.Int64},
+		{Func: expr.AggMin, InCol: schema.MustIndexOf(storage.ColRef{Table: "b", Column: "b_key"}), Kind: types.Int64},
+		{Func: expr.AggMax, InCol: schema.MustIndexOf(storage.ColRef{Table: "b", Column: "b_key"}), Kind: types.Int64},
+	}
+	sink, err := NewAggHT(ht, []storage.ColRef{grpRef}, aggs, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Pipeline{Source: src, Transforms: nil, Sink: sink}, ht
+}
+
+func htRows(t *testing.T, ht *hashtable.Table) [][]types.Value {
+	t.Helper()
+	n := len(ht.Layout().Cols)
+	src, err := NewHTScan(ht, identityColsTest(n), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runToCollect(t, src).Rows
+}
+
+func identityColsTest(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelScanAggMatchesSerial(t *testing.T) {
+	tbl := bigTable(t, 50_000, 37, false)
+	serialP, serialHT := scanAggPipeline(t, tbl, nil)
+	if err := Run([]*Pipeline{serialP}); err != nil {
+		t.Fatal(err)
+	}
+	parP, parHT := scanAggPipeline(t, tbl, nil)
+	if err := RunParallel([]*Pipeline{parP}, Parallelism{Workers: 4, MorselRows: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, htRows(t, serialHT), htRows(t, parHT))
+
+	sIn, sOut := serialP.Stats()
+	pIn, pOut := parP.Stats()
+	if sIn != pIn || sOut != pOut {
+		t.Fatalf("row counters: serial %d/%d, parallel %d/%d", sIn, sOut, pIn, pOut)
+	}
+	sSink, pSink := serialP.Sink.(*AggHT), parP.Sink.(*AggHT)
+	if sSink.Inserted() != pSink.Inserted() || sSink.Updated() != pSink.Updated() {
+		t.Fatalf("sink counters: serial %d/%d, parallel %d/%d",
+			sSink.Inserted(), sSink.Updated(), pSink.Inserted(), pSink.Updated())
+	}
+}
+
+// TestParallelBuildProbeMatchesSerial parallelizes a join build over a
+// string-keyed table (exercising per-worker string heaps and their
+// re-interning merge) and probes it from a parallel pipeline.
+func TestParallelBuildProbeMatchesSerial(t *testing.T) {
+	tbl := bigTable(t, 20_000, 11, false)
+
+	run := func(par Parallelism) ([][]types.Value, *Pipeline, *Pipeline) {
+		bsrc, err := NewTableScan(tbl, "b", nil, []string{"b_tag", "b_val"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tagRef := storage.ColRef{Table: "b", Column: "b_tag"}
+		valRef := storage.ColRef{Table: "b", Column: "b_val"}
+		layout := hashtable.Layout{
+			Cols: []storage.ColMeta{
+				{Ref: tagRef, Kind: types.String},
+				{Ref: valRef, Kind: types.Float64},
+			},
+			KeyCols: 1,
+		}
+		ht := hashtable.New(layout)
+		bsink, err := NewBuildHT(ht, bsrc.Schema(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		build := &Pipeline{Source: bsrc, Sink: bsink}
+
+		// Probe side: distinct tags 0..6 via a small scan of the same
+		// table restricted to the first 7 rows.
+		psrc, err := NewTableScan(tbl, "b", []expr.Box{keyBox(0, 6)}, []string{"b_key", "b_tag"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe, err := NewProbe(ht, []storage.ColRef{tagRef}, []int{1}, nil, nil, psrc.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect := NewCollect(probe.OutSchema())
+		probeP := &Pipeline{Source: psrc, Transforms: []Transform{probe}, Sink: collect}
+		if err := RunParallel([]*Pipeline{build, probeP}, par); err != nil {
+			t.Fatal(err)
+		}
+		return collect.Rows, build, probeP
+	}
+
+	serialRows, sb, _ := run(Parallelism{Workers: 1})
+	parRows, pb, _ := run(Parallelism{Workers: 4, MorselRows: 2048})
+	assertSameRows(t, serialRows, parRows)
+	if got, want := pb.Sink.(*BuildHT).Inserted(), sb.Sink.(*BuildHT).Inserted(); got != want {
+		t.Fatalf("parallel build inserted %d, want %d", got, want)
+	}
+}
+
+// TestParallelHTScan splits a cached-table readout into entry-range
+// morsels.
+func TestParallelHTScan(t *testing.T) {
+	tbl := bigTable(t, 30_000, 5000, false)
+	p, ht := scanAggPipeline(t, tbl, nil)
+	if err := Run([]*Pipeline{p}); err != nil {
+		t.Fatal(err)
+	}
+	serial := htRows(t, ht)
+
+	src, err := NewHTScan(ht, identityColsTest(len(ht.Layout().Cols)), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := NewCollect(src.Schema())
+	scanP := &Pipeline{Source: src, Sink: collect}
+	if err := RunParallel([]*Pipeline{scanP}, Parallelism{Workers: 4, MorselRows: 512}); err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, serial, collect.Rows)
+}
+
+// TestParallelFallbacks: unsplittable setups must still execute
+// correctly through the serial path.
+func TestParallelFallbacks(t *testing.T) {
+	tbl := bigTable(t, 100, 10, false)
+	// Tiny input → single morsel → serial fallback.
+	p, ht := scanAggPipeline(t, tbl, nil)
+	if err := RunParallel([]*Pipeline{p}, Parallelism{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if len(htRows(t, ht)) != 10 {
+		t.Fatalf("fallback produced %d groups, want 10", len(htRows(t, ht)))
+	}
+
+	// TempTable sink has no parallel merge → serial fallback.
+	src, err := NewTableScan(tbl, "b", nil, []string{"b_key"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := NewTempTable("spill", src.Schema())
+	if err := RunParallel([]*Pipeline{{Source: src, Sink: tmp}}, Parallelism{Workers: 4, MorselRows: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if tmp.Table.NumRows() != 100 {
+		t.Fatalf("temp table has %d rows, want 100", tmp.Table.NumRows())
+	}
+}

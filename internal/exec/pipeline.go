@@ -1,6 +1,10 @@
 package exec
 
-import "hashstash/internal/storage"
+import (
+	"sync/atomic"
+
+	"hashstash/internal/storage"
+)
 
 // Pipeline is one push-based execution unit: a source streams batches
 // through a transform chain into a sink. Hash-join build sides and
@@ -13,27 +17,38 @@ type Pipeline struct {
 	Sink       Sink
 
 	// RowsIn counts source rows, RowsOut counts rows reaching the sink.
+	// Both are updated atomically (the parallel runner streams morsels
+	// from many workers); read them with the RowsIn/RowsOut methods or
+	// after the pipeline completes.
 	RowsIn  int64
 	RowsOut int64
 }
 
-// Run streams the pipeline to completion.
-func (p *Pipeline) Run() error {
-	if err := p.Source.Open(); err != nil {
-		return err
-	}
-	// One reusable batch per stage.
+// newBatches allocates one reusable batch per pipeline stage (the
+// parallel runner allocates an independent set per worker).
+func (p *Pipeline) newBatches() []*storage.Batch {
 	batches := make([]*storage.Batch, len(p.Transforms)+1)
 	batches[0] = storage.NewBatch(p.Source.Schema())
 	for i, t := range p.Transforms {
 		batches[i+1] = storage.NewBatch(t.OutSchema())
 	}
+	return batches
+}
+
+// stream drains one source through the transform chain into sink,
+// reusing the per-stage batches. It is the shared inner loop of the
+// serial runner (whole source, pipeline sink) and the parallel runner
+// (one morsel, per-worker sink).
+func (p *Pipeline) stream(src Source, batches []*storage.Batch, sink Sink) error {
+	if err := src.Open(); err != nil {
+		return err
+	}
 	for {
 		batches[0].Reset()
-		if !p.Source.Next(batches[0]) {
+		if !src.Next(batches[0]) {
 			break
 		}
-		p.RowsIn += int64(batches[0].Len())
+		atomic.AddInt64(&p.RowsIn, int64(batches[0].Len()))
 		cur := batches[0]
 		for i, t := range p.Transforms {
 			next := batches[i+1]
@@ -41,13 +56,34 @@ func (p *Pipeline) Run() error {
 			t.Apply(cur, next)
 			cur = next
 		}
-		p.RowsOut += int64(cur.Len())
+		atomic.AddInt64(&p.RowsOut, int64(cur.Len()))
 		if cur.Len() > 0 {
-			p.Sink.Consume(cur)
+			sink.Consume(cur)
 		}
+	}
+	// Next cannot return an error; sources that can fail mid-iteration
+	// (multi-box scans resolving boxes lazily) expose it via Err.
+	if es, ok := src.(interface{ Err() error }); ok {
+		if err := es.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run streams the pipeline to completion on the calling goroutine.
+func (p *Pipeline) Run() error {
+	if err := p.stream(p.Source, p.newBatches(), p.Sink); err != nil {
+		return err
 	}
 	p.Sink.Finish()
 	return nil
+}
+
+// Stats returns the pipeline's row counters; safe to call while the
+// pipeline is running.
+func (p *Pipeline) Stats() (rowsIn, rowsOut int64) {
+	return atomic.LoadInt64(&p.RowsIn), atomic.LoadInt64(&p.RowsOut)
 }
 
 // OutSchema reports the schema reaching the sink.
@@ -58,8 +94,9 @@ func (p *Pipeline) OutSchema() storage.Schema {
 	return p.Source.Schema()
 }
 
-// Run executes pipelines in order (build sides before probes; the
-// planner orders them by dependency).
+// Run executes pipelines serially in order (build sides before probes;
+// the planner orders them by dependency). Equivalent to RunParallel
+// with one worker.
 func Run(pipelines []*Pipeline) error {
 	for _, p := range pipelines {
 		if err := p.Run(); err != nil {

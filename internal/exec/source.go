@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hashstash/internal/expr"
 	"hashstash/internal/hashtable"
@@ -41,6 +42,7 @@ type TableScan struct {
 	pos     int
 	matcher *tableMatcher
 	full    bool
+	err     error // box-resolution failure mid-iteration (see Err)
 	// stats
 	rowsScanned int64
 }
@@ -73,6 +75,49 @@ func (s *TableScan) Open() error {
 	return s.advanceBox()
 }
 
+// scanUnit is one predicate box resolved against the table: either a
+// row-id list from the best secondary index or a full-range scan, plus
+// the residual filter. Its fields are read-only after resolution, so
+// morsels of the same box share it across workers.
+type scanUnit struct {
+	rows    []int32 // index path row ids; nil with full=true → full scan
+	full    bool
+	matcher *tableMatcher
+}
+
+// resolveBox resolves one box into a scan unit; skip reports a
+// contradictory (empty-set) box that produces no rows.
+func (s *TableScan) resolveBox(box expr.Box) (unit scanUnit, skip bool, err error) {
+	if box.Empty() {
+		return scanUnit{}, true, nil
+	}
+	// Pick an indexed, non-full interval constraint to drive the scan.
+	var residual expr.Box
+	indexed := false
+	for _, p := range box {
+		if !indexed && p.Con.Kind != types.String && !p.Con.IsFull() {
+			if ix := s.Table.IndexOn(p.Col.Column); ix != nil {
+				iv := p.Con.Iv
+				unit.rows = ix.Range(iv.Lo, iv.Hi, iv.HasLo, iv.HasHi, iv.LoIncl, iv.HiIncl)
+				indexed = true
+				continue
+			}
+		}
+		residual = append(residual, p)
+	}
+	if !indexed {
+		unit.full = true
+	}
+	if len(residual) > 0 {
+		m, err := newTableMatcher(residual, s.Table)
+		if err != nil {
+			return scanUnit{}, false, err
+		}
+		unit.matcher = m
+	}
+	return unit, false, nil
+}
+
 // advanceBox prepares iteration state for the next box.
 func (s *TableScan) advanceBox() error {
 	s.boxIdx++
@@ -83,35 +128,83 @@ func (s *TableScan) advanceBox() error {
 	if s.boxIdx >= len(s.Boxes) {
 		return nil
 	}
-	box := s.Boxes[s.boxIdx]
-	if box.Empty() {
+	unit, skip, err := s.resolveBox(s.Boxes[s.boxIdx])
+	if err != nil {
+		return err
+	}
+	if skip {
 		return s.advanceBox()
 	}
-	// Pick an indexed, non-full interval constraint to drive the scan.
-	var residual expr.Box
-	indexed := false
-	for _, p := range box {
-		if !indexed && p.Con.Kind != types.String && !p.Con.IsFull() {
-			if ix := s.Table.IndexOn(p.Col.Column); ix != nil {
-				iv := p.Con.Iv
-				s.rows = ix.Range(iv.Lo, iv.Hi, iv.HasLo, iv.HasHi, iv.LoIncl, iv.HiIncl)
-				indexed = true
-				continue
-			}
-		}
-		residual = append(residual, p)
-	}
-	if !indexed {
-		s.full = true
-	}
-	if len(residual) > 0 {
-		m, err := newTableMatcher(residual, s.Table)
-		if err != nil {
-			return err
-		}
-		s.matcher = m
-	}
+	s.rows, s.full, s.matcher = unit.rows, unit.full, unit.matcher
 	return nil
+}
+
+// Morsels implements MorselSource: every box's scan unit (index row-id
+// run or full table range) is chunked into independent row ranges that
+// share the box's read-only residual matcher. It returns nil when box
+// resolution fails; the runner's serial fallback then surfaces the
+// error.
+func (s *TableScan) Morsels(rows int) []Source {
+	var out []Source
+	for _, box := range s.Boxes {
+		unit, skip, err := s.resolveBox(box)
+		if err != nil {
+			return nil
+		}
+		if skip {
+			continue
+		}
+		n := len(unit.rows)
+		if unit.full {
+			n = s.Table.NumRows()
+		}
+		for _, m := range storage.MorselRange(n, rows) {
+			out = append(out, &tableScanMorsel{scan: s, unit: unit, m: m})
+		}
+	}
+	return out
+}
+
+// tableScanMorsel scans one morsel of one resolved box. It shares the
+// parent scan's table, column list and matcher (all read-only) and owns
+// only its cursor.
+type tableScanMorsel struct {
+	scan *TableScan
+	unit scanUnit
+	m    storage.Morsel
+	pos  int32
+}
+
+// Schema implements Source.
+func (t *tableScanMorsel) Schema() storage.Schema { return t.scan.schema }
+
+// Open implements Source.
+func (t *tableScanMorsel) Open() error {
+	t.pos = t.m.Start
+	return nil
+}
+
+// Next implements Source.
+func (t *tableScanMorsel) Next(out *storage.Batch) bool {
+	produced := out.Len()
+	var scanned int64
+	for t.pos < t.m.End && produced < storage.BatchSize {
+		row := t.pos
+		if !t.unit.full {
+			row = t.unit.rows[t.pos]
+		}
+		t.pos++
+		scanned++
+		if t.unit.matcher != nil && !t.unit.matcher.match(row) {
+			continue
+		}
+		t.scan.emit(out, row)
+		produced++
+	}
+	if scanned > 0 {
+		atomic.AddInt64(&t.scan.rowsScanned, scanned)
+	}
+	return produced > 0
 }
 
 // Next implements Source.
@@ -135,6 +228,7 @@ func (s *TableScan) Next(out *storage.Batch) bool {
 			}
 			if s.pos >= n {
 				if err := s.advanceBox(); err != nil {
+					s.err = err
 					return false
 				}
 				continue
@@ -155,6 +249,7 @@ func (s *TableScan) Next(out *storage.Batch) bool {
 			}
 			if s.pos >= len(s.rows) {
 				if err := s.advanceBox(); err != nil {
+					s.err = err
 					return false
 				}
 				continue
@@ -164,6 +259,11 @@ func (s *TableScan) Next(out *storage.Batch) bool {
 	return false
 }
 
+// Err reports a box-resolution failure that ended iteration early
+// (Next has no error return); the pipeline runner checks it after the
+// source is drained.
+func (s *TableScan) Err() error { return s.err }
+
 func (s *TableScan) emit(out *storage.Batch, row int32) {
 	for i, c := range s.Cols {
 		out.Cols[i].AppendFrom(s.Table.Column(c), row)
@@ -171,8 +271,9 @@ func (s *TableScan) emit(out *storage.Batch, row int32) {
 }
 
 // RowsScanned reports how many base rows the scan touched (actual-cost
-// statistic for the optimizer accuracy experiment).
-func (s *TableScan) RowsScanned() int64 { return s.rowsScanned }
+// statistic for the optimizer accuracy experiment). Morsel workers
+// update the counter atomically.
+func (s *TableScan) RowsScanned() int64 { return atomic.LoadInt64(&s.rowsScanned) }
 
 // HTScan iterates the entries of a cached hash table, decoding a subset
 // of its layout columns, optionally post-filtering (subsuming-reuse) and
@@ -282,5 +383,62 @@ func (s *HTScan) entryMatches(e int32, layout hashtable.Layout) bool {
 }
 
 // FilteredOut reports how many entries the post-filter rejected (the
-// false positives of subsuming reuse).
-func (s *HTScan) FilteredOut() int64 { return s.filtered }
+// false positives of subsuming reuse). Morsel workers update the
+// counter atomically.
+func (s *HTScan) FilteredOut() int64 { return atomic.LoadInt64(&s.filtered) }
+
+// Morsels implements MorselSource: the hash table's entry arena is
+// chunked into independent ranges. The table is immutable while being
+// scanned (builds into it are earlier pipelines; cross-query mutation
+// is excluded by the cache's execution locks), so morsels share it
+// lock-free.
+func (s *HTScan) Morsels(rows int) []Source {
+	var out []Source
+	for _, m := range storage.MorselRange(s.HT.Len(), rows) {
+		out = append(out, &htScanMorsel{scan: s, m: m})
+	}
+	return out
+}
+
+// htScanMorsel scans one entry range of a hash table.
+type htScanMorsel struct {
+	scan *HTScan
+	m    storage.Morsel
+	pos  int32
+}
+
+// Schema implements Source.
+func (t *htScanMorsel) Schema() storage.Schema { return t.scan.schema }
+
+// Open implements Source.
+func (t *htScanMorsel) Open() error {
+	t.pos = t.m.Start
+	return nil
+}
+
+// Next implements Source.
+func (t *htScanMorsel) Next(out *storage.Batch) bool {
+	s := t.scan
+	layout := s.HT.Layout()
+	produced := 0
+	var filtered int64
+	for t.pos < t.m.End && produced < storage.BatchSize {
+		e := t.pos
+		t.pos++
+		if s.QidCol >= 0 && s.HT.Cell(e, s.QidCol)&s.QidMask == 0 {
+			continue
+		}
+		if !s.entryMatches(e, layout) {
+			filtered++
+			continue
+		}
+		for i, ci := range s.OutCols {
+			out.Cols[i].Append(s.HT.CellValue(e, ci))
+		}
+		produced++
+	}
+	if filtered > 0 {
+		atomic.AddInt64(&s.filtered, filtered)
+	}
+	return produced > 0
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hashstash/internal/expr"
 	"hashstash/internal/hashtable"
@@ -189,10 +190,13 @@ func NewProbe(ht *hashtable.Table, keyCols []storage.ColRef, emitCols []int, emi
 // OutSchema implements Transform.
 func (p *Probe) OutSchema() storage.Schema { return p.schema }
 
-// Apply implements Transform.
+// Apply implements Transform. It is safe to call concurrently from
+// several workers over disjoint batches: the probe only reads the
+// (immutable) hash table and its stat counters are folded in atomically.
 func (p *Probe) Apply(in, out *storage.Batch) {
 	n := in.Len()
 	key := make([]uint64, len(p.KeyCols))
+	var matches, filtered int64
 	for i := 0; i < n; i++ {
 		ok := true
 		for k, ci := range p.KeyCols {
@@ -219,7 +223,7 @@ func (p *Probe) Apply(in, out *storage.Batch) {
 		it := p.HT.Probe(key)
 		for e := it.Next(); e != -1; e = it.Next() {
 			if !p.entryMatches(e) {
-				p.filtered++
+				filtered++
 				continue
 			}
 			var mask uint64
@@ -229,7 +233,7 @@ func (p *Probe) Apply(in, out *storage.Batch) {
 					continue
 				}
 			}
-			p.matches++
+			matches++
 			for c := range in.Cols {
 				if c == p.QidInCol && p.QidCol >= 0 {
 					out.Cols[c].Append(types.NewInt(int64(mask)))
@@ -241,6 +245,12 @@ func (p *Probe) Apply(in, out *storage.Batch) {
 				out.Cols[len(in.Cols)+oi].Append(p.HT.CellValue(e, ci))
 			}
 		}
+	}
+	if matches > 0 {
+		atomic.AddInt64(&p.matches, matches)
+	}
+	if filtered > 0 {
+		atomic.AddInt64(&p.filtered, filtered)
 	}
 }
 
@@ -267,8 +277,9 @@ func (p *Probe) entryMatches(e int32) bool {
 	return true
 }
 
-// Matches reports the number of join matches produced.
-func (p *Probe) Matches() int64 { return p.matches }
+// Matches reports the number of join matches produced; morsel workers
+// update the counter atomically.
+func (p *Probe) Matches() int64 { return atomic.LoadInt64(&p.matches) }
 
 // FilteredOut reports post-filtered false positives (subsuming reuse).
-func (p *Probe) FilteredOut() int64 { return p.filtered }
+func (p *Probe) FilteredOut() int64 { return atomic.LoadInt64(&p.filtered) }

@@ -1,6 +1,8 @@
 // Package htcache implements the Hash Table Manager (HTM) of HashStash:
 // a cache of internal hash tables with lineage and statistics, plus the
-// coarse-grained LRU garbage collector of Section 5 of the paper.
+// coarse-grained LRU garbage collector of Section 5 of the paper. The
+// cache is safe for concurrent queries: an RWMutex guards the registry
+// and reference-counted pins shield in-use tables from eviction.
 //
 // Lineage records are stored base-table-qualified (aliases stripped), so
 // a hash table built by one query matches a structurally identical
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"hashstash/internal/expr"
 	"hashstash/internal/hashtable"
@@ -105,7 +108,17 @@ type Entry struct {
 	Pins int
 	// Bytes is the footprint recorded at registration/release time.
 	Bytes int64
+
+	// ready marks the table as fully built and published: entries are
+	// registered unready (their build pipeline has not run yet) and
+	// become candidates only after the building query releases them, so
+	// a concurrent query can never plan reuse of a half-built table.
+	ready bool
 }
+
+// Ready reports whether the entry has been published (its build
+// completed). Unready entries are invisible to Candidates.
+func (e *Entry) Ready() bool { return e.ready }
 
 // Stats summarizes cache state for experiments and monitoring.
 type Stats struct {
@@ -120,12 +133,20 @@ type Stats struct {
 	HitRatio float64
 }
 
-// Cache is the hash table cache. It is single-threaded, like the rest
-// of the HashStash prototype.
+// Cache is the hash table cache. All methods are safe for concurrent
+// use: an RWMutex guards the registry, statistics and per-entry
+// bookkeeping (pins, recency, lineage), and reference-counted pinning
+// keeps the LRU garbage collector away from tables that running queries
+// are probing or widening. The hash tables themselves are not locked
+// here — probes of published tables are read-only and lock-free, and
+// queries that mutate a cached table (partial/overlapping reuse)
+// serialize through the optimizer's execution lock.
 type Cache struct {
-	// Budget is the memory budget in bytes; 0 means unlimited.
+	// Budget is the memory budget in bytes; 0 means unlimited. Adjust it
+	// through SetBudget when other goroutines may be running queries.
 	Budget int64
 
+	mu         sync.RWMutex
 	entries    map[int64]*Entry
 	byStruct   map[string][]*Entry
 	nextID     int64
@@ -153,8 +174,11 @@ func (c *Cache) tick() int64 {
 
 // Register admits a hash table with its lineage, triggering garbage
 // collection if the budget is exceeded. The returned entry is pinned
-// until Release — a table being built must not be evicted mid-query.
+// until Release — a table being built must not be evicted mid-query —
+// and stays invisible to Candidates until then (Release publishes it).
 func (c *Cache) Register(ht *hashtable.Table, lin Lineage) *Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e := &Entry{
 		ID:       c.nextID,
 		HT:       ht,
@@ -168,29 +192,37 @@ func (c *Cache) Register(ht *hashtable.Table, lin Lineage) *Entry {
 	key := lin.StructKey()
 	c.byStruct[key] = append(c.byStruct[key], e)
 	c.registered++
-	c.GC()
+	c.gcLocked()
 	return e
 }
 
-// Candidates returns cached entries whose structure matches the lineage
-// probe (kind, join signature, key columns, group-by), most recently
-// used first. Predicate classification is the caller's job.
+// Candidates returns published cached entries whose structure matches
+// the lineage probe (kind, join signature, key columns, group-by), most
+// recently used first. Predicate classification is the caller's job.
 func (c *Cache) Candidates(probe Lineage) []*Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	list := c.byStruct[probe.StructKey()]
 	out := make([]*Entry, 0, len(list))
-	out = append(out, list...)
+	for _, e := range list {
+		if e.ready {
+			out = append(out, e)
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].LastUsed > out[j].LastUsed })
 	return out
 }
 
-// CandidatesByKind returns all entries of a kind over the given join
-// signature regardless of keys/grouping — used for the aggregate
-// "group-by subset" exact-reuse extension, where the cached table's
-// group-by may be a superset of the request's.
+// CandidatesByKind returns all published entries of a kind over the
+// given join signature regardless of keys/grouping — used for the
+// aggregate "group-by subset" exact-reuse extension, where the cached
+// table's group-by may be a superset of the request's.
 func (c *Cache) CandidatesByKind(kind Kind, joinSig string) []*Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []*Entry
 	for _, e := range c.entries {
-		if e.Lineage.Kind == kind && e.Lineage.JoinSig == joinSig {
+		if e.ready && e.Lineage.Kind == kind && e.Lineage.JoinSig == joinSig {
 			out = append(out, e)
 		}
 	}
@@ -203,36 +235,87 @@ func (c *Cache) CandidatesByKind(kind Kind, joinSig string) []*Entry {
 	return out
 }
 
-// Pin marks an entry in use (reused by a plan) and counts the hit.
+// Pin marks an entry in use (reused by a plan) and counts the hit. A
+// pinned entry is never evicted by the garbage collector.
 func (c *Cache) Pin(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e.Pins++
 	e.Hits++
 	c.hits++
 	e.LastUsed = c.tick()
 }
 
-// Release drops one pin and refreshes the entry's statistics (its table
-// may have grown through partial-reuse additions).
+// Release drops one pin, refreshes the entry's statistics (its table
+// may have grown through partial-reuse additions) and publishes the
+// entry: a freshly registered table becomes a reuse candidate only now,
+// when its build pipeline has completed.
 func (c *Cache) Release(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if e.Pins > 0 {
 		e.Pins--
 	}
+	e.ready = true
 	e.Bytes = e.HT.ByteSize()
 	e.LastUsed = c.tick()
-	c.GC()
+	c.gcLocked()
+}
+
+// Abandon unpins and removes an entry that its creator no longer wants
+// cached — the error path of a failed build, or a compiled plan that
+// was discarded before execution. Unlike Evict it succeeds even while
+// the caller's own pin is still held.
+func (c *Cache) Abandon(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.Pins > 0 {
+		e.Pins--
+	}
+	if _, ok := c.entries[e.ID]; ok && e.Pins == 0 {
+		c.evict(e)
+	}
+}
+
+// UpdateFilter replaces the entry's lineage filter after partial or
+// overlapping reuse widened the table's content. Callers must hold the
+// optimizer's exclusive execution lock (concurrent planners read
+// lineages).
+func (c *Cache) UpdateFilter(e *Entry, filter expr.Box) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.Lineage.Filter = filter
 }
 
 // Touch refreshes recency without counting a reuse.
-func (c *Cache) Touch(e *Entry) { e.LastUsed = c.tick() }
+func (c *Cache) Touch(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.LastUsed = c.tick()
+}
 
 // Get returns the entry with the given id, or nil.
-func (c *Cache) Get(id int64) *Entry { return c.entries[id] }
+func (c *Cache) Get(id int64) *Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.entries[id]
+}
 
 // Len reports the number of cached tables.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
 
 // TotalBytes reports the cache footprint.
 func (c *Cache) TotalBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.totalBytesLocked()
+}
+
+func (c *Cache) totalBytesLocked() int64 {
 	var total int64
 	for _, e := range c.entries {
 		total += e.Bytes
@@ -240,15 +323,29 @@ func (c *Cache) TotalBytes() int64 {
 	return total
 }
 
+// SetBudget adjusts the memory budget and collects immediately.
+func (c *Cache) SetBudget(bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Budget = bytes
+	c.gcLocked()
+}
+
 // GC evicts least-recently-used unpinned tables until the cache fits
 // its budget. It returns the number of evicted tables. With Budget==0
 // it never evicts.
 func (c *Cache) GC() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gcLocked()
+}
+
+func (c *Cache) gcLocked() int {
 	if c.Budget <= 0 {
 		return 0
 	}
 	evicted := 0
-	for c.TotalBytes() > c.Budget {
+	for c.totalBytesLocked() > c.Budget {
 		var victim *Entry
 		for _, e := range c.entries {
 			if e.Pins > 0 {
@@ -287,6 +384,8 @@ func (c *Cache) evict(e *Entry) {
 // Evict removes a specific entry (used by tests and administrative
 // commands); pinned entries are refused.
 func (c *Cache) Evict(e *Entry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if e.Pins > 0 {
 		return fmt.Errorf("htcache: entry %d is pinned", e.ID)
 	}
@@ -299,6 +398,8 @@ func (c *Cache) Evict(e *Entry) error {
 
 // Clear drops every unpinned entry.
 func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, e := range c.entries {
 		if e.Pins == 0 {
 			c.evict(e)
@@ -308,9 +409,11 @@ func (c *Cache) Clear() {
 
 // Stats returns a snapshot of cache statistics.
 func (c *Cache) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	s := Stats{
 		Entries:     len(c.entries),
-		Bytes:       c.TotalBytes(),
+		Bytes:       c.totalBytesLocked(),
 		Hits:        c.hits,
 		Evictions:   c.evictions,
 		Registered:  c.registered,

@@ -70,6 +70,10 @@ func (o *Optimizer) compile(p *Planned, register bool) (*Compiled, error) {
 	return c.out, nil
 }
 
+// releaseAll unwinds a failed compilation: reused entries are unpinned,
+// and tables registered for builds that will now never run are removed
+// from the cache — releasing them would publish empty tables as reuse
+// candidates.
 func (c *compiler) releaseAll() {
 	if !c.register {
 		return
@@ -78,7 +82,7 @@ func (c *compiler) releaseAll() {
 		c.o.Cache.Release(e)
 	}
 	for _, e := range c.out.created {
-		c.o.Cache.Release(e)
+		c.o.Cache.Abandon(e)
 	}
 }
 

@@ -16,6 +16,11 @@ type Result struct {
 	// PlanTime and ExecTime separate optimization from execution.
 	PlanTime time.Duration
 	ExecTime time.Duration
+	// RowsIn and RowsOut total the pipelines' row counters: source rows
+	// streamed and rows reaching sinks (per-pipeline counters are
+	// updated atomically by the parallel runner's workers).
+	RowsIn  int64
+	RowsOut int64
 	// EstimatedCost is the optimizer's estimate (ns) for the chosen plan.
 	EstimatedCost float64
 	// Decisions is the per-operator reuse decision log.
@@ -24,28 +29,65 @@ type Result struct {
 
 // Run plans, compiles and executes a query, maintaining the hash-table
 // cache (pins, registrations, lineage updates after partial reuse).
+//
+// Run is safe for concurrent use. Queries that treat cached tables as
+// immutable (new builds, exact and subsuming reuse) execute under the
+// shared lock and run concurrently; a plan that would widen a cached
+// table in place (partial/overlapping reuse) is abandoned, re-planned
+// and executed under the exclusive lock, so in-place additions never
+// race with other queries' lock-free probes.
 func (o *Optimizer) Run(q *plan.Query) (*Result, error) {
+	o.execMu.RLock()
+	res, retry, err := o.runLocked(q, false)
+	o.execMu.RUnlock()
+	if !retry {
+		return res, err
+	}
+	o.execMu.Lock()
+	defer o.execMu.Unlock()
+	res, _, err = o.runLocked(q, true)
+	return res, err
+}
+
+// runLocked plans, compiles and executes under the caller's execution
+// lock. When allowMutate is false and the compiled plan would mutate a
+// cached table, the attempt is abandoned (created tables evicted, pins
+// dropped) and retry=true tells Run to redo the query exclusively —
+// re-planning from scratch, since the cache may have changed between
+// the locks.
+func (o *Optimizer) runLocked(q *plan.Query, allowMutate bool) (*Result, bool, error) {
 	t0 := time.Now()
 	planned, err := o.PlanQuery(q)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	compiled, err := o.Compile(planned)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	planTime := time.Since(t0)
 
+	if !allowMutate && len(compiled.filterUpdates) > 0 {
+		o.discard(compiled)
+		return nil, true, nil
+	}
+
 	t1 := time.Now()
-	runErr := exec.Run(compiled.Pipelines)
+	runErr := exec.RunParallel(compiled.Pipelines, exec.Parallelism{
+		Workers:    o.Opts.Parallelism,
+		MorselRows: o.Opts.MorselRows,
+	})
 	execTime := time.Since(t1)
 
-	if runErr == nil {
-		// Partial/overlapping reuse widened cached tables' content;
-		// their lineage must reflect it before anyone else matches them.
-		for _, fu := range compiled.filterUpdates {
-			fu.entry.Lineage.Filter = fu.newFilter
-		}
+	if runErr != nil {
+		o.discard(compiled)
+		return nil, false, runErr
+	}
+
+	// Partial/overlapping reuse widened cached tables' content; their
+	// lineage must reflect it before anyone else matches them.
+	for _, fu := range compiled.filterUpdates {
+		o.Cache.UpdateFilter(fu.entry, fu.newFilter)
 	}
 	for _, e := range compiled.pinned {
 		o.Cache.Release(e)
@@ -53,18 +95,36 @@ func (o *Optimizer) Run(q *plan.Query) (*Result, error) {
 	for _, e := range compiled.created {
 		o.Cache.Release(e)
 	}
-	if runErr != nil {
-		return nil, runErr
-	}
 
+	var rowsIn, rowsOut int64
+	for _, p := range compiled.Pipelines {
+		in, out := p.Stats()
+		rowsIn += in
+		rowsOut += out
+	}
 	return &Result{
 		Columns:       compiled.Columns,
 		Rows:          compiled.Out.Rows,
 		PlanTime:      planTime,
 		ExecTime:      execTime,
+		RowsIn:        rowsIn,
+		RowsOut:       rowsOut,
 		EstimatedCost: planned.EstimatedCost,
 		Decisions:     planned.Decisions(),
-	}, nil
+	}, false, nil
+}
+
+// discard unwinds a compiled plan that will not publish its tables —
+// either discarded before execution or failed during it: reused
+// entries are unpinned and freshly registered (still unready, possibly
+// half-built) tables are removed rather than released as candidates.
+func (o *Optimizer) discard(c *Compiled) {
+	for _, e := range c.pinned {
+		o.Cache.Release(e)
+	}
+	for _, e := range c.created {
+		o.Cache.Abandon(e)
+	}
 }
 
 // SubPlanEstimate pairs an enumerated sub-plan alternative with its

@@ -26,6 +26,8 @@
 package optimizer
 
 import (
+	"sync"
+
 	"hashstash/internal/catalog"
 	"hashstash/internal/costmodel"
 	"hashstash/internal/expr"
@@ -76,6 +78,12 @@ type Options struct {
 	// materialization-based baseline's capability, used for ablations).
 	EnablePartial     bool
 	EnableOverlapping bool
+	// Parallelism is the worker-pool size for morsel-driven pipeline
+	// execution; values <= 1 execute pipelines serially.
+	Parallelism int
+	// MorselRows overrides the morsel granularity (<= 0 uses
+	// storage.DefaultMorselRows).
+	MorselRows int
 }
 
 // DefaultOptions returns the HashStash defaults.
@@ -88,13 +96,25 @@ func DefaultOptions() Options {
 	}
 }
 
-// Optimizer plans, compiles and runs reuse-aware queries.
+// Optimizer plans, compiles and runs reuse-aware queries. Run is safe
+// to call from many goroutines: queries that only read cached tables
+// execute concurrently under a shared lock, while queries that widen a
+// cached table in place (partial/overlapping reuse) and shared batch
+// plans take the exclusive lock, so lock-free probes never race with
+// cached-table mutation.
 type Optimizer struct {
 	Cat   *catalog.Catalog
 	Cache *htcache.Cache
 	Model *costmodel.Model
 	Opts  Options
 
+	// execMu orders query execution: shared (read) mode for queries
+	// that treat the cache as immutable, exclusive (write) mode for
+	// queries that mutate cached tables.
+	execMu sync.RWMutex
+
+	// histMu guards history under concurrent planning.
+	histMu sync.Mutex
 	// history counts, per structural lineage key, how often past
 	// queries probed for a matching cached table — the signal for the
 	// benefit-oriented join-order tie-break.
@@ -234,14 +254,36 @@ type AggChoice struct {
 	InputRows, DistinctKeys float64
 }
 
-// historyKey records that a structural probe happened (for the benefit
+// historyNote records that a structural probe happened (for the benefit
 // heuristic) and returns its current score.
 func (o *Optimizer) historyNote(key string) int64 {
+	o.histMu.Lock()
+	defer o.histMu.Unlock()
 	o.history[key]++
 	return o.history[key]
 }
 
-func (o *Optimizer) historyScore(key string) int64 { return o.history[key] }
+func (o *Optimizer) historyScore(key string) int64 {
+	o.histMu.Lock()
+	defer o.histMu.Unlock()
+	return o.history[key]
+}
+
+// BeginExclusive takes the optimizer's exclusive execution lock; no
+// other query runs until EndExclusive. The shared-plan executor uses it
+// around batch groups, whose re-tagging mutates cached tables in place.
+func (o *Optimizer) BeginExclusive() { o.execMu.Lock() }
+
+// EndExclusive releases the exclusive execution lock.
+func (o *Optimizer) EndExclusive() { o.execMu.Unlock() }
+
+// BeginShared takes the shared execution lock: cached-table lineages
+// are guaranteed immutable until EndShared. External planners (the
+// batch merger) hold it while reading candidate lineages outside Run.
+func (o *Optimizer) BeginShared() { o.execMu.RLock() }
+
+// EndShared releases the shared execution lock.
+func (o *Optimizer) EndShared() { o.execMu.RUnlock() }
 
 // IsScan reports whether the node is a base-table scan leaf.
 func (n *Node) IsScan() bool { return n.Kind == nodeScan }

@@ -215,7 +215,14 @@ func hullConstraint(a, b expr.Constraint) (expr.Constraint, bool) {
 // RunBatch plans and executes a batch, returning per-query results in
 // input order.
 func (s *Optimizer) RunBatch(queries []*plan.Query) (*BatchResult, error) {
+	// Plan under the shared execution lock: merge costing reads cached
+	// lineages, which a concurrent partial-reuse query could otherwise
+	// rewrite mid-read. (Single.Run and runSharedGroup below take their
+	// own locks; RWMutexes are not reentrant, so the lock is scoped to
+	// planning only.)
+	s.Single.BeginShared()
 	groups, err := s.PlanBatch(queries)
+	s.Single.EndShared()
 	if err != nil {
 		return nil, err
 	}

@@ -33,8 +33,13 @@ type groupExec struct {
 	reused    int // shared tables reused (after re-tag)
 }
 
-// runSharedGroup executes queries[group...] with one shared plan.
+// runSharedGroup executes queries[group...] with one shared plan. The
+// group holds the single-query optimizer's exclusive execution lock:
+// re-tagging qid masks mutates cached shared tables in place, which
+// must not race with other queries' lock-free probes.
 func (s *Optimizer) runSharedGroup(queries []*plan.Query, group []int) ([]*optimizer.Result, error) {
+	s.Single.BeginExclusive()
+	defer s.Single.EndExclusive()
 	g := &groupExec{s: s, rep: queries[group[0]]}
 	for _, qi := range group {
 		g.queries = append(g.queries, queries[qi])
@@ -52,17 +57,18 @@ func (s *Optimizer) runSharedGroup(queries []*plan.Query, group []int) ([]*optim
 		return nil, err
 	}
 	if err := g.compileRoot(tree); err != nil {
-		g.releaseAll()
+		g.discardAll()
 		return nil, err
 	}
 
 	t0 := time.Now()
 	runErr := exec.Run(g.pipelines)
 	elapsed := time.Since(t0)
-	g.releaseAll()
 	if runErr != nil {
+		g.discardAll()
 		return nil, runErr
 	}
+	g.releaseAll()
 	return g.collectResults(elapsed)
 }
 
@@ -72,6 +78,18 @@ func (g *groupExec) releaseAll() {
 	}
 	for _, e := range g.created {
 		g.s.Single.Cache.Release(e)
+	}
+}
+
+// discardAll unwinds a failed compile or run: reused entries are
+// unpinned, but freshly created (half-built) tables are removed from
+// the cache instead of being published as reuse candidates.
+func (g *groupExec) discardAll() {
+	for _, e := range g.pinned {
+		g.s.Single.Cache.Release(e)
+	}
+	for _, e := range g.created {
+		g.s.Single.Cache.Abandon(e)
 	}
 }
 

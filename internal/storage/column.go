@@ -1,10 +1,12 @@
 // Package storage implements the in-memory column store that HashStash
 // executes over: typed columns, tables with sorted secondary indexes on
-// selection attributes, and the column-vector batches that flow through
-// the push-based execution pipelines.
+// selection attributes, the column-vector batches that flow through the
+// push-based execution pipelines, and the morsels (row ranges) that
+// partition a table into independent parallel scan units.
 //
-// The engine is single-threaded by design (matching the paper's
-// prototype), so none of these structures synchronize internally.
+// None of these structures synchronize internally: tables and indexes
+// are immutable while queries run, batches are owned by one worker at a
+// time, and the execution layer coordinates everything else.
 package storage
 
 import (

@@ -1,0 +1,45 @@
+package storage
+
+// DefaultMorselRows is the default morsel granularity: the number of
+// rows one scan unit covers in morsel-driven parallel execution. 64K
+// rows keeps per-morsel scheduling overhead negligible while yielding
+// enough independent units to saturate a worker pool on TPC-H-sized
+// tables (morsel-driven parallelism after Leis et al.).
+const DefaultMorselRows = 64 * 1024
+
+// Morsel is a half-open row range [Start, End) of a table or of any
+// other row-addressable container (index permutation slice, hash-table
+// entry arena). Morsels partition a source into independent scan units
+// that workers claim one at a time.
+type Morsel struct {
+	Start, End int32
+}
+
+// Len reports the number of rows the morsel covers.
+func (m Morsel) Len() int { return int(m.End - m.Start) }
+
+// MorselRange splits [0, n) into morsels of at most size rows. A
+// non-positive size uses DefaultMorselRows; n <= 0 yields nil.
+func MorselRange(n, size int) []Morsel {
+	if size <= 0 {
+		size = DefaultMorselRows
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Morsel, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Morsel{Start: int32(lo), End: int32(hi)})
+	}
+	return out
+}
+
+// Morsels partitions the table's rows into scan morsels of at most size
+// rows (DefaultMorselRows when size <= 0).
+func (t *Table) Morsels(size int) []Morsel {
+	return MorselRange(t.NumRows(), size)
+}

@@ -1,0 +1,63 @@
+package storage
+
+import (
+	"testing"
+
+	"hashstash/internal/types"
+)
+
+func TestMorselRange(t *testing.T) {
+	for _, tc := range []struct {
+		n, size int
+		want    int
+	}{
+		{0, 100, 0},
+		{-5, 100, 0},
+		{1, 100, 1},
+		{100, 100, 1},
+		{101, 100, 2},
+		{250, 100, 3},
+		{1000, 0, 1}, // default size is large
+	} {
+		got := MorselRange(tc.n, tc.size)
+		if len(got) != tc.want {
+			t.Fatalf("MorselRange(%d, %d) = %d morsels, want %d", tc.n, tc.size, len(got), tc.want)
+		}
+		// Morsels must tile [0, n) exactly.
+		next := int32(0)
+		for _, m := range got {
+			if m.Start != next {
+				t.Fatalf("morsel starts at %d, want %d", m.Start, next)
+			}
+			if m.Len() <= 0 || (tc.size > 0 && m.Len() > tc.size) {
+				t.Fatalf("morsel %v has bad length", m)
+			}
+			next = m.End
+		}
+		if tc.n > 0 && next != int32(tc.n) {
+			t.Fatalf("morsels end at %d, want %d", next, tc.n)
+		}
+	}
+}
+
+func TestTableMorsels(t *testing.T) {
+	col := NewColumn("k", types.Int64)
+	for i := int64(0); i < 1000; i++ {
+		col.Append(types.NewInt(i))
+	}
+	tbl := NewTable("m", col)
+	ms := tbl.Morsels(300)
+	if len(ms) != 4 {
+		t.Fatalf("%d morsels, want 4", len(ms))
+	}
+	total := 0
+	for _, m := range ms {
+		total += m.Len()
+	}
+	if total != 1000 {
+		t.Fatalf("morsels cover %d rows, want 1000", total)
+	}
+	if got := tbl.Morsels(0); len(got) != 1 {
+		t.Fatalf("default-size morsels = %d, want 1", len(got))
+	}
+}
