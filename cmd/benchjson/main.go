@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON array of {name, ns_per_op, bytes_per_op, allocs_per_op}
+// records. CI pipes the vectorization benchmarks through it to emit
+// BENCH_vectorize.json, so the perf trajectory of the hot operator loops
+// is tracked across PRs.
+//
+//	go test -run xxx -bench 'ProbeJoin|FilterProject' -benchmem ./internal/exec | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-N  iters  X ns/op  [Y MB/s]  [B B/op]  [A allocs/op]
+		if len(fields) < 4 {
+			continue
+		}
+		r := Result{Name: strings.TrimSuffix(fields[0], cpuSuffix(fields[0]))}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r.Iterations = iters
+		for i := 2; i+1 < len(fields); i++ {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// cpuSuffix returns the trailing -N GOMAXPROCS suffix of a benchmark
+// name (e.g. "-8" in "BenchmarkProbeJoin/hit-8"), or "".
+func cpuSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}

@@ -1,0 +1,171 @@
+package exec
+
+// Operator micro-benchmarks for the vectorized inner loops. These track
+// the steady-state per-batch cost of the hot paths (ns/op and allocs/op
+// must stay ~0 in the operator loops); CI's bench smoke emits them into
+// BENCH_vectorize.json so the trajectory is visible across PRs.
+
+import (
+	"testing"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// benchSchema is a four-kind schema exercising every typed kernel.
+func benchSchema() storage.Schema {
+	return storage.Schema{
+		{Ref: storage.ColRef{Table: "l", Column: "id"}, Kind: types.Int64},
+		{Ref: storage.ColRef{Table: "l", Column: "price"}, Kind: types.Float64},
+		{Ref: storage.ColRef{Table: "l", Column: "flag"}, Kind: types.String},
+		{Ref: storage.ColRef{Table: "l", Column: "day"}, Kind: types.Date},
+	}
+}
+
+// benchBatch fills a batch of n rows over benchSchema with deterministic
+// values that give the filter predicates ~50% selectivity.
+func benchBatch(n int) *storage.Batch {
+	b := storage.NewBatch(benchSchema())
+	flags := []string{"A", "N", "R", "F"}
+	for i := 0; i < n; i++ {
+		b.Cols[0].Ints = append(b.Cols[0].Ints, int64(i))
+		b.Cols[1].Floats = append(b.Cols[1].Floats, float64(i%100))
+		b.Cols[2].Strs = append(b.Cols[2].Strs, flags[i%len(flags)])
+		b.Cols[3].Ints = append(b.Cols[3].Ints, int64(9000+i%365))
+	}
+	return b
+}
+
+// BenchmarkFilterProject measures one batch flowing through a
+// three-predicate filter and a three-column projection. The loop body is
+// the steady-state inner loop of every scan-filter-project pipeline.
+func BenchmarkFilterProject(b *testing.B) {
+	in := benchBatch(storage.BatchSize)
+	schema := in.Schema
+	box := expr.NewBox(
+		expr.Pred{Col: schema[1].Ref, Con: expr.IntervalConstraint(types.Float64,
+			expr.Interval{HasLo: true, Lo: types.NewFloat(25), LoIncl: true, HasHi: true, Hi: types.NewFloat(90), HiIncl: false})},
+		expr.Pred{Col: schema[2].Ref, Con: expr.SetConstraint("A", "N")},
+		expr.Pred{Col: schema[3].Ref, Con: expr.IntervalConstraint(types.Date,
+			expr.Interval{HasLo: true, Lo: types.NewDate(9100), LoIncl: true})},
+	)
+	filter, err := NewFilter(box, schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	project, err := NewProject([]int{0, 1, 2}, nil, filter.OutSchema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mid := storage.NewBatch(filter.OutSchema())
+	out := storage.NewBatch(project.OutSchema())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mid.Reset()
+		filter.Apply(in, mid)
+		out.Reset()
+		project.Apply(mid, out)
+	}
+	if out.Len() == 0 {
+		b.Fatal("filter dropped everything")
+	}
+	b.SetBytes(int64(in.Len()))
+}
+
+// BenchmarkProbeJoin measures one batch probing a 64K-entry hash table
+// (int64 key, float64 + string payload), with and without a subsuming
+// post-filter — the per-batch cost of the reuse-aware hash join's probe
+// phase.
+func BenchmarkProbeJoin(b *testing.B) {
+	layout := hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "orders", Column: "okey"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Table: "orders", Column: "total"}, Kind: types.Float64},
+			{Ref: storage.ColRef{Table: "orders", Column: "prio"}, Kind: types.String},
+		},
+		KeyCols: 1,
+	}
+	const nBuild = 1 << 16
+	ht := hashtable.New(layout)
+	prios := []string{"1-URGENT", "2-HIGH", "3-MEDIUM"}
+	for i := 0; i < nBuild; i++ {
+		ht.Insert([]uint64{uint64(i), types.NewFloat(float64(i)).Bits(), ht.Strings().Intern(prios[i%len(prios)])})
+	}
+
+	in := benchBatch(storage.BatchSize)
+	// Probe keys: id column modulo the build size → every row matches.
+	for i := range in.Cols[0].Ints {
+		in.Cols[0].Ints[i] = int64(i % nBuild)
+	}
+
+	for _, bc := range []struct {
+		name string
+		pf   expr.Box
+	}{
+		{"hit", nil},
+		{"postfilter", expr.NewBox(expr.Pred{
+			Col: storage.ColRef{Table: "orders", Column: "total"},
+			Con: expr.IntervalConstraint(types.Float64,
+				expr.Interval{HasLo: true, Lo: types.NewFloat(0), LoIncl: true, HasHi: true, Hi: types.NewFloat(nBuild / 2), HiIncl: false}),
+		})},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			probe, err := NewProbe(ht, []storage.ColRef{{Table: "l", Column: "id"}}, []int{1, 2}, nil, bc.pf, in.Schema)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := storage.NewBatch(probe.OutSchema())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out.Reset()
+				probe.Apply(in, out)
+			}
+			if out.Len() == 0 {
+				b.Fatal("probe matched nothing")
+			}
+			b.SetBytes(int64(in.Len()))
+		})
+	}
+}
+
+// BenchmarkBuildAgg measures one batch being consumed by a hash
+// aggregation sink (grouped SUM/COUNT) — the build-side counterpart of
+// BenchmarkProbeJoin.
+func BenchmarkBuildAgg(b *testing.B) {
+	in := benchBatch(storage.BatchSize)
+	schema := in.Schema
+	layout := hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "l", Column: "flag"}, Kind: types.String},
+			{Ref: storage.ColRef{Table: "", Column: "sum_price"}, Kind: types.Float64},
+			{Ref: storage.ColRef{Table: "", Column: "n"}, Kind: types.Int64},
+		},
+		KeyCols: 1,
+	}
+	aggs := []AggCell{
+		{Func: expr.AggSum, InCol: 1, Kind: types.Float64},
+		{Func: expr.AggCount, InCol: -1, Kind: types.Int64},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink *AggHT
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			// Fresh table periodically so the group set stays small and the
+			// benchmark measures the upsert-fold loop, not table growth.
+			b.StopTimer()
+			var err error
+			sink, err = NewAggHT(hashtable.New(layout), []storage.ColRef{schema[2].Ref}, aggs, schema)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		sink.Consume(in)
+	}
+	b.SetBytes(int64(in.Len()))
+}

@@ -63,6 +63,35 @@ func (m *batchMatcher) match(b *storage.Batch, i int) bool {
 	return true
 }
 
+// filterSel refines a selection through one constraint over raw column
+// data — the kind dispatch shared by the batch and base-table matchers;
+// it happens once per constraint, then a tight typed kernel drops the
+// non-matching positions.
+func filterSel(con expr.Constraint, kind types.Kind, ints []int64, floats []float64, strs []string, sel []int32) []int32 {
+	switch kind {
+	case types.Int64, types.Date:
+		return con.FilterInts(ints, sel)
+	case types.Float64:
+		return con.FilterFloats(floats, sel)
+	case types.String:
+		return con.FilterStrings(strs, sel)
+	}
+	return sel
+}
+
+// filter refines a selection vector over the batch and returns the
+// shortened selection.
+func (m *batchMatcher) filter(b *storage.Batch, sel []int32) []int32 {
+	for j, ci := range m.cols {
+		if len(sel) == 0 {
+			return sel
+		}
+		vec := b.Cols[ci]
+		sel = filterSel(m.cons[j], vec.Kind, vec.Ints, vec.Floats, vec.Strs, sel)
+	}
+	return sel
+}
+
 // tableMatcher evaluates a box against base-table rows; constraints are
 // pre-bound to columns. Predicates use alias-qualified references whose
 // Column names must exist in the table.
@@ -82,6 +111,18 @@ func newTableMatcher(box expr.Box, t *storage.Table) (*tableMatcher, error) {
 		m.cons = append(m.cons, p.Con)
 	}
 	return m, nil
+}
+
+// filter refines a selection of table row ids, dropping rows that fail
+// any constraint — the base-table counterpart of batchMatcher.filter.
+func (m *tableMatcher) filter(sel []int32) []int32 {
+	for j, col := range m.cols {
+		if len(sel) == 0 {
+			return sel
+		}
+		sel = filterSel(m.cons[j], col.Kind, col.Ints, col.Floats, col.Strs, sel)
+	}
+	return sel
 }
 
 func (m *tableMatcher) match(row int32) bool {

@@ -195,8 +195,8 @@ func (pa *parallelAgg) merge() {
 }
 
 // mergeAggBits folds two partial aggregate cells into one — the
-// cell-level counterpart of foldBits (COUNT partials add, unlike the
-// per-row +1).
+// cell-level counterpart of AggHT.foldColumn (COUNT partials add,
+// unlike the per-row +1).
 func mergeAggBits(a AggCell, dst, src uint64) uint64 {
 	switch a.Func {
 	case expr.AggCount:
@@ -257,7 +257,9 @@ func (pc *parallelCollect) merge() {
 var (
 	_ MorselSource = (*TableScan)(nil)
 	_ MorselSource = (*HTScan)(nil)
+	_ MorselSource = (*SharedScan)(nil)
 	_ Source       = (*tableScanMorsel)(nil)
 	_ Source       = (*htScanMorsel)(nil)
+	_ Source       = (*sharedScanMorsel)(nil)
 	_              = storage.DefaultMorselRows
 )

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hashstash/internal/expr"
 	"hashstash/internal/hashtable"
@@ -28,6 +29,7 @@ type SharedScan struct {
 	QueryBoxes []expr.Box
 	Cols       []string
 
+	cols     []*storage.Column // resolved emit columns, aligned with Cols
 	schema   storage.Schema
 	matchers []*tableMatcher
 	pos      int
@@ -45,6 +47,7 @@ func NewSharedScan(t *storage.Table, alias string, queryBoxes []expr.Box, cols [
 		if col == nil {
 			return nil, fmt.Errorf("exec: table %q has no column %q", t.Name, c)
 		}
+		s.cols = append(s.cols, col)
 		s.schema = append(s.schema, storage.ColMeta{
 			Ref:  storage.ColRef{Table: alias, Column: c},
 			Kind: col.Kind,
@@ -57,9 +60,11 @@ func NewSharedScan(t *storage.Table, alias string, queryBoxes []expr.Box, cols [
 // Schema implements Source.
 func (s *SharedScan) Schema() storage.Schema { return s.schema }
 
-// Open implements Source.
-func (s *SharedScan) Open() error {
-	s.pos = 0
+// resolveMatchers binds every query box against the table (idempotent).
+func (s *SharedScan) resolveMatchers() error {
+	if len(s.matchers) == len(s.QueryBoxes) {
+		return nil
+	}
 	s.matchers = s.matchers[:0]
 	for _, box := range s.QueryBoxes {
 		m, err := newTableMatcher(box, s.Table)
@@ -71,28 +76,107 @@ func (s *SharedScan) Open() error {
 	return nil
 }
 
+// Open implements Source.
+func (s *SharedScan) Open() error {
+	s.pos = 0
+	return s.resolveMatchers()
+}
+
+// emitChunk evaluates every query's box over rows [start, end), tags
+// each surviving row with the bitmask of queries it satisfies and
+// appends survivors to out. Per query, the box refines a selection
+// vector with typed kernels; the per-row qid masks then OR together and
+// rows with non-zero masks gather once per column.
+func (s *SharedScan) emitChunk(out *storage.Batch, start, end int32) int {
+	sc := out.Scratch()
+	n := int(end - start)
+	masks := sc.MasksN(n)
+	for q, m := range s.matchers {
+		qsel := m.filter(fillRange(sc.Ents(n)[:n], start))
+		bit := int64(1) << uint(q)
+		for _, r := range qsel {
+			masks[r-start] |= bit
+		}
+	}
+	sel := sc.Sel(n)[:0]
+	cnt := 0
+	for i, mask := range masks {
+		if mask != 0 {
+			sel = append(sel, start+int32(i))
+			masks[cnt] = mask
+			cnt++
+		}
+	}
+	for i, c := range s.cols {
+		out.Cols[i].AppendColumnGather(c, sel)
+	}
+	out.Cols[len(s.cols)].Ints = append(out.Cols[len(s.cols)].Ints, masks[:cnt]...)
+	return cnt
+}
+
 // Next implements Source.
 func (s *SharedScan) Next(out *storage.Batch) bool {
 	n := s.Table.NumRows()
 	produced := 0
 	for s.pos < n && produced < storage.BatchSize {
-		row := int32(s.pos)
-		s.pos++
-		s.rowsIn++
-		var mask uint64
-		for q, m := range s.matchers {
-			if m.match(row) {
-				mask |= 1 << uint(q)
-			}
+		chunk := storage.BatchSize - produced
+		if rem := n - s.pos; rem < chunk {
+			chunk = rem
 		}
-		if mask == 0 {
-			continue
+		produced += s.emitChunk(out, int32(s.pos), int32(s.pos+chunk))
+		s.pos += chunk
+		atomic.AddInt64(&s.rowsIn, int64(chunk))
+	}
+	return produced > 0
+}
+
+// Morsels implements MorselSource: the table's row range is chunked into
+// independent morsels that share the (read-only) per-query matchers, so
+// shared-plan scan pipelines parallelize like ordinary scans. It returns
+// nil when a box fails to bind; the serial fallback surfaces the error.
+func (s *SharedScan) Morsels(rows int) []Source {
+	if err := s.resolveMatchers(); err != nil {
+		return nil
+	}
+	var out []Source
+	for _, m := range storage.MorselRange(s.Table.NumRows(), rows) {
+		out = append(out, &sharedScanMorsel{scan: s, m: m})
+	}
+	return out
+}
+
+// sharedScanMorsel scans one row range of a shared scan.
+type sharedScanMorsel struct {
+	scan *SharedScan
+	m    storage.Morsel
+	pos  int32
+}
+
+// Schema implements Source.
+func (t *sharedScanMorsel) Schema() storage.Schema { return t.scan.schema }
+
+// Open implements Source.
+func (t *sharedScanMorsel) Open() error {
+	t.pos = t.m.Start
+	return nil
+}
+
+// Next implements Source.
+func (t *sharedScanMorsel) Next(out *storage.Batch) bool {
+	s := t.scan
+	produced := 0
+	var scanned int64
+	for t.pos < t.m.End && produced < storage.BatchSize {
+		chunk := int32(storage.BatchSize - produced)
+		if rem := t.m.End - t.pos; rem < chunk {
+			chunk = rem
 		}
-		for i, c := range s.Cols {
-			out.Cols[i].AppendFrom(s.Table.Column(c), row)
-		}
-		out.Cols[len(s.Cols)].Append(types.NewInt(int64(mask)))
-		produced++
+		produced += s.emitChunk(out, t.pos, t.pos+chunk)
+		t.pos += chunk
+		scanned += int64(chunk)
+	}
+	if scanned > 0 {
+		atomic.AddInt64(&s.rowsIn, scanned)
 	}
 	return produced > 0
 }

@@ -19,6 +19,31 @@ type Sink interface {
 	Finish()
 }
 
+// encodeSinkCols encodes the given input columns of b cell-wise into the
+// batch's scratch columns: enc[k][i] is the 8-byte cell of row i's k-th
+// column. Strings intern into the heap in one bulk pass per column. The
+// kind dispatch happens once per column per batch.
+func encodeSinkCols(b *storage.Batch, cols []int, heap *hashtable.StringHeap, n int) [][]uint64 {
+	enc := b.Scratch().Enc(len(cols), n)
+	for k, ci := range cols {
+		vec := b.Cols[ci]
+		dst := enc[k]
+		switch vec.Kind {
+		case types.Int64, types.Date:
+			for i, v := range vec.Ints[:n] {
+				dst[i] = uint64(v)
+			}
+		case types.Float64:
+			for i, v := range vec.Floats[:n] {
+				dst[i] = math.Float64bits(v)
+			}
+		case types.String:
+			heap.InternBulk(dst, vec.Strs[:n])
+		}
+	}
+	return enc
+}
+
 // BuildHT inserts every row into a hash table — the build phase of a
 // (reuse-aware) hash join, and the grouping phase of a shared hash
 // aggregate. When the table is reused partially, the pipeline feeding
@@ -61,24 +86,26 @@ func NewBuildHT(ht *hashtable.Table, in storage.Schema, feed []storage.ColRef) (
 	return s, nil
 }
 
-// Consume implements Sink.
+// Consume implements Sink. The whole batch encodes column-wise into
+// scratch cells (strings intern in one bulk pass per column), the key
+// hash vector computes in one pass, and the insert loop only gathers
+// each row's pre-encoded cells — no per-row kind dispatch or re-hashing.
 func (s *BuildHT) Consume(b *storage.Batch) {
 	n := b.Len()
-	for i := 0; i < n; i++ {
-		for li, ci := range s.InCols {
-			vec := b.Cols[ci]
-			switch vec.Kind {
-			case types.Int64, types.Date:
-				s.row[li] = uint64(vec.Ints[i])
-			case types.Float64:
-				s.row[li] = types.NewFloat(vec.Floats[i]).Bits()
-			case types.String:
-				s.row[li] = s.HT.Strings().Intern(vec.Strs[i])
-			}
-		}
-		s.HT.Insert(s.row)
-		s.inserted++
+	if n == 0 {
+		return
 	}
+	enc := encodeSinkCols(b, s.InCols, s.HT.Strings(), n)
+	hashes := b.Scratch().Hash(n)
+	hashtable.HashColumns(hashes, enc[:s.HT.Layout().KeyCols])
+	row := s.row
+	for i := 0; i < n; i++ {
+		for li := range enc {
+			row[li] = enc[li][i]
+		}
+		s.HT.InsertHashed(hashes[i], row)
+	}
+	s.inserted += int64(n)
 }
 
 // Finish implements Sink.
@@ -143,23 +170,27 @@ func NewAggHT(ht *hashtable.Table, groupBy []storage.ColRef, aggs []AggCell, in 
 	return s, nil
 }
 
-// Consume implements Sink.
+// Consume implements Sink. Group keys encode column-wise with one bulk
+// hash pass; the upsert loop records each row's entry, and each
+// aggregate then folds over the whole batch in one typed loop (the
+// function/kind dispatch hoisted out of the row loop).
 func (s *AggHT) Consume(b *storage.Batch) {
 	n := b.Len()
+	if n == 0 {
+		return
+	}
 	nKeys := len(s.GroupCols)
+	enc := encodeSinkCols(b, s.GroupCols, s.HT.Strings(), n)
+	sc := b.Scratch()
+	hashes := sc.Hash(n)
+	hashtable.HashColumns(hashes, enc)
+	ents := sc.Ents(n)
+	key := s.key
 	for i := 0; i < n; i++ {
-		for k, ci := range s.GroupCols {
-			vec := b.Cols[ci]
-			switch vec.Kind {
-			case types.Int64, types.Date:
-				s.key[k] = uint64(vec.Ints[i])
-			case types.Float64:
-				s.key[k] = types.NewFloat(vec.Floats[i]).Bits()
-			case types.String:
-				s.key[k] = s.HT.Strings().Intern(vec.Strs[i])
-			}
+		for k := range key {
+			key[k] = enc[k][i]
 		}
-		e, found := s.HT.Upsert(s.key)
+		e, found := s.HT.UpsertHashed(hashes[i], key)
 		if !found {
 			s.inserted++
 			for ai, a := range s.Aggs {
@@ -168,11 +199,96 @@ func (s *AggHT) Consume(b *storage.Batch) {
 		} else {
 			s.updated++
 		}
-		for ai, a := range s.Aggs {
-			cell := nKeys + ai
-			cur := s.HT.Cell(e, cell)
-			s.HT.SetCell(e, cell, foldBits(a, cur, b, i))
+		ents = append(ents, e)
+	}
+	for ai, a := range s.Aggs {
+		s.foldColumn(a, nKeys+ai, ents, b)
+	}
+	sc.AdoptEnts(ents)
+}
+
+// foldColumn folds one aggregate over the whole batch: ents[i] is the
+// group entry of row i. The (function, argument kind) dispatch happens
+// once; each case is a tight loop over the argument column.
+func (s *AggHT) foldColumn(a AggCell, cell int, ents []int32, b *storage.Batch) {
+	ht := s.HT
+	switch a.Func {
+	case expr.AggCount:
+		for _, e := range ents {
+			ht.SetCell(e, cell, ht.Cell(e, cell)+1)
 		}
+	case expr.AggSum:
+		vec := b.Cols[a.InCol]
+		switch vec.Kind {
+		case types.Float64:
+			for i, e := range ents {
+				cur := math.Float64frombits(ht.Cell(e, cell))
+				ht.SetCell(e, cell, math.Float64bits(cur+vec.Floats[i]))
+			}
+		case types.Int64, types.Date:
+			for i, e := range ents {
+				cur := math.Float64frombits(ht.Cell(e, cell))
+				ht.SetCell(e, cell, math.Float64bits(cur+float64(vec.Ints[i])))
+			}
+		default:
+			panic("exec: string aggregate argument")
+		}
+	case expr.AggMin:
+		if a.Kind == types.Float64 {
+			vec := b.Cols[a.InCol]
+			switch vec.Kind {
+			case types.Float64:
+				for i, e := range ents {
+					if v := vec.Floats[i]; v < math.Float64frombits(ht.Cell(e, cell)) {
+						ht.SetCell(e, cell, math.Float64bits(v))
+					}
+				}
+			case types.Int64, types.Date:
+				for i, e := range ents {
+					if v := float64(vec.Ints[i]); v < math.Float64frombits(ht.Cell(e, cell)) {
+						ht.SetCell(e, cell, math.Float64bits(v))
+					}
+				}
+			default:
+				panic("exec: string aggregate argument")
+			}
+			return
+		}
+		ints := b.Cols[a.InCol].Ints
+		for i, e := range ents {
+			if v := ints[i]; v < int64(ht.Cell(e, cell)) {
+				ht.SetCell(e, cell, uint64(v))
+			}
+		}
+	case expr.AggMax:
+		if a.Kind == types.Float64 {
+			vec := b.Cols[a.InCol]
+			switch vec.Kind {
+			case types.Float64:
+				for i, e := range ents {
+					if v := vec.Floats[i]; v > math.Float64frombits(ht.Cell(e, cell)) {
+						ht.SetCell(e, cell, math.Float64bits(v))
+					}
+				}
+			case types.Int64, types.Date:
+				for i, e := range ents {
+					if v := float64(vec.Ints[i]); v > math.Float64frombits(ht.Cell(e, cell)) {
+						ht.SetCell(e, cell, math.Float64bits(v))
+					}
+				}
+			default:
+				panic("exec: string aggregate argument")
+			}
+			return
+		}
+		ints := b.Cols[a.InCol].Ints
+		for i, e := range ents {
+			if v := ints[i]; v > int64(ht.Cell(e, cell)) {
+				ht.SetCell(e, cell, uint64(v))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("exec: cannot fold %v", a.Func))
 	}
 }
 
@@ -197,55 +313,6 @@ func identityBits(a AggCell) uint64 {
 	panic(fmt.Sprintf("exec: no identity for %v", a.Func))
 }
 
-// foldBits folds row i of the batch into an aggregate cell.
-func foldBits(a AggCell, cur uint64, b *storage.Batch, i int) uint64 {
-	switch a.Func {
-	case expr.AggCount:
-		return cur + 1
-	case expr.AggSum:
-		v := argFloat(a, b, i)
-		return types.NewFloat(types.FromBits(types.Float64, cur).F + v).Bits()
-	case expr.AggMin:
-		if a.Kind == types.Float64 {
-			v := argFloat(a, b, i)
-			if v < types.FromBits(types.Float64, cur).F {
-				return types.NewFloat(v).Bits()
-			}
-			return cur
-		}
-		v := b.Cols[a.InCol].Ints[i]
-		if v < int64(cur) {
-			return uint64(v)
-		}
-		return cur
-	case expr.AggMax:
-		if a.Kind == types.Float64 {
-			v := argFloat(a, b, i)
-			if v > types.FromBits(types.Float64, cur).F {
-				return types.NewFloat(v).Bits()
-			}
-			return cur
-		}
-		v := b.Cols[a.InCol].Ints[i]
-		if v > int64(cur) {
-			return uint64(v)
-		}
-		return cur
-	}
-	panic(fmt.Sprintf("exec: cannot fold %v", a.Func))
-}
-
-func argFloat(a AggCell, b *storage.Batch, i int) float64 {
-	vec := b.Cols[a.InCol]
-	switch vec.Kind {
-	case types.Float64:
-		return vec.Floats[i]
-	case types.Int64, types.Date:
-		return float64(vec.Ints[i])
-	}
-	panic("exec: string aggregate argument")
-}
-
 // Finish implements Sink.
 func (s *AggHT) Finish() {}
 
@@ -264,15 +331,40 @@ type Collect struct {
 // NewCollect returns a collect sink for the schema.
 func NewCollect(schema storage.Schema) *Collect { return &Collect{Schema: schema} }
 
-// Consume implements Sink.
+// Consume implements Sink. Result rows are row-major boxed values (the
+// public API's shape); the kind dispatch is hoisted to one typed
+// column-filling loop per column.
 func (s *Collect) Consume(b *storage.Batch) {
 	n := b.Len()
+	if n == 0 {
+		return
+	}
+	base := len(s.Rows)
+	// One backing array for the batch's rows keeps the allocation count
+	// per batch, not per row.
+	cells := make([]types.Value, n*len(b.Cols))
 	for i := 0; i < n; i++ {
-		row := make([]types.Value, len(b.Cols))
-		for c := range b.Cols {
-			row[c] = b.Cols[c].Value(i)
+		s.Rows = append(s.Rows, cells[i*len(b.Cols):(i+1)*len(b.Cols):(i+1)*len(b.Cols)])
+	}
+	for c, vec := range b.Cols {
+		switch vec.Kind {
+		case types.Int64:
+			for i, v := range vec.Ints[:n] {
+				s.Rows[base+i][c] = types.NewInt(v)
+			}
+		case types.Date:
+			for i, v := range vec.Ints[:n] {
+				s.Rows[base+i][c] = types.NewDate(v)
+			}
+		case types.Float64:
+			for i, v := range vec.Floats[:n] {
+				s.Rows[base+i][c] = types.NewFloat(v)
+			}
+		case types.String:
+			for i, v := range vec.Strs[:n] {
+				s.Rows[base+i][c] = types.NewString(v)
+			}
 		}
-		s.Rows = append(s.Rows, row)
 	}
 }
 
@@ -297,13 +389,10 @@ func NewTempTable(name string, schema storage.Schema) *TempTable {
 	return &TempTable{Schema: schema, Table: t}
 }
 
-// Consume implements Sink.
+// Consume implements Sink: one bulk typed append per column.
 func (s *TempTable) Consume(b *storage.Batch) {
-	n := b.Len()
-	for i := 0; i < n; i++ {
-		for c := range b.Cols {
-			s.Table.Cols[c].Append(b.Cols[c].Value(i))
-		}
+	for c := range b.Cols {
+		s.Table.Cols[c].AppendVec(b.Cols[c])
 	}
 }
 

@@ -21,6 +21,14 @@ type Source interface {
 	Schema() storage.Schema
 }
 
+// fillRange fills sel with the consecutive row ids [start, start+len).
+func fillRange(sel []int32, start int32) []int32 {
+	for i := range sel {
+		sel[i] = start + int32(i)
+	}
+	return sel
+}
+
 // TableScan scans a base table under a disjoint union of predicate
 // boxes (normally one; partial-reuse residuals may add more). Each box
 // is evaluated with the best available secondary index; the remaining
@@ -36,6 +44,7 @@ type TableScan struct {
 	// Cols lists the table columns to emit, aliased.
 	Cols []string
 
+	cols    []*storage.Column // resolved emit columns, aligned with Cols
 	schema  storage.Schema
 	boxIdx  int
 	rows    []int32 // row ids for the current box (index path), nil → full scan
@@ -55,6 +64,7 @@ func NewTableScan(t *storage.Table, alias string, boxes []expr.Box, cols []strin
 		if col == nil {
 			return nil, fmt.Errorf("exec: table %q has no column %q", t.Name, c)
 		}
+		s.cols = append(s.cols, col)
 		s.schema = append(s.schema, storage.ColMeta{
 			Ref:  storage.ColRef{Table: alias, Column: c},
 			Kind: col.Kind,
@@ -165,6 +175,42 @@ func (s *TableScan) Morsels(rows int) []Source {
 	return out
 }
 
+// emitFullChunk scans the contiguous row range [start, end) under the
+// residual matcher, appending survivors to out. It returns the number of
+// rows emitted. With no matcher every column bulk-copies the range; with
+// one, the matcher refines a selection vector and each column gathers
+// the survivors once.
+func (s *TableScan) emitFullChunk(out *storage.Batch, start, end int32, m *tableMatcher) int {
+	if m == nil {
+		for i, col := range s.cols {
+			out.Cols[i].AppendColumnRange(col, start, end)
+		}
+		return int(end - start)
+	}
+	sel := m.filter(fillRange(out.Scratch().Sel(int(end-start)), start))
+	for i, col := range s.cols {
+		out.Cols[i].AppendColumnGather(col, sel)
+	}
+	return len(sel)
+}
+
+// emitRowIDs scans the given index row ids under the residual matcher,
+// appending survivors to out and returning the number emitted. The id
+// slice aliases the index permutation, so filtering copies it into the
+// batch's selection scratch first.
+func (s *TableScan) emitRowIDs(out *storage.Batch, rows []int32, m *tableMatcher) int {
+	sel := rows
+	if m != nil {
+		sel = out.Scratch().Sel(len(rows))
+		copy(sel, rows)
+		sel = m.filter(sel)
+	}
+	for i, col := range s.cols {
+		out.Cols[i].AppendColumnGather(col, sel)
+	}
+	return len(sel)
+}
+
 // tableScanMorsel scans one morsel of one resolved box. It shares the
 // parent scan's table, column list and matcher (all read-only) and owns
 // only its cursor.
@@ -187,24 +233,25 @@ func (t *tableScanMorsel) Open() error {
 // Next implements Source.
 func (t *tableScanMorsel) Next(out *storage.Batch) bool {
 	produced := out.Len()
+	start := produced
 	var scanned int64
 	for t.pos < t.m.End && produced < storage.BatchSize {
-		row := t.pos
-		if !t.unit.full {
-			row = t.unit.rows[t.pos]
+		chunk := int32(storage.BatchSize - produced)
+		if rem := t.m.End - t.pos; rem < chunk {
+			chunk = rem
 		}
-		t.pos++
-		scanned++
-		if t.unit.matcher != nil && !t.unit.matcher.match(row) {
-			continue
+		if t.unit.full {
+			produced += t.scan.emitFullChunk(out, t.pos, t.pos+chunk, t.unit.matcher)
+		} else {
+			produced += t.scan.emitRowIDs(out, t.unit.rows[t.pos:t.pos+chunk], t.unit.matcher)
 		}
-		t.scan.emit(out, row)
-		produced++
+		t.pos += chunk
+		scanned += int64(chunk)
 	}
 	if scanned > 0 {
 		atomic.AddInt64(&t.scan.rowsScanned, scanned)
 	}
-	return produced > 0
+	return produced > start
 }
 
 // Next implements Source.
@@ -214,14 +261,13 @@ func (s *TableScan) Next(out *storage.Batch) bool {
 		if s.full {
 			n := s.Table.NumRows()
 			for s.pos < n && produced < storage.BatchSize {
-				row := int32(s.pos)
-				s.pos++
-				s.rowsScanned++
-				if s.matcher != nil && !s.matcher.match(row) {
-					continue
+				chunk := storage.BatchSize - produced
+				if rem := n - s.pos; rem < chunk {
+					chunk = rem
 				}
-				s.emit(out, row)
-				produced++
+				produced += s.emitFullChunk(out, int32(s.pos), int32(s.pos+chunk), s.matcher)
+				s.pos += chunk
+				s.rowsScanned += int64(chunk)
 			}
 			if produced > 0 {
 				return true
@@ -235,14 +281,13 @@ func (s *TableScan) Next(out *storage.Batch) bool {
 			}
 		} else {
 			for s.pos < len(s.rows) && produced < storage.BatchSize {
-				row := s.rows[s.pos]
-				s.pos++
-				s.rowsScanned++
-				if s.matcher != nil && !s.matcher.match(row) {
-					continue
+				chunk := storage.BatchSize - produced
+				if rem := len(s.rows) - s.pos; rem < chunk {
+					chunk = rem
 				}
-				s.emit(out, row)
-				produced++
+				produced += s.emitRowIDs(out, s.rows[s.pos:s.pos+chunk], s.matcher)
+				s.pos += chunk
+				s.rowsScanned += int64(chunk)
 			}
 			if produced > 0 {
 				return true
@@ -263,12 +308,6 @@ func (s *TableScan) Next(out *storage.Batch) bool {
 // (Next has no error return); the pipeline runner checks it after the
 // source is drained.
 func (s *TableScan) Err() error { return s.err }
-
-func (s *TableScan) emit(out *storage.Batch, row int32) {
-	for i, c := range s.Cols {
-		out.Cols[i].AppendFrom(s.Table.Column(c), row)
-	}
-}
 
 // RowsScanned reports how many base rows the scan touched (actual-cost
 // statistic for the optimizer accuracy experiment). Morsel workers
@@ -294,6 +333,7 @@ type HTScan struct {
 	schema   storage.Schema
 	pfCols   []int
 	pfCons   []expr.Constraint
+	pfKinds  []types.Kind
 	pos      int32
 	filtered int64
 }
@@ -323,6 +363,7 @@ func NewHTScan(ht *hashtable.Table, outCols []int, outRefs []storage.ColRef, pos
 		}
 		s.pfCols = append(s.pfCols, ci)
 		s.pfCons = append(s.pfCons, p.Con)
+		s.pfKinds = append(s.pfKinds, layout.Cols[ci].Kind)
 	}
 	return s, nil
 }
@@ -336,50 +377,88 @@ func (s *HTScan) Open() error {
 	return nil
 }
 
+// emitEntries filters the candidate entry range [start, end) through the
+// qid mask and post-filter and appends the survivors' columns to out. It
+// returns (emitted, post-filtered) counts. The qid test and each
+// post-filter column refine an entry selection vector with the kind
+// dispatch hoisted out of the entry loop; surviving entries decode once
+// per output column.
+func (s *HTScan) emitEntries(out *storage.Batch, start, end int32) (int, int64) {
+	ents := fillRange(out.Scratch().Sel(int(end-start)), start)
+	if s.QidCol >= 0 {
+		kept := ents[:0]
+		for _, e := range ents {
+			if s.HT.Cell(e, s.QidCol)&s.QidMask != 0 {
+				kept = append(kept, e)
+			}
+		}
+		ents = kept
+	}
+	var filtered int64
+	if len(s.pfCols) > 0 {
+		before := len(ents)
+		ents = s.filterEntries(ents)
+		filtered = int64(before - len(ents))
+	}
+	for i, ci := range s.OutCols {
+		s.HT.AppendColumn(out.Cols[i], ci, ents)
+	}
+	return len(ents), filtered
+}
+
+// filterEntries refines an entry selection through the post-filter, one
+// typed loop per constrained layout column.
+func (s *HTScan) filterEntries(ents []int32) []int32 {
+	ht := s.HT
+	for j, ci := range s.pfCols {
+		if len(ents) == 0 {
+			return ents
+		}
+		con := s.pfCons[j]
+		kept := ents[:0]
+		switch s.pfKinds[j] {
+		case types.Int64, types.Date:
+			for _, e := range ents {
+				if con.MatchInt(int64(ht.Cell(e, ci))) {
+					kept = append(kept, e)
+				}
+			}
+		case types.Float64:
+			for _, e := range ents {
+				if con.MatchFloat(types.FromBits(types.Float64, ht.Cell(e, ci)).F) {
+					kept = append(kept, e)
+				}
+			}
+		case types.String:
+			strs := ht.Strings()
+			for _, e := range ents {
+				if con.MatchString(strs.At(ht.Cell(e, ci))) {
+					kept = append(kept, e)
+				}
+			}
+		}
+		ents = kept
+	}
+	return ents
+}
+
 // Next implements Source.
 func (s *HTScan) Next(out *storage.Batch) bool {
 	n := int32(s.HT.Len())
 	produced := 0
-	layout := s.HT.Layout()
+	var filtered int64
 	for s.pos < n && produced < storage.BatchSize {
-		e := s.pos
-		s.pos++
-		if s.QidCol >= 0 && s.HT.Cell(e, s.QidCol)&s.QidMask == 0 {
-			continue
+		chunk := int32(storage.BatchSize - produced)
+		if rem := n - s.pos; rem < chunk {
+			chunk = rem
 		}
-		if !s.entryMatches(e, layout) {
-			s.filtered++
-			continue
-		}
-		for i, ci := range s.OutCols {
-			out.Cols[i].Append(s.HT.CellValue(e, ci))
-		}
-		produced++
+		emitted, f := s.emitEntries(out, s.pos, s.pos+chunk)
+		produced += emitted
+		filtered += f
+		s.pos += chunk
 	}
+	s.filtered += filtered
 	return produced > 0
-}
-
-func (s *HTScan) entryMatches(e int32, layout hashtable.Layout) bool {
-	for j, ci := range s.pfCols {
-		con := s.pfCons[j]
-		kind := layout.Cols[ci].Kind
-		bits := s.HT.Cell(e, ci)
-		switch kind {
-		case types.Int64, types.Date:
-			if !con.MatchInt(int64(bits)) {
-				return false
-			}
-		case types.Float64:
-			if !con.MatchFloat(types.FromBits(types.Float64, bits).F) {
-				return false
-			}
-		case types.String:
-			if !con.MatchString(s.HT.Strings().At(bits)) {
-				return false
-			}
-		}
-	}
-	return true
 }
 
 // FilteredOut reports how many entries the post-filter rejected (the
@@ -419,23 +498,17 @@ func (t *htScanMorsel) Open() error {
 // Next implements Source.
 func (t *htScanMorsel) Next(out *storage.Batch) bool {
 	s := t.scan
-	layout := s.HT.Layout()
 	produced := 0
 	var filtered int64
 	for t.pos < t.m.End && produced < storage.BatchSize {
-		e := t.pos
-		t.pos++
-		if s.QidCol >= 0 && s.HT.Cell(e, s.QidCol)&s.QidMask == 0 {
-			continue
+		chunk := int32(storage.BatchSize - produced)
+		if rem := t.m.End - t.pos; rem < chunk {
+			chunk = rem
 		}
-		if !s.entryMatches(e, layout) {
-			filtered++
-			continue
-		}
-		for i, ci := range s.OutCols {
-			out.Cols[i].Append(s.HT.CellValue(e, ci))
-		}
-		produced++
+		emitted, f := s.emitEntries(out, t.pos, t.pos+chunk)
+		produced += emitted
+		filtered += f
+		t.pos += chunk
 	}
 	if filtered > 0 {
 		atomic.AddInt64(&s.filtered, filtered)

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"hashstash/internal/expr"
@@ -12,7 +13,10 @@ import (
 
 // Transform maps an input batch to an output batch. Transforms may drop
 // rows (filters) or multiply them (probes); the runner allocates one
-// output batch per transform and reuses it across calls.
+// output batch per transform and reuses it across calls. Transforms are
+// stateless with respect to the batches they process — working buffers
+// come from the input batch's scratch, so one transform instance is
+// safely shared by concurrent morsel workers over disjoint batches.
 type Transform interface {
 	// OutSchema describes the batches the transform emits.
 	OutSchema() storage.Schema
@@ -38,15 +42,24 @@ func NewFilter(box expr.Box, in storage.Schema) (*Filter, error) {
 // OutSchema implements Transform.
 func (f *Filter) OutSchema() storage.Schema { return f.schema }
 
-// Apply implements Transform.
+// Apply implements Transform. The matcher refines a selection vector
+// (one typed kernel per constraint) and the surviving rows materialize
+// once per column via gather; no per-row Value boxing.
 func (f *Filter) Apply(in, out *storage.Batch) {
 	n := in.Len()
-	for i := 0; i < n; i++ {
-		if !f.matcher.match(in, i) {
-			continue
-		}
+	if n == 0 {
+		return
+	}
+	sel := f.matcher.filter(in, in.Scratch().SeqSel(n))
+	switch len(sel) {
+	case 0:
+	case n:
 		for c := range in.Cols {
-			out.Cols[c].Append(in.Cols[c].Value(i))
+			out.Cols[c].AppendRange(in.Cols[c], 0, n)
+		}
+	default:
+		for c := range in.Cols {
+			out.Cols[c].AppendGather(in.Cols[c], sel)
 		}
 	}
 }
@@ -68,15 +81,18 @@ func NewCompute(e expr.Expr, ref storage.ColRef, in storage.Schema) *Compute {
 // OutSchema implements Transform.
 func (c *Compute) OutSchema() storage.Schema { return c.schema }
 
-// Apply implements Transform.
+// Apply implements Transform. Input columns copy wholesale; the computed
+// column evaluates columnar via expr.EvalVec (typed loops over whole
+// vectors, scratch intermediates from the input batch).
 func (c *Compute) Apply(in, out *storage.Batch) {
 	n := in.Len()
-	for i := 0; i < n; i++ {
-		for ci := range in.Cols {
-			out.Cols[ci].Append(in.Cols[ci].Value(i))
-		}
-		out.Cols[len(in.Cols)].Append(c.Expr.EvalRow(in, i))
+	if n == 0 {
+		return
 	}
+	for ci := range in.Cols {
+		out.Cols[ci].AppendRange(in.Cols[ci], 0, n)
+	}
+	expr.EvalVec(c.Expr, in, out.Cols[len(in.Cols)])
 }
 
 // Project reorders/subsets the columns of a batch and may rename them.
@@ -105,13 +121,11 @@ func NewProject(cols []int, outRefs []storage.ColRef, in storage.Schema) (*Proje
 // OutSchema implements Transform.
 func (p *Project) OutSchema() storage.Schema { return p.schema }
 
-// Apply implements Transform.
+// Apply implements Transform: one bulk column copy per projected column.
 func (p *Project) Apply(in, out *storage.Batch) {
 	n := in.Len()
-	for i := 0; i < n; i++ {
-		for oi, ci := range p.Cols {
-			out.Cols[oi].Append(in.Cols[ci].Value(i))
-		}
+	for oi, ci := range p.Cols {
+		out.Cols[oi].AppendRange(in.Cols[ci], 0, n)
 	}
 }
 
@@ -139,7 +153,9 @@ type Probe struct {
 	schema   storage.Schema
 	pfCols   []int
 	pfCons   []expr.Constraint
+	pfKinds  []types.Kind
 	keyKinds []types.Kind
+	hasStr   bool
 	matches  int64
 	filtered int64
 }
@@ -164,6 +180,9 @@ func NewProbe(ht *hashtable.Table, keyCols []storage.ColRef, emitCols []int, emi
 		}
 		p.KeyCols = append(p.KeyCols, i)
 		p.keyKinds = append(p.keyKinds, in[i].Kind)
+		if in[i].Kind == types.String {
+			p.hasStr = true
+		}
 	}
 	p.schema = append(storage.Schema{}, in...)
 	for ei, ci := range emitCols {
@@ -183,6 +202,7 @@ func NewProbe(ht *hashtable.Table, keyCols []storage.ColRef, emitCols []int, emi
 		}
 		p.pfCols = append(p.pfCols, ci)
 		p.pfCons = append(p.pfCons, pr.Con)
+		p.pfKinds = append(p.pfKinds, layout.Cols[ci].Kind)
 	}
 	return p, nil
 }
@@ -190,61 +210,111 @@ func NewProbe(ht *hashtable.Table, keyCols []storage.ColRef, emitCols []int, emi
 // OutSchema implements Transform.
 func (p *Probe) OutSchema() storage.Schema { return p.schema }
 
+// encodeKeys encodes the probe-key columns of the batch cell-wise into
+// scratch columns and returns them plus the per-row miss mask (nil when
+// no key column is a string). String keys resolve through one bulk heap
+// lookup pass; a string never interned on the build side marks its row
+// as missed (it cannot match any entry).
+func (p *Probe) encodeKeys(in *storage.Batch, n int) (enc [][]uint64, miss []bool) {
+	sc := in.Scratch()
+	enc = sc.Enc(len(p.KeyCols), n)
+	if p.hasStr {
+		miss = sc.Miss(n)
+	}
+	for k, ci := range p.KeyCols {
+		vec := in.Cols[ci]
+		dst := enc[k]
+		switch p.keyKinds[k] {
+		case types.Int64, types.Date:
+			for i, v := range vec.Ints[:n] {
+				dst[i] = uint64(v)
+			}
+		case types.Float64:
+			for i, v := range vec.Floats[:n] {
+				dst[i] = math.Float64bits(v)
+			}
+		case types.String:
+			p.HT.Strings().LookupBulk(dst, miss, vec.Strs[:n])
+		}
+	}
+	return enc, miss
+}
+
 // Apply implements Transform. It is safe to call concurrently from
 // several workers over disjoint batches: the probe only reads the
-// (immutable) hash table and its stat counters are folded in atomically.
+// (immutable) hash table, its working buffers come from the input
+// batch's scratch, and its stat counters are folded in atomically.
+//
+// The probe is batch-at-a-time: keys encode column-wise, the hash
+// vector for the whole batch computes in one pass (HashColumns), chain
+// walks reuse the precomputed hashes, and the (input row, entry) match
+// pairs materialize once per column via gather kernels.
 func (p *Probe) Apply(in, out *storage.Batch) {
 	n := in.Len()
-	key := make([]uint64, len(p.KeyCols))
+	if n == 0 {
+		return
+	}
+	sc := in.Scratch()
+	enc, miss := p.encodeKeys(in, n)
+	hashes := sc.Hash(n)
+	hashtable.HashColumns(hashes, enc)
+
+	var key [8]uint64 // key cells of one row; stack-allocated for typical key widths
+	keyRow := key[:]
+	if len(enc) > len(key) {
+		keyRow = make([]uint64, len(enc))
+	}
+	keyRow = keyRow[:len(enc)]
+	sel := sc.Sel(n)[:0] // input row of each match
+	ents := sc.Ents(n)   // entry of each match
+	var masks []int64    // AND-ed qid mask of each match (shared plans)
+	qid := p.QidCol >= 0 && p.QidInCol >= 0
+	if qid {
+		masks = sc.Masks(n)
+	}
 	var matches, filtered int64
 	for i := 0; i < n; i++ {
-		ok := true
-		for k, ci := range p.KeyCols {
-			vec := in.Cols[ci]
-			switch vec.Kind {
-			case types.Int64, types.Date:
-				key[k] = uint64(vec.Ints[i])
-			case types.Float64:
-				key[k] = types.NewFloat(vec.Floats[i]).Bits()
-			case types.String:
-				id, found := p.HT.Strings().Lookup(vec.Strs[i])
-				if !found {
-					ok = false
-				}
-				key[k] = id
-			}
-			if !ok {
-				break
-			}
-		}
-		if !ok {
+		if miss != nil && miss[i] {
 			continue
 		}
-		it := p.HT.Probe(key)
+		for k := range keyRow {
+			keyRow[k] = enc[k][i]
+		}
+		it := p.HT.ProbeHashed(hashes[i], keyRow)
 		for e := it.Next(); e != -1; e = it.Next() {
 			if !p.entryMatches(e) {
 				filtered++
 				continue
 			}
-			var mask uint64
-			if p.QidCol >= 0 && p.QidInCol >= 0 {
-				mask = p.HT.Cell(e, p.QidCol) & uint64(in.Cols[p.QidInCol].Ints[i])
+			if qid {
+				mask := p.HT.Cell(e, p.QidCol) & uint64(in.Cols[p.QidInCol].Ints[i])
 				if mask == 0 {
 					continue
 				}
+				masks = append(masks, int64(mask))
 			}
 			matches++
-			for c := range in.Cols {
-				if c == p.QidInCol && p.QidCol >= 0 {
-					out.Cols[c].Append(types.NewInt(int64(mask)))
-					continue
-				}
-				out.Cols[c].Append(in.Cols[c].Value(i))
-			}
-			for oi, ci := range p.EmitCols {
-				out.Cols[len(in.Cols)+oi].Append(p.HT.CellValue(e, ci))
-			}
+			sel = append(sel, int32(i))
+			ents = append(ents, e)
 		}
+	}
+
+	for c := range in.Cols {
+		if qid && c == p.QidInCol {
+			out.Cols[c].Ints = append(out.Cols[c].Ints, masks...)
+			continue
+		}
+		out.Cols[c].AppendGather(in.Cols[c], sel)
+	}
+	for oi, ci := range p.EmitCols {
+		p.HT.AppendColumn(out.Cols[len(in.Cols)+oi], ci, ents)
+	}
+	// High-fanout probes grow the match buffers past their initial
+	// capacity; hand them back so later batches reuse the larger ones.
+	sc.AdoptSel(sel)
+	sc.AdoptEnts(ents)
+	if qid {
+		sc.AdoptMasks(masks)
 	}
 	if matches > 0 {
 		atomic.AddInt64(&p.matches, matches)
@@ -255,11 +325,10 @@ func (p *Probe) Apply(in, out *storage.Batch) {
 }
 
 func (p *Probe) entryMatches(e int32) bool {
-	layout := p.HT.Layout()
 	for j, ci := range p.pfCols {
 		con := p.pfCons[j]
 		bits := p.HT.Cell(e, ci)
-		switch layout.Cols[ci].Kind {
+		switch p.pfKinds[j] {
 		case types.Int64, types.Date:
 			if !con.MatchInt(int64(bits)) {
 				return false

@@ -291,6 +291,114 @@ func (c Constraint) MatchFloat(v float64) bool {
 	return true
 }
 
+// FilterInts refines a selection vector in place: it keeps the selected
+// positions of data that satisfy the constraint and returns the shortened
+// selection. The interval bounds are hoisted out of the row loop, so the
+// inner loops are tight compare-and-keep kernels over int64 data.
+func (c Constraint) FilterInts(data []int64, sel []int32) []int32 {
+	out := sel[:0]
+	switch {
+	case c.Iv.HasLo && c.Iv.HasHi:
+		lo, hi := c.Iv.Lo.AsInt(), c.Iv.Hi.AsInt()
+		loIncl, hiIncl := c.Iv.LoIncl, c.Iv.HiIncl
+		for _, i := range sel {
+			v := data[i]
+			if v < lo || (v == lo && !loIncl) || v > hi || (v == hi && !hiIncl) {
+				continue
+			}
+			out = append(out, i)
+		}
+	case c.Iv.HasLo:
+		lo, loIncl := c.Iv.Lo.AsInt(), c.Iv.LoIncl
+		for _, i := range sel {
+			v := data[i]
+			if v > lo || (v == lo && loIncl) {
+				out = append(out, i)
+			}
+		}
+	case c.Iv.HasHi:
+		hi, hiIncl := c.Iv.Hi.AsInt(), c.Iv.HiIncl
+		for _, i := range sel {
+			v := data[i]
+			if v < hi || (v == hi && hiIncl) {
+				out = append(out, i)
+			}
+		}
+	default:
+		return sel
+	}
+	return out
+}
+
+// FilterFloats is FilterInts over float64 data.
+func (c Constraint) FilterFloats(data []float64, sel []int32) []int32 {
+	out := sel[:0]
+	switch {
+	case c.Iv.HasLo && c.Iv.HasHi:
+		lo, hi := c.Iv.Lo.AsFloat(), c.Iv.Hi.AsFloat()
+		loIncl, hiIncl := c.Iv.LoIncl, c.Iv.HiIncl
+		for _, i := range sel {
+			v := data[i]
+			if v < lo || (v == lo && !loIncl) || v > hi || (v == hi && !hiIncl) {
+				continue
+			}
+			out = append(out, i)
+		}
+	case c.Iv.HasLo:
+		// Reject-form comparisons, exactly as MatchFloat: NaN fails every
+		// comparison and is therefore KEPT, on either path.
+		lo, loIncl := c.Iv.Lo.AsFloat(), c.Iv.LoIncl
+		for _, i := range sel {
+			v := data[i]
+			if v < lo || (v == lo && !loIncl) {
+				continue
+			}
+			out = append(out, i)
+		}
+	case c.Iv.HasHi:
+		hi, hiIncl := c.Iv.Hi.AsFloat(), c.Iv.HiIncl
+		for _, i := range sel {
+			v := data[i]
+			if v > hi || (v == hi && !hiIncl) {
+				continue
+			}
+			out = append(out, i)
+		}
+	default:
+		return sel
+	}
+	return out
+}
+
+// FilterStrings refines a selection vector against a string IN-set. The
+// overwhelmingly common single-value set becomes one equality compare
+// per row; larger sets binary-search the sorted set.
+func (c Constraint) FilterStrings(data []string, sel []int32) []int32 {
+	switch len(c.Set) {
+	case 0:
+		return sel[:0]
+	case 1:
+		want := c.Set[0]
+		out := sel[:0]
+		for _, i := range sel {
+			if data[i] == want {
+				out = append(out, i)
+			}
+		}
+		return out
+	default:
+		out := sel[:0]
+		for _, i := range sel {
+			s := data[i]
+			j := sort.SearchStrings(c.Set, s)
+			if j < len(c.Set) && c.Set[j] == s {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
 // Empty reports whether the constraint matches no values.
 func (c Constraint) Empty() bool {
 	if c.Kind == types.String {

@@ -118,14 +118,6 @@ func (b *Bin) String() string {
 	return fmt.Sprintf("(%s %c %s)", b.L.String(), b.Op, b.R.String())
 }
 
-// Eval evaluates an expression over a whole batch, appending to out.
-func Eval(e Expr, b *storage.Batch, out *storage.Vec) {
-	n := b.Len()
-	for i := 0; i < n; i++ {
-		out.Append(e.EvalRow(b, i))
-	}
-}
-
 // Equal reports structural equality of two expressions.
 func Equal(a, b Expr) bool {
 	switch x := a.(type) {

@@ -116,9 +116,9 @@ func TestBinExpr(t *testing.T) {
 func TestEvalBatch(t *testing.T) {
 	b := testBatch()
 	out := storage.NewVec(types.Float64)
-	Eval(&Col{Ref: colref("l", "price")}, b, out)
+	EvalVec(&Col{Ref: colref("l", "price")}, b, out)
 	if out.Len() != 3 || out.Floats[0] != 100 {
-		t.Errorf("Eval batch = %v", out.Floats)
+		t.Errorf("EvalVec batch = %v", out.Floats)
 	}
 }
 

@@ -1,0 +1,88 @@
+package expr
+
+import (
+	"fmt"
+
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// Vectorized expression evaluation: one typed loop per expression node
+// over whole batch columns, instead of a Value-boxing interpreter call
+// per row. Intermediate results live in the batch's float64 scratch
+// buffers, indexed by expression-tree depth so sibling subtrees never
+// alias; the evaluator allocates nothing in steady state.
+
+// EvalVec evaluates e over every row of b, appending the results to out
+// (whose kind must be e's result kind). Column references bulk-copy,
+// constants bulk-fill, and arithmetic runs tight float64 loops using b's
+// scratch for intermediates.
+func EvalVec(e Expr, b *storage.Batch, out *storage.Vec) {
+	n := b.Len()
+	switch x := e.(type) {
+	case *Col:
+		out.AppendRange(b.Cols[b.Schema.MustIndexOf(x.Ref)], 0, n)
+	case *Const:
+		out.AppendRepeat(x.V, n)
+	default:
+		res := evalFloats(e, b, n, 0)
+		out.Floats = append(out.Floats, res...)
+	}
+}
+
+// evalFloats evaluates e as float64 over rows [0, n) of b. The returned
+// slice is either a direct reference to a Float64 input column or the
+// scratch buffer at the given depth; it stays valid until a caller
+// re-obtains a scratch at the same or lower depth.
+func evalFloats(e Expr, b *storage.Batch, n, depth int) []float64 {
+	sc := b.Scratch()
+	switch x := e.(type) {
+	case *Col:
+		vec := b.Cols[b.Schema.MustIndexOf(x.Ref)]
+		switch vec.Kind {
+		case types.Float64:
+			return vec.Floats[:n]
+		case types.Int64, types.Date:
+			dst := sc.Floats(depth, n)
+			src := vec.Ints
+			for i := range dst {
+				dst[i] = float64(src[i])
+			}
+			return dst
+		}
+		panic(fmt.Sprintf("expr: arithmetic over %v column %v", vec.Kind, x.Ref))
+	case *Const:
+		dst := sc.Floats(depth, n)
+		v := x.V.AsFloat()
+		for i := range dst {
+			dst[i] = v
+		}
+		return dst
+	case *Bin:
+		l := evalFloats(x.L, b, n, depth+1)
+		r := evalFloats(x.R, b, n, depth+2)
+		dst := sc.Floats(depth, n)
+		switch x.Op {
+		case OpAdd:
+			for i := range dst {
+				dst[i] = l[i] + r[i]
+			}
+		case OpSub:
+			for i := range dst {
+				dst[i] = l[i] - r[i]
+			}
+		case OpMul:
+			for i := range dst {
+				dst[i] = l[i] * r[i]
+			}
+		case OpDiv:
+			for i := range dst {
+				dst[i] = l[i] / r[i]
+			}
+		default:
+			panic(fmt.Sprintf("expr: unknown operator %q", x.Op))
+		}
+		return dst
+	}
+	panic(fmt.Sprintf("expr: cannot vectorize %T", e))
+}

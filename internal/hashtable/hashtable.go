@@ -94,8 +94,11 @@ type Table struct {
 	payload  []uint64 // nCols cells per entry
 	nEntries int
 	strs     *StringHeap
-	resizes  int // directory doublings (cost model statistic)
-	splits   int // bucket splits (cost model statistic)
+	gd       uint8 // global depth: len(dir) == 1<<gd
+	resizes  int   // directory doublings (cost model statistic)
+	splits   int   // bucket splits (cost model statistic)
+
+	scratch []uint64 // reusable row buffer for Upsert's insert path
 }
 
 // New creates an empty table with the given layout.
@@ -107,6 +110,7 @@ func New(layout Layout) *Table {
 		layout: layout,
 		nCols:  len(layout.Cols),
 		strs:   NewStringHeap(),
+		gd:     initialDepth,
 	}
 	nslots := 1 << initialDepth
 	t.dir = make([]int32, nslots)
@@ -157,14 +161,26 @@ func HashKey(key []uint64) uint64 {
 	return h
 }
 
-// globalDepth is implied by the directory size.
-func (t *Table) globalDepth() uint8 {
-	d := uint8(0)
-	for 1<<d < len(t.dir) {
-		d++
+// HashColumns computes the hash vector for a whole batch of keys encoded
+// column-wise: dst[i] receives the hash of row i's key cells
+// (keyCols[0][i], keyCols[1][i], ...). Row i's result is bit-identical
+// to HashKey of that row, but the combine loop runs column-at-a-time so
+// each key column streams through the cache once.
+func HashColumns(dst []uint64, keyCols [][]uint64) {
+	for i := range dst {
+		dst[i] = 0x9e3779b97f4a7c15
 	}
-	return d
+	for _, col := range keyCols {
+		for i, c := range col[:len(dst)] {
+			dst[i] = types.HashCombine(dst[i], types.Mix64(c))
+		}
+	}
 }
+
+// globalDepth returns the cached directory depth (len(dir) == 1<<gd);
+// it is maintained on every directory doubling instead of being
+// recomputed by a loop on every split attempt.
+func (t *Table) globalDepth() uint8 { return t.gd }
 
 func (t *Table) slot(h uint64) int32 { return int32(h & uint64(len(t.dir)-1)) }
 
@@ -175,6 +191,16 @@ func (t *Table) Insert(row []uint64) {
 		panic(fmt.Sprintf("hashtable: Insert row has %d cells, layout has %d", len(row), t.nCols))
 	}
 	h := HashKey(row[:t.layout.KeyCols])
+	t.insertHashed(h, row)
+}
+
+// InsertHashed is Insert with a precomputed key hash (HashColumns over a
+// batch); build sinks use it so the insert loop does not re-hash row by
+// row. h must equal HashKey of the row's key cells.
+func (t *Table) InsertHashed(h uint64, row []uint64) {
+	if len(row) != t.nCols {
+		panic(fmt.Sprintf("hashtable: InsertHashed row has %d cells, layout has %d", len(row), t.nCols))
+	}
 	t.insertHashed(h, row)
 }
 
@@ -210,6 +236,7 @@ func (t *Table) maybeSplit(bi int32, h uint64) bool {
 		copy(t.dir[len(old):], old)
 		t.resizes++
 		gd++
+		t.gd = gd
 	}
 	// Split bucket bi on bit localDepth: entries whose hash has the bit
 	// set move to a fresh bucket.
@@ -286,7 +313,14 @@ func (t *Table) Probe(key []uint64) Iterator {
 	if len(key) != t.layout.KeyCols {
 		panic(fmt.Sprintf("hashtable: Probe key has %d cells, layout key has %d", len(key), t.layout.KeyCols))
 	}
-	h := HashKey(key)
+	return t.ProbeHashed(HashKey(key), key)
+}
+
+// ProbeHashed is Probe with a precomputed key hash (HashColumns over a
+// batch): the chain walk uses h directly, so batch-at-a-time probes
+// hash a whole batch of keys up front and skip per-row hashing here.
+// h must equal HashKey(key). The iterator retains key until exhausted.
+func (t *Table) ProbeHashed(h uint64, key []uint64) Iterator {
 	return Iterator{t: t, cur: t.buckets[t.dir[t.slot(h)]].head, hash: h, key: key}
 }
 
@@ -309,7 +343,14 @@ func (t *Table) Upsert(key []uint64) (entry int32, found bool) {
 	if len(key) != t.layout.KeyCols {
 		panic(fmt.Sprintf("hashtable: Upsert key has %d cells, layout key has %d", len(key), t.layout.KeyCols))
 	}
-	h := HashKey(key)
+	return t.UpsertHashed(HashKey(key), key)
+}
+
+// UpsertHashed is Upsert with a precomputed key hash (HashColumns over a
+// batch). h must equal HashKey(key). The insert path reuses a scratch
+// row owned by the table instead of allocating one per new entry
+// (insertHashed copies the row into the payload arena).
+func (t *Table) UpsertHashed(h uint64, key []uint64) (entry int32, found bool) {
 	cur := t.buckets[t.dir[t.slot(h)]].head
 	for cur != -1 {
 		if t.hashes[cur] == h && t.keyEqual(cur, key) {
@@ -317,8 +358,14 @@ func (t *Table) Upsert(key []uint64) (entry int32, found bool) {
 		}
 		cur = t.next[cur]
 	}
-	row := make([]uint64, t.nCols)
+	if t.scratch == nil {
+		t.scratch = make([]uint64, t.nCols)
+	}
+	row := t.scratch
 	copy(row, key)
+	for i := len(key); i < t.nCols; i++ {
+		row[i] = 0
+	}
 	t.insertHashed(h, row)
 	return int32(t.nEntries - 1), false
 }
@@ -338,6 +385,29 @@ func (t *Table) CellValue(e int32, col int) types.Value {
 		return types.NewString(t.strs.At(bits))
 	}
 	return types.FromBits(kind, bits)
+}
+
+// AppendColumn bulk-decodes cell col of the given entries into a batch
+// vector of the layout column's kind, in entry order — the gather step
+// of batch-at-a-time probes and hash-table scans. The kind dispatch
+// happens once per column per batch instead of once per cell.
+func (t *Table) AppendColumn(dst *storage.Vec, col int, entries []int32) {
+	payload, nCols := t.payload, t.nCols
+	switch t.layout.Cols[col].Kind {
+	case types.Int64, types.Date:
+		for _, e := range entries {
+			dst.Ints = append(dst.Ints, int64(payload[int(e)*nCols+col]))
+		}
+	case types.Float64:
+		for _, e := range entries {
+			dst.Floats = append(dst.Floats, types.FromBits(types.Float64, payload[int(e)*nCols+col]).F)
+		}
+	case types.String:
+		strs := t.strs
+		for _, e := range entries {
+			dst.Strs = append(dst.Strs, strs.At(payload[int(e)*nCols+col]))
+		}
+	}
 }
 
 // EncodeValue encodes a typed value into its 8-byte cell representation,

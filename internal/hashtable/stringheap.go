@@ -39,6 +39,30 @@ func (h *StringHeap) Lookup(s string) (uint64, bool) {
 	return id, ok
 }
 
+// LookupBulk resolves a whole column of probe-key strings in one pass:
+// dst[i] receives the id of strs[i], and miss[i] is set when the string
+// was never interned (such a row cannot match any entry). The heap is
+// not grown.
+func (h *StringHeap) LookupBulk(dst []uint64, miss []bool, strs []string) {
+	index := h.index
+	for i, s := range strs {
+		id, ok := index[s]
+		if !ok {
+			miss[i] = true
+			continue
+		}
+		dst[i] = id
+	}
+}
+
+// InternBulk interns a whole column of build-side strings in one pass,
+// writing the ids into dst.
+func (h *StringHeap) InternBulk(dst []uint64, strs []string) {
+	for i, s := range strs {
+		dst[i] = h.Intern(s)
+	}
+}
+
 // Len reports the number of interned strings.
 func (h *StringHeap) Len() int { return len(h.strs) }
 

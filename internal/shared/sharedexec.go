@@ -61,8 +61,17 @@ func (s *Optimizer) runSharedGroup(queries []*plan.Query, group []int) ([]*optim
 		return nil, err
 	}
 
+	// Shared-plan pipelines parallelize like single-query ones: shared
+	// scans split into morsels and build sinks merge per-worker partial
+	// tables. Holding the exclusive lock is compatible with this — the
+	// workers only mutate the group's own tables. Pipelines without a
+	// parallel strategy (Multi-sink grouping spines) fall back to serial
+	// execution inside RunParallel.
 	t0 := time.Now()
-	runErr := exec.Run(g.pipelines)
+	runErr := exec.RunParallel(g.pipelines, exec.Parallelism{
+		Workers:    s.Single.Opts.Parallelism,
+		MorselRows: s.Single.Opts.MorselRows,
+	})
 	elapsed := time.Since(t0)
 	if runErr != nil {
 		g.discardAll()

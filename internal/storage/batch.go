@@ -79,6 +79,76 @@ func (v *Vec) AppendFrom(c *Column, i int32) {
 	}
 }
 
+// AppendRange bulk-appends rows [start, end) of a source vector of the
+// same kind. The kind dispatch happens once; the copy is one contiguous
+// memmove per data slice.
+func (v *Vec) AppendRange(src *Vec, start, end int) {
+	switch v.Kind {
+	case types.Int64, types.Date:
+		v.Ints = append(v.Ints, src.Ints[start:end]...)
+	case types.Float64:
+		v.Floats = append(v.Floats, src.Floats[start:end]...)
+	case types.String:
+		v.Strs = append(v.Strs, src.Strs[start:end]...)
+	}
+}
+
+// AppendGather appends the selected rows of a source vector of the same
+// kind, in selection order. This is the single materialization point of
+// a selection vector: operators mark surviving rows and gather once,
+// instead of copying every column row by row.
+func (v *Vec) AppendGather(src *Vec, sel []int32) {
+	switch v.Kind {
+	case types.Int64, types.Date:
+		data := src.Ints
+		for _, i := range sel {
+			v.Ints = append(v.Ints, data[i])
+		}
+	case types.Float64:
+		data := src.Floats
+		for _, i := range sel {
+			v.Floats = append(v.Floats, data[i])
+		}
+	case types.String:
+		data := src.Strs
+		for _, i := range sel {
+			v.Strs = append(v.Strs, data[i])
+		}
+	}
+}
+
+// AppendColumnRange bulk-appends rows [start, end) of a base-table
+// column of the same kind.
+func (v *Vec) AppendColumnRange(c *Column, start, end int32) {
+	src := c.view()
+	v.AppendRange(&src, int(start), int(end))
+}
+
+// AppendColumnGather appends the selected rows of a base-table column of
+// the same kind, in selection order.
+func (v *Vec) AppendColumnGather(c *Column, sel []int32) {
+	src := c.view()
+	v.AppendGather(&src, sel)
+}
+
+// AppendRepeat appends n copies of a value of the vector's kind.
+func (v *Vec) AppendRepeat(val types.Value, n int) {
+	switch v.Kind {
+	case types.Int64, types.Date:
+		for i := 0; i < n; i++ {
+			v.Ints = append(v.Ints, val.I)
+		}
+	case types.Float64:
+		for i := 0; i < n; i++ {
+			v.Floats = append(v.Floats, val.F)
+		}
+	case types.String:
+		for i := 0; i < n; i++ {
+			v.Strs = append(v.Strs, val.S)
+		}
+	}
+}
+
 // Value returns the value at row i.
 func (v *Vec) Value(i int) types.Value {
 	switch v.Kind {
@@ -139,10 +209,150 @@ func (s Schema) MustIndexOf(ref ColRef) int {
 	return i
 }
 
+// Scratch holds the reusable working buffers of vectorized operators:
+// selection vectors, hash vectors, encoded key columns and expression
+// intermediates. Each buffer is valid only for the duration of one
+// operator call — the next operator touching the batch may reuse it.
+// Scratch is owned by its batch, and batches are owned by one worker at
+// a time, so none of this synchronizes.
+type Scratch struct {
+	sel   []int32
+	ents  []int32
+	hash  []uint64
+	masks []int64
+	miss  []bool
+	enc   [][]uint64
+	f64   [][]float64
+}
+
+// Sel returns the selection-vector buffer with length n (contents
+// unspecified).
+func (s *Scratch) Sel(n int) []int32 {
+	if cap(s.sel) < n {
+		s.sel = make([]int32, n, grow(n))
+	}
+	s.sel = s.sel[:n]
+	return s.sel
+}
+
+// SeqSel returns the selection vector [0, 1, ..., n-1] — the identity
+// selection that constraint kernels refine in place.
+func (s *Scratch) SeqSel(n int) []int32 {
+	sel := s.Sel(n)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return sel
+}
+
+// Ents returns a second int32 buffer (entry indices of probe matches),
+// independent of Sel, with length 0 and capacity ≥ n.
+func (s *Scratch) Ents(n int) []int32 {
+	if cap(s.ents) < n {
+		s.ents = make([]int32, 0, grow(n))
+	}
+	return s.ents[:0]
+}
+
+// Hash returns the per-row hash buffer with length n.
+func (s *Scratch) Hash(n int) []uint64 {
+	if cap(s.hash) < n {
+		s.hash = make([]uint64, n, grow(n))
+	}
+	s.hash = s.hash[:n]
+	return s.hash
+}
+
+// Masks returns an int64 buffer (qid bitmasks) with length 0 and
+// capacity ≥ n.
+func (s *Scratch) Masks(n int) []int64 {
+	if cap(s.masks) < n {
+		s.masks = make([]int64, 0, grow(n))
+	}
+	return s.masks[:0]
+}
+
+// MasksN returns the qid bitmask buffer with length n, zeroed.
+func (s *Scratch) MasksN(n int) []int64 {
+	if cap(s.masks) < n {
+		s.masks = make([]int64, n, grow(n))
+	}
+	s.masks = s.masks[:n]
+	for i := range s.masks {
+		s.masks[i] = 0
+	}
+	return s.masks
+}
+
+// Miss returns the string-key miss buffer with length n, cleared to
+// false.
+func (s *Scratch) Miss(n int) []bool {
+	if cap(s.miss) < n {
+		s.miss = make([]bool, n, grow(n))
+	}
+	s.miss = s.miss[:n]
+	for i := range s.miss {
+		s.miss[i] = false
+	}
+	return s.miss
+}
+
+// Enc returns k encoded-cell columns of length n each (contents
+// unspecified). The k columns are stable across calls with the same or
+// smaller k.
+func (s *Scratch) Enc(k, n int) [][]uint64 {
+	for len(s.enc) < k {
+		s.enc = append(s.enc, nil)
+	}
+	for i := 0; i < k; i++ {
+		if cap(s.enc[i]) < n {
+			s.enc[i] = make([]uint64, n, grow(n))
+		}
+		s.enc[i] = s.enc[i][:n]
+	}
+	return s.enc[:k]
+}
+
+// Floats returns the float64 scratch at the given expression-tree depth
+// with length n — the intermediate buffers of vectorized expression
+// evaluation. Buffers at distinct depths never alias.
+func (s *Scratch) Floats(depth, n int) []float64 {
+	for len(s.f64) <= depth {
+		s.f64 = append(s.f64, nil)
+	}
+	if cap(s.f64[depth]) < n {
+		s.f64[depth] = make([]float64, n, grow(n))
+	}
+	s.f64[depth] = s.f64[depth][:n]
+	return s.f64[depth]
+}
+
+// AdoptSel hands a grown selection buffer back to the scratch so its
+// capacity is kept for subsequent batches (probes can emit more matches
+// than input rows, growing the buffer past its initial capacity).
+func (s *Scratch) AdoptSel(sel []int32) { s.sel = sel }
+
+// AdoptEnts hands a grown entry buffer back to the scratch.
+func (s *Scratch) AdoptEnts(ents []int32) { s.ents = ents }
+
+// AdoptMasks hands a grown mask buffer back to the scratch.
+func (s *Scratch) AdoptMasks(masks []int64) { s.masks = masks }
+
+// grow rounds scratch capacities up to at least one batch so steady-state
+// pipelines never reallocate.
+func grow(n int) int {
+	if n < BatchSize {
+		return BatchSize
+	}
+	return n
+}
+
 // Batch is a set of equal-length column vectors described by a Schema.
 type Batch struct {
 	Schema Schema
 	Cols   []*Vec
+
+	scratch Scratch
 }
 
 // NewBatch allocates a batch matching the schema.
@@ -153,6 +363,10 @@ func NewBatch(schema Schema) *Batch {
 	}
 	return b
 }
+
+// Scratch returns the batch's reusable working buffers. Operators that
+// read the batch may use them for the duration of one call.
+func (b *Batch) Scratch() *Scratch { return &b.scratch }
 
 // Len reports the row count of the batch.
 func (b *Batch) Len() int {

@@ -59,6 +59,20 @@ func (c *Column) Append(v types.Value) {
 	}
 }
 
+// view returns a Vec aliasing the column's data slices; Column and Vec
+// share the same layout, so the Vec bulk kernels serve both.
+func (c *Column) view() Vec {
+	return Vec{Kind: c.Kind, Ints: c.Ints, Floats: c.Floats, Strs: c.Strs}
+}
+
+// AppendVec bulk-appends every row of a batch vector of the same kind —
+// the kind dispatch happens once per batch instead of once per row.
+func (c *Column) AppendVec(v *Vec) {
+	dst := c.view()
+	dst.AppendRange(v, 0, v.Len())
+	c.Ints, c.Floats, c.Strs = dst.Ints, dst.Floats, dst.Strs
+}
+
 // Value returns the value at row i.
 func (c *Column) Value(i int) types.Value {
 	switch c.Kind {

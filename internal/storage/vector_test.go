@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hashstash/internal/types"
+)
+
+// fillRandVec populates a vector with n random values of its kind.
+func fillRandVec(rng *rand.Rand, v *Vec, n int) {
+	strs := []string{"a", "bb", "ccc", "dddd", "eeeee"}
+	for i := 0; i < n; i++ {
+		switch v.Kind {
+		case types.Int64, types.Date:
+			v.Ints = append(v.Ints, rng.Int63())
+		case types.Float64:
+			v.Floats = append(v.Floats, rng.NormFloat64())
+		case types.String:
+			v.Strs = append(v.Strs, strs[rng.Intn(len(strs))])
+		}
+	}
+}
+
+// TestAppendGatherPreservesRowOrder is the property test of the
+// selection-vector contract: materializing any selection via the bulk
+// gather kernel produces exactly the rows the per-row path produces, in
+// selection order, for every kind.
+func TestAppendGatherPreservesRowOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	kinds := []types.Kind{types.Int64, types.Float64, types.String, types.Date}
+	for _, kind := range kinds {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(3000)
+			src := NewVec(kind)
+			fillRandVec(rng, src, n)
+
+			// Random selection: arbitrary subset in arbitrary order, with
+			// duplicates allowed (probes select the same row once per match).
+			sel := make([]int32, rng.Intn(2*n))
+			for i := range sel {
+				sel[i] = int32(rng.Intn(n))
+			}
+
+			got := NewVec(kind)
+			got.AppendGather(src, sel)
+
+			want := NewVec(kind)
+			for _, i := range sel {
+				want.Append(src.Value(int(i)))
+			}
+
+			requireVecEqual(t, got, want)
+		}
+	}
+}
+
+// TestAppendRangeMatchesPerRow checks the contiguous-run kernel against
+// the per-row path for every kind and random sub-ranges.
+func TestAppendRangeMatchesPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	kinds := []types.Kind{types.Int64, types.Float64, types.String, types.Date}
+	for _, kind := range kinds {
+		n := 500
+		src := NewVec(kind)
+		fillRandVec(rng, src, n)
+		for trial := 0; trial < 20; trial++ {
+			start := rng.Intn(n)
+			end := start + rng.Intn(n-start)
+
+			got := NewVec(kind)
+			got.AppendRange(src, start, end)
+
+			want := NewVec(kind)
+			for i := start; i < end; i++ {
+				want.Append(src.Value(i))
+			}
+			requireVecEqual(t, got, want)
+		}
+	}
+}
+
+// TestColumnKernels checks AppendColumnRange/AppendColumnGather against
+// the per-row AppendFrom path.
+func TestColumnKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	kinds := []types.Kind{types.Int64, types.Float64, types.String, types.Date}
+	for _, kind := range kinds {
+		col := NewColumn("c", kind)
+		vec := NewVec(kind)
+		fillRandVec(rng, vec, 400)
+		col.AppendVec(vec)
+		if col.Len() != 400 {
+			t.Fatalf("AppendVec: column has %d rows, want 400", col.Len())
+		}
+
+		sel := make([]int32, 100)
+		for i := range sel {
+			sel[i] = int32(rng.Intn(400))
+		}
+		got := NewVec(kind)
+		got.AppendColumnGather(col, sel)
+		got.AppendColumnRange(col, 50, 150)
+
+		want := NewVec(kind)
+		for _, i := range sel {
+			want.AppendFrom(col, i)
+		}
+		for i := int32(50); i < 150; i++ {
+			want.AppendFrom(col, i)
+		}
+		requireVecEqual(t, got, want)
+	}
+}
+
+// TestScratchBuffersIndependent ensures the distinct scratch buffers
+// never alias each other within one operator call.
+func TestScratchBuffersIndependent(t *testing.T) {
+	b := NewBatch(Schema{{Ref: ColRef{Column: "x"}, Kind: types.Int64}})
+	sc := b.Scratch()
+	sel := sc.SeqSel(64)
+	ents := sc.Ents(64)
+	hash := sc.Hash(64)
+	masks := sc.MasksN(64)
+	miss := sc.Miss(64)
+	enc := sc.Enc(2, 64)
+	f0 := sc.Floats(0, 64)
+	f1 := sc.Floats(1, 64)
+
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	ents = append(ents, 7, 8, 9)
+	for i := range hash {
+		hash[i] = uint64(i) * 3
+	}
+	enc[0][0], enc[1][0] = 11, 22
+	f0[0], f1[0] = 1.5, 2.5
+	masks[0] = 99
+	miss[0] = true
+
+	if sel[0] != 0 || sel[63] != 63 {
+		t.Fatal("sel clobbered")
+	}
+	if ents[0] != 7 {
+		t.Fatal("ents clobbered")
+	}
+	if hash[1] != 3 {
+		t.Fatal("hash clobbered")
+	}
+	if enc[0][0] != 11 || enc[1][0] != 22 {
+		t.Fatal("enc columns alias")
+	}
+	if f0[0] != 1.5 || f1[0] != 2.5 {
+		t.Fatal("float scratch depths alias")
+	}
+	if masks[0] != 99 || !miss[0] {
+		t.Fatal("masks/miss clobbered")
+	}
+	// Re-obtaining a buffer with the same size returns the same memory
+	// (no steady-state allocation).
+	sel2 := sc.Sel(64)
+	if &sel2[0] != &sel[0] {
+		t.Fatal("Sel reallocated at steady state")
+	}
+}
+
+func requireVecEqual(t *testing.T, got, want *Vec) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("length: got %d, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		switch want.Kind {
+		case types.Int64, types.Date:
+			if got.Ints[i] != want.Ints[i] {
+				t.Fatalf("row %d: got %d, want %d", i, got.Ints[i], want.Ints[i])
+			}
+		case types.Float64:
+			if math.Float64bits(got.Floats[i]) != math.Float64bits(want.Floats[i]) {
+				t.Fatalf("row %d: got %v, want %v", i, got.Floats[i], want.Floats[i])
+			}
+		case types.String:
+			if got.Strs[i] != want.Strs[i] {
+				t.Fatalf("row %d: got %q, want %q", i, got.Strs[i], want.Strs[i])
+			}
+		}
+	}
+}
