@@ -24,11 +24,14 @@
 // stay lock-free on the hot path. WithParallelism configures the pool;
 // the default uses every available CPU.
 //
-// Exec is safe to call from many goroutines. The hash-table cache
-// guards its registry with an RWMutex and protects in-use tables from
-// LRU eviction with reference-counted pins; queries that widen a cached
-// table in place (partial/overlapping reuse) serialize through an
-// exclusive execution lock while read-only reuse proceeds concurrently.
+// Exec is safe to call from many goroutines and queries never
+// serialize against each other: cached tables are immutable published
+// snapshots, a query that widens one (partial/overlapping reuse) builds
+// a private copy-on-write successor — sharing the frozen base arenas
+// and string heap, appending only the missing tuples — and installs it
+// with an atomic compare-and-swap when its pipelines drain. An epoch
+// scheme (readers enter before planning, exit after execution) keeps
+// superseded snapshots alive until the last in-flight probe finishes.
 //
 // Quick start:
 //
@@ -152,16 +155,20 @@ func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n 
 func WithMorselRows(rows int) Option { return func(c *config) { c.morselRows = rows } }
 
 // DB is a HashStash database instance. Exec and ExecBatch are safe for
-// concurrent use (the materialized baseline engine serializes
-// internally); schema changes — LoadTPCH, CreateTable, InsertRows,
+// concurrent use; schema changes — LoadTPCH, CreateTable, InsertRows,
 // BuildIndex — must not run concurrently with queries.
 type DB struct {
-	cat    *catalog.Catalog
-	cache  *htcache.Cache
-	opt    *optimizer.Optimizer
-	batch  *shared.Optimizer
-	mat    *matreuse.Engine
-	matMu  sync.Mutex // the materialized baseline engine is single-threaded
+	cat   *catalog.Catalog
+	cache *htcache.Cache
+	opt   *optimizer.Optimizer
+	batch *shared.Optimizer
+	mat   *matreuse.Engine
+	// matMu lets the materialized baseline's read-only queries run
+	// concurrently (read lock; its temp cache synchronizes internally).
+	// Nothing takes the write side today: schema changes keep the
+	// documented contract of never running concurrently with queries,
+	// on either engine.
+	matMu  sync.RWMutex
 	engine Engine
 }
 
@@ -272,8 +279,11 @@ func (db *DB) Exec(sql string) (*Result, error) {
 
 func (db *DB) run(q *plan.Query) (*Result, error) {
 	if db.engine == EngineMaterialized {
-		db.matMu.Lock()
-		defer db.matMu.Unlock()
+		// Queries only read base and materialized tables (the temp cache
+		// registry synchronizes internally), so they share the lock and
+		// run concurrently.
+		db.matMu.RLock()
+		defer db.matMu.RUnlock()
 		return db.mat.Run(q)
 	}
 	return db.opt.Run(q)

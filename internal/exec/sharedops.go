@@ -181,6 +181,9 @@ func (t *sharedScanMorsel) Next(out *storage.Batch) bool {
 	return produced > 0
 }
 
+// reTagChunk is the batch granule of ReTag's entry sweep.
+const reTagChunk = storage.BatchSize
+
 // ReTag recomputes the qid bitmask of every entry of a reused shared
 // hash table against the predicate boxes of the *current* batch. The
 // paper mandates this before a shared operator reuses a table: stale
@@ -188,6 +191,16 @@ func (t *sharedScanMorsel) Next(out *storage.Batch) bool {
 // recycled. Entries matching no query get mask 0 (dead, but retained —
 // eviction of individual entries is the garbage collector's business,
 // not the operator's).
+//
+// The sweep is batch-at-a-time: each chunk of the entry arena decodes
+// every constrained layout column once into a typed scratch vector, each
+// query's box refines a selection vector with the Constraint filter
+// kernels (the kind dispatch hoisted out of the entry loop), and the
+// surviving entries OR their query bit into a dense mask vector. The
+// masks install in one StoreColumn call — written in place on a root
+// table, or as a table-owned overlay column on a copy-on-write widened
+// table, so re-tagging a reused snapshot never touches the shared base
+// pages concurrent queries are probing.
 //
 // Every predicate column of every box must be stored in the table's
 // layout (HashStash's "additional attributes" benefit optimization adds
@@ -197,52 +210,80 @@ func ReTag(ht *hashtable.Table, qidCol int, queryBoxes []expr.Box) error {
 	if qidCol < 0 || qidCol >= len(layout.Cols) {
 		return fmt.Errorf("exec: qid column %d out of range", qidCol)
 	}
-	type boundBox struct {
-		cols []int
-		cons []expr.Constraint
+	type boundPred struct {
+		col int // decode-buffer index
+		con expr.Constraint
 	}
-	bound := make([]boundBox, len(queryBoxes))
+	// Bind boxes to layout positions and assign one decode buffer per
+	// distinct constrained column.
+	bufOf := map[int]int{} // layout col -> decode buffer
+	var decodeCols []int   // layout col per buffer
+	var kinds []types.Kind
+	bound := make([][]boundPred, len(queryBoxes))
 	for q, box := range queryBoxes {
 		for _, p := range box {
 			ci := layout.ColIndex(p.Col)
 			if ci < 0 {
 				return fmt.Errorf("exec: re-tag predicate column %v not stored in hash table", p.Col)
 			}
-			bound[q].cols = append(bound[q].cols, ci)
-			bound[q].cons = append(bound[q].cons, p.Con)
+			bi, ok := bufOf[ci]
+			if !ok {
+				bi = len(decodeCols)
+				bufOf[ci] = bi
+				decodeCols = append(decodeCols, ci)
+				kinds = append(kinds, layout.Cols[ci].Kind)
+			}
+			bound[q] = append(bound[q], boundPred{col: bi, con: p.Con})
 		}
 	}
-	n := int32(ht.Len())
-	for e := int32(0); e < n; e++ {
-		var mask uint64
+
+	n := ht.Slots()
+	masks := make([]uint64, n)
+	bufs := make([]*storage.Vec, len(decodeCols))
+	for i, ci := range decodeCols {
+		bufs[i] = storage.NewVec(layout.Cols[ci].Kind)
+	}
+	ents := make([]int32, 0, reTagChunk)
+	sel := make([]int32, reTagChunk)
+
+	for start := 0; start < n; start += reTagChunk {
+		end := start + reTagChunk
+		if end > n {
+			end = n
+		}
+		cn := end - start
+		ents = ents[:0]
+		for e := start; e < end; e++ {
+			ents = append(ents, int32(e))
+		}
+		for i := range bufs {
+			bufs[i].Reset()
+			ht.AppendColumn(bufs[i], decodeCols[i], ents)
+		}
 		for q := range bound {
-			match := true
-			for j, ci := range bound[q].cols {
-				con := bound[q].cons[j]
-				bits := ht.Cell(e, ci)
-				switch layout.Cols[ci].Kind {
-				case types.Int64, types.Date:
-					if !con.MatchInt(int64(bits)) {
-						match = false
-					}
-				case types.Float64:
-					if !con.MatchFloat(types.FromBits(types.Float64, bits).F) {
-						match = false
-					}
-				case types.String:
-					if !con.MatchString(ht.Strings().At(bits)) {
-						match = false
-					}
-				}
-				if !match {
+			qsel := sel[:cn]
+			for i := range qsel {
+				qsel[i] = int32(i)
+			}
+			for _, bp := range bound[q] {
+				if len(qsel) == 0 {
 					break
 				}
+				switch kinds[bp.col] {
+				case types.Int64, types.Date:
+					qsel = bp.con.FilterInts(bufs[bp.col].Ints, qsel)
+				case types.Float64:
+					qsel = bp.con.FilterFloats(bufs[bp.col].Floats, qsel)
+				case types.String:
+					qsel = bp.con.FilterStrings(bufs[bp.col].Strs, qsel)
+				}
 			}
-			if match {
-				mask |= 1 << uint(q)
+			bit := uint64(1) << uint(q)
+			for _, r := range qsel {
+				masks[start+int(r)] |= bit
 			}
 		}
-		ht.SetCell(e, qidCol, mask)
 	}
+	ht.StoreColumn(qidCol, masks)
 	return nil
 }

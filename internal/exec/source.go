@@ -377,14 +377,24 @@ func (s *HTScan) Open() error {
 	return nil
 }
 
-// emitEntries filters the candidate entry range [start, end) through the
-// qid mask and post-filter and appends the survivors' columns to out. It
-// returns (emitted, post-filtered) counts. The qid test and each
-// post-filter column refine an entry selection vector with the kind
-// dispatch hoisted out of the entry loop; surviving entries decode once
-// per output column.
+// emitEntries filters the candidate entry range [start, end) through
+// liveness (slots tombstoned by a widened table's shadow promotions),
+// the qid mask and the post-filter, and appends the survivors' columns
+// to out. It returns (emitted, post-filtered) counts. The qid test and
+// each post-filter column refine an entry selection vector with the
+// kind dispatch hoisted out of the entry loop; surviving entries decode
+// once per output column.
 func (s *HTScan) emitEntries(out *storage.Batch, start, end int32) (int, int64) {
 	ents := fillRange(out.Scratch().Sel(int(end-start)), start)
+	if s.HT.HasDead() {
+		kept := ents[:0]
+		for _, e := range ents {
+			if s.HT.Live(e) {
+				kept = append(kept, e)
+			}
+		}
+		ents = kept
+	}
 	if s.QidCol >= 0 {
 		kept := ents[:0]
 		for _, e := range ents {
@@ -444,7 +454,7 @@ func (s *HTScan) filterEntries(ents []int32) []int32 {
 
 // Next implements Source.
 func (s *HTScan) Next(out *storage.Batch) bool {
-	n := int32(s.HT.Len())
+	n := int32(s.HT.Slots())
 	produced := 0
 	var filtered int64
 	for s.pos < n && produced < storage.BatchSize {
@@ -468,12 +478,12 @@ func (s *HTScan) FilteredOut() int64 { return atomic.LoadInt64(&s.filtered) }
 
 // Morsels implements MorselSource: the hash table's entry arena is
 // chunked into independent ranges. The table is immutable while being
-// scanned (builds into it are earlier pipelines; cross-query mutation
-// is excluded by the cache's execution locks), so morsels share it
-// lock-free.
+// scanned — builds into it are earlier pipelines of the same query, and
+// cross-query readers hold frozen snapshots that widening queries never
+// mutate (copy-on-write) — so morsels share it lock-free.
 func (s *HTScan) Morsels(rows int) []Source {
 	var out []Source
-	for _, m := range storage.MorselRange(s.HT.Len(), rows) {
+	for _, m := range storage.MorselRange(s.HT.Slots(), rows) {
 		out = append(out, &htScanMorsel{scan: s, m: m})
 	}
 	return out

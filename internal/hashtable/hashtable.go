@@ -20,10 +20,38 @@
 //     form the equality key. Join tables use Insert (duplicate keys
 //     chain), aggregation tables use Upsert (find-or-create) and update
 //     aggregate cells in place.
+//
+// # Copy-on-write widening
+//
+// Cached tables are published as immutable snapshots (Freeze) and
+// widened — the paper's partial/overlapping reuse — through Widen,
+// which clones only the directory and bucket headers, freezes the
+// source's entry arenas into shared read-only segments, and appends the
+// delta (the missing tuples) into arenas owned by the new table. The
+// string heap is shared through an overlay heap the same way. Frozen
+// snapshots therefore stay valid for concurrent lock-free probes while
+// a widened successor is built and published:
+//
+//   - Entry indices are global across segments; chain links may point
+//     from delta entries into base segments (inserts push at the chain
+//     head), and base links are never rewritten — widened tables do not
+//     split buckets (their delta is small; deep widening chains compact
+//     into a fresh root table instead).
+//
+//   - Aggregation widening must update cells of existing groups. A
+//     base group is shadow-promoted on first touch: its row is copied
+//     into the delta, inserted at the chain head (found before the
+//     original on every later walk), and the original is tombstoned in
+//     a table-owned bitmap that scans and probes consult.
+//
+//   - Shared-plan re-tagging rewrites one column (the qid bitmask) of
+//     every entry. StoreColumn installs it as an overlay column owned
+//     by the widened table, so re-tagging never touches shared pages.
 package hashtable
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hashstash/internal/storage"
 	"hashstash/internal/types"
@@ -33,6 +61,12 @@ const (
 	initialDepth = 3  // directory starts with 8 slots
 	maxDepth     = 26 // directory growth cap (64M slots)
 	bucketCap    = 8  // average chain length that triggers a split
+
+	// maxWidenSegments bounds the shared-segment chain a widened table
+	// may accumulate; Widen of a deeper table compacts into a fresh root
+	// table instead (amortized, like a directory resize), restoring
+	// bucket splits and single-segment probe locality.
+	maxWidenSegments = 6
 )
 
 // Layout describes the fixed-width payload row of a hash table.
@@ -83,20 +117,54 @@ type bucket struct {
 	nextSplit int32
 }
 
+// segment is one frozen, shared arena slice of a widened table. Entries
+// [start, start+len) of the global index space live here; the slices are
+// never written through (they alias a frozen predecessor's arenas).
+type segment struct {
+	start   int32
+	hashes  []uint64
+	next    []int32
+	payload []uint64
+}
+
 // Table is an extendible hash table over fixed-width rows.
 type Table struct {
-	layout   Layout
-	nCols    int
-	dir      []int32 // directory: bucket index per slot
-	buckets  []bucket
-	hashes   []uint64 // per-entry full hash
-	next     []int32  // per-entry chain link
-	payload  []uint64 // nCols cells per entry
-	nEntries int
+	layout  Layout
+	nCols   int
+	dir     []int32 // directory: bucket index per slot
+	buckets []bucket
+
+	// segs are the frozen shared base arenas of a widened table, in
+	// ascending start order; empty for root tables. segEnd is the first
+	// index owned by this table's own (appendable) arenas below.
+	segs   []segment
+	segEnd int32
+
+	hashes  []uint64 // own entries: per-entry full hash
+	next    []int32  // own entries: chain link (global indices)
+	payload []uint64 // own entries: nCols cells per entry
+
+	// dead tombstones shadow-promoted base entries ([0, segEnd) bit per
+	// index); nil until the first promotion. Scans and probes skip them.
+	dead      []uint64
+	deadCount int
+
+	// overlay overrides one layout column for every slot (StoreColumn on
+	// a widened table — the shared-plan qid re-tag). overlayCol is -1
+	// when inactive.
+	overlayCol int
+	overlay    []uint64
+
+	nSlots   int32 // global index space: segEnd + len(own arenas)
+	nEntries int   // live entries (nSlots minus tombstones)
 	strs     *StringHeap
 	gd       uint8 // global depth: len(dir) == 1<<gd
 	resizes  int   // directory doublings (cost model statistic)
 	splits   int   // bucket splits (cost model statistic)
+	// frozen marks a published snapshot: every mutation panics. Atomic
+	// because concurrent queries may Widen (and hence re-Freeze) the
+	// same published snapshot at the same time.
+	frozen atomic.Bool
 
 	scratch []uint64 // reusable row buffer for Upsert's insert path
 }
@@ -107,10 +175,11 @@ func New(layout Layout) *Table {
 		panic(err)
 	}
 	t := &Table{
-		layout: layout,
-		nCols:  len(layout.Cols),
-		strs:   NewStringHeap(),
-		gd:     initialDepth,
+		layout:     layout,
+		nCols:      len(layout.Cols),
+		strs:       NewStringHeap(),
+		gd:         initialDepth,
+		overlayCol: -1,
 	}
 	nslots := 1 << initialDepth
 	t.dir = make([]int32, nslots)
@@ -125,8 +194,31 @@ func New(layout Layout) *Table {
 // Layout returns the table's row layout.
 func (t *Table) Layout() Layout { return t.layout }
 
-// Len reports the number of entries.
+// Len reports the number of live entries.
 func (t *Table) Len() int { return t.nEntries }
+
+// Slots reports the size of the entry index space, including tombstoned
+// (shadow-promoted) slots. Scans iterate [0, Slots) and skip dead slots
+// via Live.
+func (t *Table) Slots() int { return int(t.nSlots) }
+
+// Live reports whether slot e holds a live entry (not tombstoned by a
+// shadow promotion).
+func (t *Table) Live(e int32) bool {
+	return t.dead == nil || e >= t.segEnd || t.dead[e>>6]&(1<<uint(e&63)) == 0
+}
+
+// HasDead reports whether any slot is tombstoned (scans of tables
+// without tombstones skip the per-entry liveness check).
+func (t *Table) HasDead() bool { return t.deadCount > 0 }
+
+// Frozen reports whether the table has been published as an immutable
+// snapshot.
+func (t *Table) Frozen() bool { return t.frozen.Load() }
+
+// Widened reports whether the table shares frozen base segments with a
+// predecessor snapshot.
+func (t *Table) Widened() bool { return len(t.segs) > 0 }
 
 // Strings returns the table's string heap.
 func (t *Table) Strings() *StringHeap { return t.strs }
@@ -141,15 +233,84 @@ func (t *Table) Splits() int { return t.splits }
 func (t *Table) DirSize() int { return len(t.dir) }
 
 // ByteSize estimates the memory footprint of the table: directory,
-// buckets, entry arenas and string heap. This is the htSize input of the
-// reuse-aware cost model.
+// buckets, entry arenas (shared segments are counted in full — each
+// snapshot reports the bytes it keeps reachable) and string heap. This
+// is the htSize input of the reuse-aware cost model.
 func (t *Table) ByteSize() int64 {
-	return int64(len(t.dir))*4 +
+	total := int64(len(t.dir))*4 +
 		int64(len(t.buckets))*13 +
 		int64(len(t.hashes))*8 +
 		int64(len(t.next))*4 +
 		int64(len(t.payload))*8 +
+		int64(len(t.overlay))*8 +
+		int64(len(t.dead))*8 +
 		t.strs.ByteSize()
+	for _, s := range t.segs {
+		total += int64(len(s.hashes))*8 + int64(len(s.next))*4 + int64(len(s.payload))*8
+	}
+	return total
+}
+
+// Freeze marks the table as a published, immutable snapshot. Every
+// later mutation panics; Widen derives mutable successors. Idempotent
+// and safe to call concurrently (concurrent wideners of one published
+// snapshot all freeze it).
+func (t *Table) Freeze() *Table {
+	t.frozen.Store(true)
+	t.strs.freeze()
+	return t
+}
+
+// Widen returns a mutable copy-on-write successor of the table: the
+// directory and bucket headers are cloned, the source's entry arenas
+// (base segments plus its own tail) are shared as frozen read-only
+// segments, the string heap is shared through an overlay heap, and new
+// entries append into arenas owned by the successor. The source is
+// frozen. A source whose segment chain is already maxWidenSegments deep
+// is compacted into a fresh root table instead (full copy, amortized).
+func (t *Table) Widen() *Table {
+	t.Freeze()
+	if len(t.segs)+1 > maxWidenSegments {
+		nt := New(t.layout)
+		nt.MergeFrom(t)
+		return nt
+	}
+	segs := make([]segment, 0, len(t.segs)+1)
+	segs = append(segs, t.segs...)
+	if len(t.hashes) > 0 {
+		// Three-index slices: an accidental append through a shared
+		// segment can never write into the frozen arenas.
+		segs = append(segs, segment{
+			start:   t.segEnd,
+			hashes:  t.hashes[:len(t.hashes):len(t.hashes)],
+			next:    t.next[:len(t.next):len(t.next)],
+			payload: t.payload[:len(t.payload):len(t.payload)],
+		})
+	}
+	nt := &Table{
+		layout:     t.layout,
+		nCols:      t.nCols,
+		dir:        append([]int32(nil), t.dir...),
+		buckets:    append([]bucket(nil), t.buckets...),
+		segs:       segs,
+		segEnd:     t.nSlots,
+		nSlots:     t.nSlots,
+		nEntries:   t.nEntries,
+		strs:       t.strs.widen(),
+		gd:         t.gd,
+		resizes:    t.resizes,
+		splits:     t.splits,
+		overlayCol: t.overlayCol,
+		deadCount:  t.deadCount,
+	}
+	if t.dead != nil {
+		nt.dead = make([]uint64, (int(nt.segEnd)+63)/64)
+		copy(nt.dead, t.dead)
+	}
+	if t.overlay != nil {
+		nt.overlay = append(make([]uint64, 0, len(t.overlay)), t.overlay...)
+	}
+	return nt
 }
 
 // HashKey hashes a key (the first KeyCols cells of a row).
@@ -184,12 +345,62 @@ func (t *Table) globalDepth() uint8 { return t.gd }
 
 func (t *Table) slot(h uint64) int32 { return int32(h & uint64(len(t.dir)-1)) }
 
+// segFor locates the frozen segment holding global index e (< segEnd).
+// Segment chains are at most maxWidenSegments deep; the newest (and
+// usually smallest) segments sit at the tail, the original bulk at the
+// head, so the reverse scan terminates quickly either way.
+func (t *Table) segFor(e int32) *segment {
+	segs := t.segs
+	for i := len(segs) - 1; i > 0; i-- {
+		if e >= segs[i].start {
+			return &segs[i]
+		}
+	}
+	return &segs[0]
+}
+
+// hashAt reads the full hash of entry e across segment boundaries.
+func (t *Table) hashAt(e int32) uint64 {
+	if e >= t.segEnd {
+		return t.hashes[e-t.segEnd]
+	}
+	s := t.segFor(e)
+	return s.hashes[e-s.start]
+}
+
+// nextAt reads the chain link of entry e across segment boundaries.
+func (t *Table) nextAt(e int32) int32 {
+	if e >= t.segEnd {
+		return t.next[e-t.segEnd]
+	}
+	s := t.segFor(e)
+	return s.next[e-s.start]
+}
+
+// rowAt returns the payload row of entry e (read-only for base entries).
+func (t *Table) rowAt(e int32) []uint64 {
+	if e >= t.segEnd {
+		off := int(e-t.segEnd) * t.nCols
+		return t.payload[off : off+t.nCols]
+	}
+	s := t.segFor(e)
+	off := int(e-s.start) * t.nCols
+	return s.payload[off : off+t.nCols]
+}
+
+func (t *Table) mustMutate(op string) {
+	if t.frozen.Load() {
+		panic("hashtable: " + op + " on frozen snapshot (Widen first)")
+	}
+}
+
 // Insert appends a row whose first KeyCols cells form the key. Duplicate
 // keys are allowed (join build side). The row slice is copied.
 func (t *Table) Insert(row []uint64) {
 	if len(row) != t.nCols {
 		panic(fmt.Sprintf("hashtable: Insert row has %d cells, layout has %d", len(row), t.nCols))
 	}
+	t.mustMutate("Insert")
 	h := HashKey(row[:t.layout.KeyCols])
 	t.insertHashed(h, row)
 }
@@ -201,27 +412,36 @@ func (t *Table) InsertHashed(h uint64, row []uint64) {
 	if len(row) != t.nCols {
 		panic(fmt.Sprintf("hashtable: InsertHashed row has %d cells, layout has %d", len(row), t.nCols))
 	}
+	t.mustMutate("InsertHashed")
 	t.insertHashed(h, row)
 }
 
 func (t *Table) insertHashed(h uint64, row []uint64) {
 	bi := t.dir[t.slot(h)]
 	b := &t.buckets[bi]
-	if b.n >= b.nextSplit && t.maybeSplit(bi, h) {
+	// Widened tables never split: base chain links are frozen and may
+	// not be redistributed. Their deltas are small; deep chains resolve
+	// through compaction on the next Widen.
+	if t.segEnd == 0 && b.n >= b.nextSplit && t.maybeSplit(bi, h) {
 		bi = t.dir[t.slot(h)]
 		b = &t.buckets[bi]
 	}
-	idx := int32(t.nEntries)
+	idx := t.nSlots
 	t.hashes = append(t.hashes, h)
 	t.next = append(t.next, b.head)
 	t.payload = append(t.payload, row...)
+	if t.overlay != nil {
+		t.overlay = append(t.overlay, row[t.overlayCol])
+	}
 	b.head = idx
 	b.n++
+	t.nSlots++
 	t.nEntries++
 }
 
 // maybeSplit splits the bucket holding hash h, doubling the directory if
-// needed. It reports whether a split occurred.
+// needed. It reports whether a split occurred. Only root tables split
+// (insertHashed gates on segEnd == 0), so direct arena access is safe.
 func (t *Table) maybeSplit(bi int32, h uint64) bool {
 	b := &t.buckets[bi]
 	gd := t.globalDepth()
@@ -291,9 +511,9 @@ func (t *Table) maybeSplit(bi int32, h uint64) bool {
 
 // keyEqual compares the key cells of entry e against key.
 func (t *Table) keyEqual(e int32, key []uint64) bool {
-	base := int(e) * t.nCols
+	row := t.rowAt(e)
 	for i, k := range key {
-		if t.payload[base+i] != k {
+		if row[i] != k {
 			return false
 		}
 	}
@@ -325,11 +545,14 @@ func (t *Table) ProbeHashed(h uint64, key []uint64) Iterator {
 }
 
 // Next returns the next matching entry index, or -1 when exhausted.
+// Tombstoned (shadow-promoted) entries are skipped: their promoted copy
+// sits earlier in the chain.
 func (it *Iterator) Next() int32 {
+	t := it.t
 	for it.cur != -1 {
 		e := it.cur
-		it.cur = it.t.next[e]
-		if it.t.hashes[e] == it.hash && it.t.keyEqual(e, it.key) {
+		it.cur = t.nextAt(e)
+		if t.hashAt(e) == it.hash && t.Live(e) && t.keyEqual(e, it.key) {
 			return e
 		}
 	}
@@ -350,13 +573,23 @@ func (t *Table) Upsert(key []uint64) (entry int32, found bool) {
 // batch). h must equal HashKey(key). The insert path reuses a scratch
 // row owned by the table instead of allocating one per new entry
 // (insertHashed copies the row into the payload arena).
+//
+// On a widened table, finding the key in a frozen base segment
+// shadow-promotes it: the row is copied into the table's own arena at
+// the chain head and the base original is tombstoned, so the caller may
+// update the returned entry's cells in place without touching shared
+// pages.
 func (t *Table) UpsertHashed(h uint64, key []uint64) (entry int32, found bool) {
+	t.mustMutate("Upsert")
 	cur := t.buckets[t.dir[t.slot(h)]].head
 	for cur != -1 {
-		if t.hashes[cur] == h && t.keyEqual(cur, key) {
+		if t.hashAt(cur) == h && t.Live(cur) && t.keyEqual(cur, key) {
+			if cur < t.segEnd {
+				return t.promote(cur, h), true
+			}
 			return cur, true
 		}
-		cur = t.next[cur]
+		cur = t.nextAt(cur)
 	}
 	if t.scratch == nil {
 		t.scratch = make([]uint64, t.nCols)
@@ -367,14 +600,78 @@ func (t *Table) UpsertHashed(h uint64, key []uint64) (entry int32, found bool) {
 		row[i] = 0
 	}
 	t.insertHashed(h, row)
-	return int32(t.nEntries - 1), false
+	return t.nSlots - 1, false
+}
+
+// promote shadow-copies base entry e into the table's own arena (chain
+// head insert, so later walks find the copy first), tombstones the
+// original, and returns the copy's index.
+func (t *Table) promote(e int32, h uint64) int32 {
+	if t.scratch == nil {
+		t.scratch = make([]uint64, t.nCols)
+	}
+	copy(t.scratch, t.rowAt(e))
+	if t.dead == nil {
+		t.dead = make([]uint64, (int(t.segEnd)+63)/64)
+	}
+	t.dead[e>>6] |= 1 << uint(e&63)
+	t.deadCount++
+	t.nEntries-- // insertHashed re-counts the promoted copy
+	t.insertHashed(h, t.scratch)
+	idx := t.nSlots - 1
+	if t.overlay != nil {
+		t.overlay[idx] = t.overlay[e]
+	}
+	return idx
 }
 
 // Cell returns cell col of entry e.
-func (t *Table) Cell(e int32, col int) uint64 { return t.payload[int(e)*t.nCols+col] }
+func (t *Table) Cell(e int32, col int) uint64 {
+	if col == t.overlayCol && t.overlay != nil {
+		return t.overlay[e]
+	}
+	return t.rowAt(e)[col]
+}
 
-// SetCell stores v into cell col of entry e.
-func (t *Table) SetCell(e int32, col int, v uint64) { t.payload[int(e)*t.nCols+col] = v }
+// SetCell stores v into cell col of entry e. Cells of frozen base
+// segments are immutable: aggregate widening reaches existing groups
+// only through Upsert's shadow promotion, which hands back a mutable
+// copy.
+func (t *Table) SetCell(e int32, col int, v uint64) {
+	t.mustMutate("SetCell")
+	if col == t.overlayCol && t.overlay != nil {
+		t.overlay[e] = v
+		return
+	}
+	if e < t.segEnd {
+		panic("hashtable: SetCell on a shared base segment of a widened table")
+	}
+	t.payload[int(e-t.segEnd)*t.nCols+col] = v
+}
+
+// StoreColumn replaces layout column col of every slot with vals
+// (len(vals) == Slots()). On a root table the cells are written in
+// place; on a widened table the values install as an overlay column
+// owned by this table, leaving the shared base segments untouched —
+// this is how shared plans re-tag qid bitmasks of reused tables.
+// StoreColumn takes ownership of vals.
+func (t *Table) StoreColumn(col int, vals []uint64) {
+	t.mustMutate("StoreColumn")
+	if col < 0 || col >= t.nCols {
+		panic(fmt.Sprintf("hashtable: StoreColumn column %d out of range", col))
+	}
+	if len(vals) != int(t.nSlots) {
+		panic(fmt.Sprintf("hashtable: StoreColumn got %d values for %d slots", len(vals), t.nSlots))
+	}
+	if t.segEnd == 0 {
+		for e := 0; e < int(t.nSlots); e++ {
+			t.payload[e*t.nCols+col] = vals[e]
+		}
+		return
+	}
+	t.overlayCol = col
+	t.overlay = vals
+}
 
 // CellValue decodes cell col of entry e as a typed value using the
 // layout's kind (strings resolve through the heap).
@@ -392,20 +689,26 @@ func (t *Table) CellValue(e int32, col int) types.Value {
 // of batch-at-a-time probes and hash-table scans. The kind dispatch
 // happens once per column per batch instead of once per cell.
 func (t *Table) AppendColumn(dst *storage.Vec, col int, entries []int32) {
-	payload, nCols := t.payload, t.nCols
+	if col == t.overlayCol && t.overlay != nil {
+		// Overlay columns are Int64 (qid bitmasks).
+		for _, e := range entries {
+			dst.Ints = append(dst.Ints, int64(t.overlay[e]))
+		}
+		return
+	}
 	switch t.layout.Cols[col].Kind {
 	case types.Int64, types.Date:
 		for _, e := range entries {
-			dst.Ints = append(dst.Ints, int64(payload[int(e)*nCols+col]))
+			dst.Ints = append(dst.Ints, int64(t.rowAt(e)[col]))
 		}
 	case types.Float64:
 		for _, e := range entries {
-			dst.Floats = append(dst.Floats, types.FromBits(types.Float64, payload[int(e)*nCols+col]).F)
+			dst.Floats = append(dst.Floats, types.FromBits(types.Float64, t.rowAt(e)[col]).F)
 		}
 	case types.String:
 		strs := t.strs
 		for _, e := range entries {
-			dst.Strs = append(dst.Strs, strs.At(payload[int(e)*nCols+col]))
+			dst.Strs = append(dst.Strs, strs.At(t.rowAt(e)[col]))
 		}
 	}
 }
@@ -423,14 +726,15 @@ func (t *Table) EncodeValue(v types.Value) uint64 {
 // failure-injection hooks call it. It verifies that (1) every directory
 // slot points at a valid bucket whose localDepth ≤ globalDepth, (2) all
 // slots sharing a bucket agree on the bucket's depth-masked suffix,
-// (3) every entry is reachable from exactly one bucket and hashes to it,
-// and (4) chain counts match.
+// (3) every live entry is reachable from exactly one bucket and hashes
+// to it, and (4) the live count matches. Tombstoned slots may linger in
+// chains (shadow promotion cannot rewrite frozen links).
 func (t *Table) CheckInvariants() error {
 	gd := t.globalDepth()
 	if 1<<gd != len(t.dir) {
 		return fmt.Errorf("hashtable: directory size %d is not a power of two", len(t.dir))
 	}
-	seen := make([]bool, t.nEntries)
+	seen := make([]bool, t.nSlots)
 	counted := 0
 	for s, bi := range t.dir {
 		if bi < 0 || int(bi) >= len(t.buckets) {
@@ -444,39 +748,45 @@ func (t *Table) CheckInvariants() error {
 		// the bucket (its head entry's hash suffix, when non-empty).
 		if b.head != -1 {
 			mask := (uint64(1) << b.localDepth) - 1
-			if uint64(s)&mask != t.hashes[b.head]&mask {
+			if uint64(s)&mask != t.hashAt(b.head)&mask {
 				return fmt.Errorf("hashtable: slot %d suffix mismatch for bucket %d", s, bi)
 			}
 		}
 	}
-	for bi, b := range t.buckets {
+	for bi := range t.buckets {
+		b := t.buckets[bi]
 		mask := (uint64(1) << b.localDepth) - 1
 		var suffix uint64
 		first := true
 		n := int32(0)
-		for cur := b.head; cur != -1; cur = t.next[cur] {
-			if cur < 0 || int(cur) >= t.nEntries {
+		for cur := b.head; cur != -1; cur = t.nextAt(cur) {
+			if cur < 0 || cur >= t.nSlots {
 				return fmt.Errorf("hashtable: bucket %d chain hits bad entry %d", bi, cur)
 			}
 			if seen[cur] {
 				return fmt.Errorf("hashtable: entry %d reachable twice", cur)
 			}
 			seen[cur] = true
-			counted++
+			if t.Live(cur) {
+				counted++
+			}
 			if first {
-				suffix = t.hashes[cur] & mask
+				suffix = t.hashAt(cur) & mask
 				first = false
-			} else if t.hashes[cur]&mask != suffix {
+			} else if t.hashAt(cur)&mask != suffix {
 				return fmt.Errorf("hashtable: bucket %d mixes hash suffixes", bi)
 			}
 			n++
 		}
+		// b.n counts every chain node, tombstoned shadow originals
+		// included (promotion appends the copy without unlinking the
+		// frozen original), so the equality holds for widened tables too.
 		if n != b.n {
 			return fmt.Errorf("hashtable: bucket %d count %d != chain length %d", bi, b.n, n)
 		}
 	}
 	if counted != t.nEntries {
-		return fmt.Errorf("hashtable: %d entries reachable, want %d", counted, t.nEntries)
+		return fmt.Errorf("hashtable: %d live entries reachable, want %d", counted, t.nEntries)
 	}
 	return nil
 }

@@ -10,7 +10,8 @@ import (
 // worker a private partial table (its own arenas and string heap) and
 // merges the partials into one immutable table at the pipeline breaker.
 // Probes never see a table under construction, so the hot probe path
-// stays lock-free.
+// stays lock-free. The same machinery compacts a deep widened table
+// into a fresh root table (Widen's segment-depth bound).
 
 // checkMergeLayouts panics unless src's layout is cell-compatible with
 // t's (same column count, kinds and key width). Column refs may differ
@@ -29,12 +30,12 @@ func (t *Table) checkMergeLayouts(src *Table) {
 
 // reencodeRow copies entry e of src into row, translating string cells
 // from src's heap into t's. It reports whether any key cell changed
-// (forcing a rehash).
+// (forcing a rehash). Cells read through src.Cell, so segment-sharing
+// and overlay columns of widened sources resolve correctly.
 func (t *Table) reencodeRow(src *Table, e int32, row []uint64) bool {
-	base := int(e) * src.nCols
 	keyChanged := false
 	for i := 0; i < src.nCols; i++ {
-		bits := src.payload[base+i]
+		bits := src.Cell(e, i)
 		if src.layout.Cols[i].Kind == types.String {
 			old := bits
 			bits = t.strs.Intern(src.strs.At(bits))
@@ -47,16 +48,21 @@ func (t *Table) reencodeRow(src *Table, e int32, row []uint64) bool {
 	return keyChanged
 }
 
-// MergeFrom inserts every entry of src into t (duplicate keys chain, as
-// in Insert) — the merge step of a parallel join build. String cells are
-// re-interned into t's heap; hashes of string-free keys are reused from
-// src so the merge does not re-hash what it does not have to.
+// MergeFrom inserts every live entry of src into t (duplicate keys
+// chain, as in Insert) — the merge step of a parallel join build and
+// the compaction step of a deep Widen. String cells are re-interned
+// into t's heap; hashes of string-free keys are reused from src so the
+// merge does not re-hash what it does not have to.
 func (t *Table) MergeFrom(src *Table) {
 	t.checkMergeLayouts(src)
+	t.mustMutate("MergeFrom")
 	row := make([]uint64, t.nCols)
-	for e := int32(0); e < int32(src.nEntries); e++ {
+	for e := int32(0); e < src.nSlots; e++ {
+		if !src.Live(e) {
+			continue
+		}
 		changed := t.reencodeRow(src, e, row)
-		h := src.hashes[e]
+		h := src.hashAt(e)
 		if changed {
 			h = HashKey(row[:t.layout.KeyCols])
 		}
@@ -64,17 +70,22 @@ func (t *Table) MergeFrom(src *Table) {
 	}
 }
 
-// MergeGroupsFrom upserts every entry of src into t — the merge step of
-// a parallel aggregation. New keys copy their cells; existing keys fold
-// each non-key cell through fold(col, dstBits, srcBits), which the
-// caller derives from the aggregate functions (SUM adds, COUNT adds,
-// MIN/MAX compare). String cells are re-interned into t's heap. It
-// returns how many new groups the merge created in t.
+// MergeGroupsFrom upserts every live entry of src into t — the merge
+// step of a parallel aggregation. New keys copy their cells; existing
+// keys fold each non-key cell through fold(col, dstBits, srcBits),
+// which the caller derives from the aggregate functions (SUM adds,
+// COUNT adds, MIN/MAX compare). String cells are re-interned into t's
+// heap. It returns how many new groups the merge created in t. When t
+// is a widened table, folding into a frozen base group shadow-promotes
+// it (see UpsertHashed).
 func (t *Table) MergeGroupsFrom(src *Table, fold func(col int, dst, src uint64) uint64) (created int64) {
 	t.checkMergeLayouts(src)
 	row := make([]uint64, t.nCols)
 	nKeys := t.layout.KeyCols
-	for e := int32(0); e < int32(src.nEntries); e++ {
+	for e := int32(0); e < src.nSlots; e++ {
+		if !src.Live(e) {
+			continue
+		}
 		t.reencodeRow(src, e, row)
 		dst, found := t.Upsert(row[:nKeys])
 		if !found {

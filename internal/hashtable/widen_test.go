@@ -1,0 +1,283 @@
+package hashtable
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+func widenLayout() Layout {
+	return Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "t", Column: "k"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Table: "t", Column: "s"}, Kind: types.String},
+			{Ref: storage.ColRef{Table: "t", Column: "v"}, Kind: types.Float64},
+		},
+		KeyCols: 1,
+	}
+}
+
+func buildWidenBase(n int) *Table {
+	t := New(widenLayout())
+	for i := 0; i < n; i++ {
+		t.Insert([]uint64{uint64(i), t.strs.Intern(fmt.Sprintf("s%d", i%7)), types.NewFloat(float64(i)).Bits()})
+	}
+	return t
+}
+
+// probeAll collects the entries matching key k.
+func probeAll(t *Table, k uint64) []int32 {
+	var out []int32
+	it := t.Probe([]uint64{k})
+	for e := it.Next(); e != -1; e = it.Next() {
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestFreezePanicsOnMutation(t *testing.T) {
+	ht := buildWidenBase(10).Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert on frozen table did not panic")
+		}
+	}()
+	ht.Insert([]uint64{99, 0, 0})
+}
+
+func TestWidenSharesBaseAndAppendsDelta(t *testing.T) {
+	base := buildWidenBase(1000)
+	baseLen := base.Len()
+	w := base.Widen()
+	if !base.Frozen() {
+		t.Fatal("Widen must freeze the source")
+	}
+	if w.Frozen() || !w.Widened() {
+		t.Fatal("widened table must be mutable and segment-backed")
+	}
+	// Append a delta.
+	for i := 1000; i < 1200; i++ {
+		w.Insert([]uint64{uint64(i), w.strs.Intern("new"), types.NewFloat(float64(i)).Bits()})
+	}
+	if base.Len() != baseLen {
+		t.Fatalf("widening mutated the frozen base: %d entries", base.Len())
+	}
+	if w.Len() != baseLen+200 {
+		t.Fatalf("widened table has %d entries, want %d", w.Len(), baseLen+200)
+	}
+	// Base entries are visible through the widened table; delta entries
+	// are invisible through the base.
+	if got := probeAll(w, 42); len(got) != 1 {
+		t.Fatalf("base key probes %d entries through widened table", len(got))
+	}
+	if got := probeAll(w, 1100); len(got) != 1 {
+		t.Fatalf("delta key probes %d entries", len(got))
+	}
+	if got := probeAll(base, 1100); len(got) != 0 {
+		t.Fatalf("delta key visible through frozen base: %v", got)
+	}
+	// Cell decoding crosses the segment boundary and both heaps.
+	if v := w.CellValue(42, 1); v.S != "s0" {
+		t.Fatalf("base string cell = %q", v.S)
+	}
+	if v := w.CellValue(int32(w.Slots()-1), 1); v.S != "new" {
+		t.Fatalf("delta string cell = %q", v.S)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidenShadowPromotion(t *testing.T) {
+	base := buildWidenBase(100)
+	w := base.Widen()
+	// Upsert an existing key: must promote, not touch the base.
+	e, found := w.Upsert([]uint64{42})
+	if !found {
+		t.Fatal("existing key not found")
+	}
+	if e < w.segEnd {
+		t.Fatalf("promotion returned base entry %d", e)
+	}
+	w.SetCell(e, 2, types.NewFloat(999).Bits())
+	if got := w.CellValue(e, 2).F; got != 999 {
+		t.Fatalf("promoted cell = %v", got)
+	}
+	// Base copy untouched and still live in the base snapshot.
+	if got := base.CellValue(42, 2).F; got != 42 {
+		t.Fatalf("frozen base cell mutated: %v", got)
+	}
+	// The widened table sees exactly one live copy.
+	if got := probeAll(w, 42); len(got) != 1 || got[0] != e {
+		t.Fatalf("probe after promotion = %v, want [%d]", got, e)
+	}
+	if w.Len() != 100 {
+		t.Fatalf("promotion changed live count: %d", w.Len())
+	}
+	if !w.HasDead() || w.Live(42) {
+		t.Fatal("original slot not tombstoned")
+	}
+	// A second upsert hits the promoted copy (no double promotion).
+	e2, found := w.Upsert([]uint64{42})
+	if !found || e2 != e {
+		t.Fatalf("re-upsert = (%d,%v), want (%d,true)", e2, found, e)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidenChainAndCompaction(t *testing.T) {
+	cur := buildWidenBase(64)
+	total := 64
+	for round := 0; round < maxWidenSegments+3; round++ {
+		w := cur.Widen()
+		for i := 0; i < 16; i++ {
+			k := uint64(total + i)
+			w.Insert([]uint64{k, w.strs.Intern("x"), types.NewFloat(float64(k)).Bits()})
+		}
+		total += 16
+		if w.Len() != total {
+			t.Fatalf("round %d: len %d want %d", round, w.Len(), total)
+		}
+		for _, k := range []uint64{0, 42, uint64(total - 1)} {
+			if got := probeAll(w, k); len(got) != 1 {
+				t.Fatalf("round %d: key %d probes %d entries", round, k, len(got))
+			}
+		}
+		if err := w.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		cur = w
+	}
+	// The depth bound must have forced at least one compaction back to a
+	// root table along the way.
+	if len(cur.segs) > maxWidenSegments {
+		t.Fatalf("segment chain grew unbounded: %d", len(cur.segs))
+	}
+}
+
+// TestConcurrentWidenOfOneSnapshot widens one published snapshot from
+// several goroutines at once — the shape two racing partial-reuse
+// queries produce. Run with -race: Freeze must be concurrency-safe and
+// each widener's delta private.
+func TestConcurrentWidenOfOneSnapshot(t *testing.T) {
+	base := buildWidenBase(256).Freeze()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wt := base.Widen()
+			for i := 0; i < 64; i++ {
+				k := uint64(1000 + w*100 + i)
+				wt.Insert([]uint64{k, wt.strs.Intern("w"), types.NewFloat(float64(k)).Bits()})
+			}
+			if err := wt.CheckInvariants(); err != nil {
+				t.Error(err)
+			}
+			if got := probeAll(wt, uint64(1000+w*100)); len(got) != 1 {
+				t.Errorf("worker %d delta key probes %d entries", w, len(got))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if base.Len() != 256 {
+		t.Fatalf("base mutated: %d entries", base.Len())
+	}
+	if err := base.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreColumnOverlay(t *testing.T) {
+	base := buildWidenBase(50)
+	w := base.Widen()
+	vals := make([]uint64, w.Slots())
+	for i := range vals {
+		vals[i] = uint64(i % 3)
+	}
+	w.StoreColumn(2, vals)
+	for e := int32(0); e < int32(w.Slots()); e++ {
+		if w.Cell(e, 2) != uint64(int(e)%3) {
+			t.Fatalf("overlay cell %d = %d", e, w.Cell(e, 2))
+		}
+	}
+	// The frozen base still sees its original cells.
+	if got := base.CellValue(7, 2).F; got != 7 {
+		t.Fatalf("base cell mutated through overlay: %v", got)
+	}
+	// Inserts after overlay installation extend it.
+	w.Insert([]uint64{1000, w.strs.Intern("x"), 2})
+	if w.Cell(int32(w.Slots()-1), 2) != 2 {
+		t.Fatal("overlay not extended by insert")
+	}
+	// StoreColumn on a root table writes payload in place.
+	root := buildWidenBase(10)
+	rv := make([]uint64, root.Slots())
+	root.StoreColumn(2, rv)
+	if root.overlay != nil {
+		t.Fatal("root StoreColumn must write in place")
+	}
+	if root.Cell(3, 2) != 0 {
+		t.Fatal("root StoreColumn did not write")
+	}
+}
+
+func TestWidenMergeGroupsPromotes(t *testing.T) {
+	// Aggregate-style table: key + one sum cell.
+	layout := Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "t", Column: "g"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Table: "t", Column: "sum"}, Kind: types.Float64},
+		},
+		KeyCols: 1,
+	}
+	base := New(layout)
+	for i := 0; i < 10; i++ {
+		e, _ := base.Upsert([]uint64{uint64(i)})
+		base.SetCell(e, 1, types.NewFloat(float64(i)).Bits())
+	}
+	w := base.Widen()
+	part := New(layout)
+	for i := 5; i < 15; i++ {
+		e, _ := part.Upsert([]uint64{uint64(i)})
+		part.SetCell(e, 1, types.NewFloat(100).Bits())
+	}
+	created := w.MergeGroupsFrom(part, func(col int, dst, src uint64) uint64 {
+		return types.NewFloat(types.FromBits(types.Float64, dst).F + types.FromBits(types.Float64, src).F).Bits()
+	})
+	if created != 5 {
+		t.Fatalf("created %d groups, want 5", created)
+	}
+	if w.Len() != 15 {
+		t.Fatalf("live groups %d, want 15", w.Len())
+	}
+	// Folded group: 7 + 100; untouched group: 3; fresh group: 100.
+	checks := map[uint64]float64{7: 107, 3: 3, 12: 100}
+	for k, want := range checks {
+		e, found := w.Upsert([]uint64{k})
+		if !found {
+			t.Fatalf("group %d missing", k)
+		}
+		if got := w.CellValue(e, 1).F; got != want {
+			t.Fatalf("group %d sum = %v, want %v", k, got, want)
+		}
+	}
+	// Base snapshot untouched.
+	for i := 0; i < 10; i++ {
+		got := probeAll(base, uint64(i))
+		if len(got) != 1 {
+			t.Fatalf("base group %d probes %d", i, len(got))
+		}
+		if v := base.CellValue(got[0], 1).F; v != float64(i) {
+			t.Fatalf("base group %d mutated: %v", i, v)
+		}
+	}
+}

@@ -51,7 +51,7 @@ func TestConcurrentRegisterPinRelease(t *testing.T) {
 				e := c.Register(testHT(64), testLineage(sig))
 				for _, cand := range c.Candidates(testLineage(sig)) {
 					c.Pin(cand)
-					if cand.HT.Len() == 0 {
+					if cand.HT().Len() == 0 {
 						t.Error("candidate with empty table")
 					}
 					c.Release(cand)

@@ -1,0 +1,129 @@
+package htcache
+
+import (
+	"testing"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+func epochLineage(lo int64) Lineage {
+	return Lineage{
+		Kind:    JoinBuild,
+		Tables:  []string{"t"},
+		JoinSig: "t|",
+		Filter: expr.NewBox(expr.Pred{
+			Col: storage.ColRef{Table: "t", Column: "k"},
+			Con: expr.IntervalConstraint(types.Int64, expr.Interval{
+				HasLo: true, Lo: types.NewInt(lo), LoIncl: true,
+			}),
+		}),
+		KeyCols: []storage.ColRef{{Table: "t", Column: "k"}},
+		QidCol:  -1,
+	}
+}
+
+// widenAndPublish widens the entry's current snapshot, appends one row
+// and publishes the successor. It returns the superseded snapshot.
+func widenAndPublish(t *testing.T, c *Cache, e *Entry, key uint64) *Snapshot {
+	t.Helper()
+	prev := e.Current()
+	w := prev.HT.Widen()
+	w.Insert([]uint64{key})
+	if !c.PublishWidened(e, prev, w, epochLineage(0).Filter) {
+		t.Fatal("publish failed with no competitor")
+	}
+	return prev
+}
+
+// TestEpochReclamation: a superseded snapshot is freed only after every
+// reader that could observe it has exited — and never while the entry
+// is pinned.
+func TestEpochReclamation(t *testing.T) {
+	c := New(0)
+	e := c.Register(testHT(32), epochLineage(0))
+	c.Release(e)
+
+	// A reader enters before the widening publishes: it may have
+	// resolved the old snapshot, so reclamation must wait for it.
+	reader := c.EnterReader()
+	old := widenAndPublish(t, c, e, 1000)
+	if old.Reclaimed() {
+		t.Fatal("superseded snapshot reclaimed while a reader is active")
+	}
+	if s := c.Stats(); s.Retired != 1 || s.WidenPublished != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+
+	// A reader entering AFTER retirement can only observe the new
+	// snapshot; it must not block reclamation.
+	late := c.EnterReader()
+	if cur := e.Current(); cur.Version != 2 {
+		t.Fatalf("late reader sees version %d", cur.Version)
+	}
+
+	reader.Exit()
+	if !old.Reclaimed() {
+		t.Fatal("superseded snapshot not reclaimed after its last reader exited")
+	}
+	if s := c.Stats(); s.Retired != 0 || s.Reclaims != 1 {
+		t.Fatalf("stats after drain = %+v", s)
+	}
+	late.Exit()
+
+	// Exit is idempotent.
+	reader.Exit()
+}
+
+// TestEpochReclamationRespectsPins: superseded snapshots of a pinned
+// entry stay retired until the pin drops.
+func TestEpochReclamationRespectsPins(t *testing.T) {
+	c := New(0)
+	e := c.Register(testHT(32), epochLineage(0))
+	c.Release(e)
+	c.Pin(e)
+
+	old := widenAndPublish(t, c, e, 1000)
+	// No readers at all — but the entry is pinned.
+	if old.Reclaimed() {
+		t.Fatal("superseded snapshot reclaimed while entry pinned")
+	}
+	c.Release(e)
+	if !old.Reclaimed() {
+		t.Fatal("superseded snapshot not reclaimed after unpin")
+	}
+}
+
+// TestPublishWidenedCASConflict: two widenings from the same snapshot —
+// the loser's publication is refused and the winner's version stays.
+func TestPublishWidenedCASConflict(t *testing.T) {
+	c := New(0)
+	e := c.Register(testHT(32), epochLineage(0))
+	c.Release(e)
+
+	prev := e.Current()
+	w1 := prev.HT.Widen()
+	w1.Insert([]uint64{1000})
+	w2 := prev.HT.Widen()
+	w2.Insert([]uint64{2000})
+
+	if !c.PublishWidened(e, prev, w1, epochLineage(0).Filter) {
+		t.Fatal("first publish refused")
+	}
+	if c.PublishWidened(e, prev, w2, epochLineage(0).Filter) {
+		t.Fatal("second publish from a stale snapshot succeeded")
+	}
+	if cur := e.Current(); cur.HT != w1 || cur.Version != 2 {
+		t.Fatalf("current = v%d", cur.Version)
+	}
+	if s := c.Stats(); s.WidenPublished != 1 || s.WidenLost != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The loser simply becomes garbage; the winner's delta is visible
+	// to new probes.
+	it := e.Current().HT.Probe([]uint64{1000})
+	if it.Next() == -1 {
+		t.Fatal("winner's delta row not probeable")
+	}
+}

@@ -1,8 +1,19 @@
 // Package htcache implements the Hash Table Manager (HTM) of HashStash:
 // a cache of internal hash tables with lineage and statistics, plus the
-// coarse-grained LRU garbage collector of Section 5 of the paper. The
-// cache is safe for concurrent queries: an RWMutex guards the registry
-// and reference-counted pins shield in-use tables from eviction.
+// coarse-grained LRU garbage collector of Section 5 of the paper.
+//
+// The cache is safe for concurrent queries and — since the epoch-based
+// copy-on-write lifecycle — safe for concurrent *widening*: every entry
+// publishes an immutable Snapshot (a frozen hash table plus the
+// predicate box describing its content) through an atomic pointer.
+// Partial/overlapping reuse widens a snapshot into a private
+// copy-on-write successor (hashtable.Widen) and installs it with a
+// compare-and-swap (PublishWidened); concurrent probes keep draining on
+// the snapshot they resolved at compile time. A lightweight epoch
+// scheme tracks readers (EnterReader/Exit): superseded snapshots are
+// retired at the current epoch and reclaimed only after every reader
+// that could still observe them has exited — in-flight probes are never
+// invalidated, and no query ever blocks another.
 //
 // Lineage records are stored base-table-qualified (aliases stripped), so
 // a hash table built by one query matches a structurally identical
@@ -14,9 +25,11 @@ package htcache
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hashstash/internal/expr"
 	"hashstash/internal/hashtable"
@@ -63,7 +76,10 @@ type Lineage struct {
 	// JoinSig canonically encodes the fragment's internal join edges
 	// (plan.SubgraphSignature output).
 	JoinSig string
-	// Filter is the base-qualified predicate box applied to the input.
+	// Filter is the base-qualified predicate box applied to the input
+	// at registration time. For cached entries the *current* content
+	// description lives in the published Snapshot (widening moves it
+	// forward); Lineage.Filter stays at the registration value.
 	Filter expr.Box
 	// KeyCols are the base-qualified hash key columns, in key order.
 	KeyCols []storage.ColRef
@@ -94,19 +110,44 @@ func (l Lineage) StructKey() string {
 	return b.String()
 }
 
+// Snapshot is one immutable published version of a cached table: a
+// frozen hash table plus the predicate box describing exactly its
+// content. Planners resolve a snapshot once (Entry.Current) and hold it
+// for the whole plan/compile/execute pipeline; widening queries derive
+// a successor from it and publish with PublishWidened.
+type Snapshot struct {
+	HT *hashtable.Table
+	// Filter is the base-qualified content description of this version.
+	Filter expr.Box
+	// Version increments per publication (1 = registration).
+	Version int64
+
+	// reclaimed flips when the epoch scheme frees this superseded
+	// snapshot (observability and test hook; Go's GC does the actual
+	// memory release once readers drop their references).
+	reclaimed atomic.Bool
+}
+
+// Reclaimed reports whether the epoch scheme has freed this superseded
+// snapshot (all readers that could observe it have drained).
+func (s *Snapshot) Reclaimed() bool { return s.reclaimed.Load() }
+
 // Entry is one cached hash table with usage statistics.
 type Entry struct {
 	ID      int64
-	HT      *hashtable.Table
 	Lineage Lineage
+
+	// cur is the atomically-published current snapshot.
+	cur atomic.Pointer[Snapshot]
 
 	// LastUsed is a logical timestamp maintained by the cache clock.
 	LastUsed int64
 	// Hits counts reuses (not the initial registration).
 	Hits int64
-	// Pins counts active users; pinned entries are never evicted.
+	// Pins counts active users; pinned entries are never evicted and
+	// their superseded snapshots are never reclaimed.
 	Pins int
-	// Bytes is the footprint recorded at registration/release time.
+	// Bytes is the footprint recorded at registration/publication time.
 	Bytes int64
 
 	// ready marks the table as fully built and published: entries are
@@ -120,6 +161,15 @@ type Entry struct {
 // completed). Unready entries are invisible to Candidates.
 func (e *Entry) Ready() bool { return e.ready }
 
+// Current returns the entry's currently published snapshot. The result
+// is immutable; callers hold it for as long as they need it.
+func (e *Entry) Current() *Snapshot { return e.cur.Load() }
+
+// HT returns the current snapshot's table — a convenience for
+// statistics and tests. Planners resolve Current once instead, so one
+// query never observes two versions.
+func (e *Entry) HT() *hashtable.Table { return e.cur.Load().HT }
+
 // Stats summarizes cache state for experiments and monitoring.
 type Stats struct {
 	Entries     int
@@ -131,16 +181,22 @@ type Stats struct {
 	// HitRatio is hits per registered element (the paper's Figure 7b
 	// reports the average reuse count per cached element).
 	HitRatio float64
+
+	// Snapshot lifecycle statistics.
+	WidenPublished int64 // widened snapshots installed
+	WidenLost      int64 // widened snapshots dropped on CAS conflict
+	Retired        int   // superseded snapshots awaiting reader drain
+	RetiredBytes   int64 // their footprint
+	Reclaims       int64 // superseded snapshots freed after drain
 }
 
 // Cache is the hash table cache. All methods are safe for concurrent
-// use: an RWMutex guards the registry, statistics and per-entry
-// bookkeeping (pins, recency, lineage), and reference-counted pinning
-// keeps the LRU garbage collector away from tables that running queries
-// are probing or widening. The hash tables themselves are not locked
-// here — probes of published tables are read-only and lock-free, and
-// queries that mutate a cached table (partial/overlapping reuse)
-// serialize through the optimizer's execution lock.
+// use: a mutex guards the registry, statistics and per-entry
+// bookkeeping (pins, recency, lineage), snapshots publish through
+// atomic pointers, and the epoch reader scheme delays reclamation of
+// superseded snapshots until in-flight probes drain. The hash tables
+// themselves are never locked — published snapshots are frozen, and
+// queries that widen a table build a private copy-on-write successor.
 type Cache struct {
 	// Budget is the memory budget in bytes; 0 means unlimited. Adjust it
 	// through SetBudget when other goroutines may be running queries.
@@ -155,6 +211,33 @@ type Cache struct {
 	evictions  int64
 	registered int64
 	evictedB   int64
+
+	// Epoch-based reclamation of superseded snapshots.
+	epoch     int64
+	readers   map[*Reader]struct{}
+	retired   []retiredSnap
+	widenPub  int64
+	widenLost int64
+	reclaims  int64
+}
+
+// retiredSnap is a superseded snapshot awaiting reader drain. The
+// strong reference here is what "not yet reclaimed" means: dropping it
+// (plus the readers' own references draining) makes the old version's
+// delta collectable.
+type retiredSnap struct {
+	snap  *Snapshot
+	entry *Entry
+	epoch int64
+}
+
+// Reader is an epoch read-side registration. A query enters before
+// planning (so every snapshot it resolves stays valid until it exits)
+// and exits when its pipelines have drained.
+type Reader struct {
+	c      *Cache
+	epoch  int64
+	exited bool
 }
 
 // New returns an empty cache with the given budget (0 = unlimited).
@@ -163,6 +246,7 @@ func New(budget int64) *Cache {
 		Budget:   budget,
 		entries:  make(map[int64]*Entry),
 		byStruct: make(map[string][]*Entry),
+		readers:  make(map[*Reader]struct{}),
 	}
 }
 
@@ -170,6 +254,70 @@ func New(budget int64) *Cache {
 func (c *Cache) tick() int64 {
 	c.clock++
 	return c.clock
+}
+
+// EnterReader registers an epoch reader: every snapshot published at or
+// before the current epoch stays unreclaimed until Exit. Queries enter
+// before planning and exit after their pipelines drain.
+func (c *Cache) EnterReader() *Reader {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := &Reader{c: c, epoch: c.epoch}
+	c.readers[r] = struct{}{}
+	return r
+}
+
+// Exit deregisters the reader and reclaims any snapshots whose last
+// potential observer it was. Idempotent.
+func (r *Reader) Exit() {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.exited {
+		return
+	}
+	r.exited = true
+	delete(c.readers, r)
+	c.reclaimLocked()
+}
+
+// retireLocked parks a superseded snapshot for epoch-delayed
+// reclamation and advances the epoch so later readers are known not to
+// observe it.
+func (c *Cache) retireLocked(s *Snapshot, e *Entry) {
+	c.retired = append(c.retired, retiredSnap{snap: s, entry: e, epoch: c.epoch})
+	c.epoch++
+	c.reclaimLocked()
+}
+
+// reclaimLocked frees retired snapshots no active reader can observe: a
+// snapshot retired at epoch E is reclaimable once every active reader
+// entered at an epoch > E (and its entry is unpinned — pin holders are
+// readers too, but the stronger condition keeps "never reclaimed while
+// pinned" a structural guarantee rather than an ordering accident).
+func (c *Cache) reclaimLocked() {
+	if len(c.retired) == 0 {
+		return
+	}
+	minEpoch := int64(math.MaxInt64)
+	for r := range c.readers {
+		if r.epoch < minEpoch {
+			minEpoch = r.epoch
+		}
+	}
+	kept := c.retired[:0]
+	for _, rs := range c.retired {
+		if rs.epoch < minEpoch && rs.entry.Pins == 0 {
+			rs.snap.reclaimed.Store(true)
+			c.reclaims++
+			continue
+		}
+		kept = append(kept, rs)
+	}
+	for i := len(kept); i < len(c.retired); i++ {
+		c.retired[i] = retiredSnap{}
+	}
+	c.retired = kept
 }
 
 // Register admits a hash table with its lineage, triggering garbage
@@ -181,12 +329,12 @@ func (c *Cache) Register(ht *hashtable.Table, lin Lineage) *Entry {
 	defer c.mu.Unlock()
 	e := &Entry{
 		ID:       c.nextID,
-		HT:       ht,
 		Lineage:  lin,
 		LastUsed: c.tick(),
 		Pins:     1,
 		Bytes:    ht.ByteSize(),
 	}
+	e.cur.Store(&Snapshot{HT: ht, Filter: lin.Filter, Version: 1})
 	c.nextID++
 	c.entries[e.ID] = e
 	key := lin.StructKey()
@@ -196,9 +344,36 @@ func (c *Cache) Register(ht *hashtable.Table, lin Lineage) *Entry {
 	return e
 }
 
+// PublishWidened installs a widened successor of prev as the entry's
+// current snapshot. ht is frozen here; filter is the new content
+// description (the widened lineage). The install is a compare-and-swap:
+// if another query widened the entry first, nothing is published and
+// false is returned — the caller's table was still correct for its own
+// query, only the cache keeps the competitor's version. On success the
+// superseded snapshot is retired into the epoch scheme.
+func (c *Cache) PublishWidened(e *Entry, prev *Snapshot, ht *hashtable.Table, filter expr.Box) bool {
+	ht.Freeze()
+	next := &Snapshot{HT: ht, Filter: filter, Version: prev.Version + 1}
+	if !e.cur.CompareAndSwap(prev, next) {
+		c.mu.Lock()
+		c.widenLost++
+		c.mu.Unlock()
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.widenPub++
+	e.Bytes = ht.ByteSize()
+	e.LastUsed = c.tick()
+	c.retireLocked(prev, e)
+	c.gcLocked()
+	return true
+}
+
 // Candidates returns published cached entries whose structure matches
 // the lineage probe (kind, join signature, key columns, group-by), most
-// recently used first. Predicate classification is the caller's job.
+// recently used first. Predicate classification is the caller's job —
+// against a snapshot resolved once via Current.
 func (c *Cache) Candidates(probe Lineage) []*Entry {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -236,7 +411,8 @@ func (c *Cache) CandidatesByKind(kind Kind, joinSig string) []*Entry {
 }
 
 // Pin marks an entry in use (reused by a plan) and counts the hit. A
-// pinned entry is never evicted by the garbage collector.
+// pinned entry is never evicted by the garbage collector and its
+// superseded snapshots are never reclaimed.
 func (c *Cache) Pin(e *Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -246,19 +422,24 @@ func (c *Cache) Pin(e *Entry) {
 	e.LastUsed = c.tick()
 }
 
-// Release drops one pin, refreshes the entry's statistics (its table
-// may have grown through partial-reuse additions) and publishes the
-// entry: a freshly registered table becomes a reuse candidate only now,
-// when its build pipeline has completed.
+// Release drops one pin, refreshes the entry's statistics and publishes
+// the entry: a freshly registered table becomes a reuse candidate only
+// now, when its build pipeline has completed — and is frozen here, so
+// everything the cache ever offers for reuse is an immutable snapshot.
 func (c *Cache) Release(e *Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e.Pins > 0 {
 		e.Pins--
 	}
-	e.ready = true
-	e.Bytes = e.HT.ByteSize()
+	snap := e.cur.Load()
+	if !e.ready {
+		snap.HT.Freeze()
+		e.ready = true
+	}
+	e.Bytes = snap.HT.ByteSize()
 	e.LastUsed = c.tick()
+	c.reclaimLocked()
 	c.gcLocked()
 }
 
@@ -275,16 +456,7 @@ func (c *Cache) Abandon(e *Entry) {
 	if _, ok := c.entries[e.ID]; ok && e.Pins == 0 {
 		c.evict(e)
 	}
-}
-
-// UpdateFilter replaces the entry's lineage filter after partial or
-// overlapping reuse widened the table's content. Callers must hold the
-// optimizer's exclusive execution lock (concurrent planners read
-// lineages).
-func (c *Cache) UpdateFilter(e *Entry, filter expr.Box) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e.Lineage.Filter = filter
+	c.reclaimLocked()
 }
 
 // Touch refreshes recency without counting a reuse.
@@ -412,12 +584,19 @@ func (c *Cache) Stats() Stats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	s := Stats{
-		Entries:     len(c.entries),
-		Bytes:       c.totalBytesLocked(),
-		Hits:        c.hits,
-		Evictions:   c.evictions,
-		Registered:  c.registered,
-		EvictedByes: c.evictedB,
+		Entries:        len(c.entries),
+		Bytes:          c.totalBytesLocked(),
+		Hits:           c.hits,
+		Evictions:      c.evictions,
+		Registered:     c.registered,
+		EvictedByes:    c.evictedB,
+		WidenPublished: c.widenPub,
+		WidenLost:      c.widenLost,
+		Retired:        len(c.retired),
+		Reclaims:       c.reclaims,
+	}
+	for _, rs := range c.retired {
+		s.RetiredBytes += rs.snap.HT.ByteSize()
 	}
 	if c.registered > 0 {
 		s.HitRatio = float64(c.hits) / float64(c.registered)

@@ -12,6 +12,7 @@ package matreuse
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"hashstash/internal/catalog"
@@ -58,9 +59,14 @@ type TempEntry struct {
 	Hits     int64
 }
 
-// TempCache holds materialized intermediates with LRU eviction.
+// TempCache holds materialized intermediates with LRU eviction. Its
+// methods are safe for concurrent use: a mutex guards the registry and
+// statistics, and the materialized tables themselves are immutable
+// after registration (reuse re-scans them read-only), so concurrent
+// queries of the baseline engine only contend here, never on data.
 type TempCache struct {
 	Budget   int64
+	mu       sync.Mutex
 	entries  map[int64]*TempEntry
 	byStruct map[string][]*TempEntry
 	nextID   int64
@@ -77,6 +83,8 @@ func NewTempCache(budget int64) *TempCache {
 
 // Register admits a materialized intermediate.
 func (c *TempCache) Register(lin htcache.Lineage, tbl *storage.Table, schema storage.Schema) *TempEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.clock++
 	e := &TempEntry{
 		ID: c.nextID, Lineage: lin, Table: tbl, Schema: schema,
@@ -93,6 +101,8 @@ func (c *TempCache) Register(lin htcache.Lineage, tbl *storage.Table, schema sto
 
 // Candidates returns structural matches, MRU first.
 func (c *TempCache) Candidates(probe htcache.Lineage) []*TempEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	list := append([]*TempEntry(nil), c.byStruct[probe.StructKey()]...)
 	sort.Slice(list, func(i, j int) bool { return list[i].LastUsed > list[j].LastUsed })
 	return list
@@ -100,6 +110,8 @@ func (c *TempCache) Candidates(probe htcache.Lineage) []*TempEntry {
 
 // Touch marks a reuse.
 func (c *TempCache) Touch(e *TempEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.clock++
 	e.LastUsed = c.clock
 	e.Hits++
@@ -108,6 +120,12 @@ func (c *TempCache) Touch(e *TempEntry) {
 
 // TotalBytes reports the cache footprint.
 func (c *TempCache) TotalBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalBytesLocked()
+}
+
+func (c *TempCache) totalBytesLocked() int64 {
 	var t int64
 	for _, e := range c.entries {
 		t += e.Bytes
@@ -117,18 +135,21 @@ func (c *TempCache) TotalBytes() int64 {
 
 // Stats mirrors htcache.Stats for reporting.
 func (c *TempCache) Stats() htcache.Stats {
-	s := htcache.Stats{Entries: len(c.entries), Bytes: c.TotalBytes(), Hits: c.hits, Registered: c.regs, Evictions: c.evicted}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := htcache.Stats{Entries: len(c.entries), Bytes: c.totalBytesLocked(), Hits: c.hits, Registered: c.regs, Evictions: c.evicted}
 	if c.regs > 0 {
 		s.HitRatio = float64(c.hits) / float64(c.regs)
 	}
 	return s
 }
 
+// gc runs with c.mu held (Register is the only caller).
 func (c *TempCache) gc() {
 	if c.Budget <= 0 {
 		return
 	}
-	for c.TotalBytes() > c.Budget {
+	for c.totalBytesLocked() > c.Budget {
 		var victim *TempEntry
 		for _, e := range c.entries {
 			if victim == nil || e.LastUsed < victim.LastUsed {

@@ -301,9 +301,11 @@ func (o *Optimizer) classifyAggCandidate(q *plan.Query, cand *htcache.Entry, req
 	if !ok {
 		return aggOptionResult{}, false
 	}
-	rel := expr.Classify(cand.Lineage.Filter, reqFilter)
-	width := cand.HT.Layout().RowWidthBytes()
-	choice := ReuseChoice{Entry: cand}
+	snap := cand.Current()
+	layout := snap.HT.Layout()
+	rel := expr.Classify(snap.Filter, reqFilter)
+	width := layout.RowWidthBytes()
+	choice := ReuseChoice{Entry: cand, Snap: snap}
 	agg := &AggChoice{
 		GroupBase: groupBase, Specs: specsBase, SrcIdx: srcIdx,
 		CachedSpecIdx: specIdx, InputRows: inputRows, DistinctKeys: distinct,
@@ -319,13 +321,13 @@ func (o *Optimizer) classifyAggCandidate(q *plan.Query, cand *htcache.Entry, req
 		// column is a group-by column (each group wholly in or out) —
 		// which is exactly "the attributes needed to test post are in
 		// the hash table".
-		if !boxColsInLayout(cand, reqFilter) {
+		if !boxColsInLayout(layout, reqFilter) {
 			return aggOptionResult{}, false
 		}
 		choice.Mode = ModeSubsuming
 		choice.Contr = 1
 		choice.PostFilter = reqFilter
-		choice.Overh = o.overheadRatio(q, (1<<uint(len(q.Relations)))-1, cand, reqFilter)
+		choice.Overh = o.overheadRatio(q, (1<<uint(len(q.Relations)))-1, snap, reqFilter)
 
 	case expr.RelPartial, expr.RelOverlapping:
 		if rel == expr.RelPartial && !o.Opts.EnablePartial {
@@ -341,16 +343,16 @@ func (o *Optimizer) classifyAggCandidate(q *plan.Query, cand *htcache.Entry, req
 				return aggOptionResult{}, false
 			}
 		}
-		residual, ok := reqFilter.Difference(cand.Lineage.Filter)
+		residual, ok := reqFilter.Difference(snap.Filter)
 		if !ok {
 			return aggOptionResult{}, false
 		}
-		newFilter, ok := unionIfBox(cand.Lineage.Filter, reqFilter)
+		newFilter, ok := unionIfBox(snap.Filter, reqFilter)
 		if !ok {
 			return aggOptionResult{}, false
 		}
 		if rel == expr.RelOverlapping {
-			if !boxColsInLayout(cand, reqFilter) {
+			if !boxColsInLayout(layout, reqFilter) {
 				return aggOptionResult{}, false
 			}
 			choice.Mode = ModeOverlapping
@@ -360,8 +362,8 @@ func (o *Optimizer) classifyAggCandidate(q *plan.Query, cand *htcache.Entry, req
 		}
 		choice.NewFilter = newFilter
 		fullMask := (1 << uint(len(q.Relations))) - 1
-		choice.Contr = o.contributionRatio(q, fullMask, cand, reqFilter)
-		choice.Overh = o.overheadRatio(q, fullMask, cand, reqFilter)
+		choice.Contr = o.contributionRatio(q, fullMask, snap, reqFilter)
+		choice.Overh = o.overheadRatio(q, fullMask, snap, reqFilter)
 		// Each residual box becomes an SPJ plan with overridden filters.
 		for _, rb := range residual {
 			rq := *q
@@ -390,7 +392,7 @@ func (o *Optimizer) classifyAggCandidate(q *plan.Query, cand *htcache.Entry, req
 		DistinctKeys: distinct,
 		Contr:        choice.Contr,
 		Overh:        choice.Overh,
-		CandRows:     float64(cand.HT.Len()),
+		CandRows:     float64(snap.HT.Len()),
 		TupleWidth:   width,
 	}
 	if choice.Mode == ModeExact || choice.Mode == ModeSubsuming {
@@ -419,26 +421,27 @@ func (o *Optimizer) classifyRollupCandidate(q *plan.Query, cand *htcache.Entry, 
 	if !ok {
 		return aggOptionResult{}, false
 	}
-	rel := expr.Classify(cand.Lineage.Filter, reqFilter)
-	choice := ReuseChoice{Entry: cand}
+	snap := cand.Current()
+	rel := expr.Classify(snap.Filter, reqFilter)
+	choice := ReuseChoice{Entry: cand, Snap: snap}
 	switch rel {
 	case expr.RelEqual:
 		choice.Mode = ModeExact
 		choice.Contr = 1
 	case expr.RelSubsuming:
-		if !boxColsInLayout(cand, reqFilter) {
+		if !boxColsInLayout(snap.HT.Layout(), reqFilter) {
 			return aggOptionResult{}, false
 		}
 		choice.Mode = ModeSubsuming
 		choice.Contr = 1
 		choice.PostFilter = reqFilter
-		choice.Overh = o.overheadRatio(q, (1<<uint(len(q.Relations)))-1, cand, reqFilter)
+		choice.Overh = o.overheadRatio(q, (1<<uint(len(q.Relations)))-1, snap, reqFilter)
 	default:
 		return aggOptionResult{}, false
 	}
 
 	// Cost: scan the cached groups + re-aggregate into the smaller table.
-	candRows := float64(cand.HT.Len())
+	candRows := float64(snap.HT.Len())
 	width := (len(groupBase) + len(specsBase)) * 8
 	opCost := o.Model.RHA(costmodel.RHAInput{
 		InputRows:    candRows,

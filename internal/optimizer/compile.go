@@ -22,8 +22,17 @@ type Compiled struct {
 	filterUpdates []filterUpdate
 }
 
+// filterUpdate records one copy-on-write widening performed by the
+// compiled plan: ht is the private successor of prev (the snapshot the
+// plan was classified against), newFilter its content description. On
+// successful execution the optimizer publishes it with a
+// compare-and-swap; a concurrent widening of the same entry simply wins
+// the race and this update is dropped (the query's own results came
+// from ht either way).
 type filterUpdate struct {
 	entry     *htcache.Entry
+	prev      *htcache.Snapshot
+	ht        *hashtable.Table
 	newFilter expr.Box
 }
 
@@ -202,14 +211,20 @@ func (c *compiler) obtainBuildHT(n *Node) (*hashtable.Table, []int, []storage.Co
 		}
 
 	case ModeExact, ModeSubsuming:
-		ht = choice.Entry.HT
+		// Probe the snapshot the plan was classified against: frozen,
+		// immutable, safe for lock-free probes however many queries widen
+		// the entry concurrently.
+		ht = choice.Snap.HT
 		if c.register {
 			c.o.Cache.Pin(choice.Entry)
 			c.out.pinned = append(c.out.pinned, choice.Entry)
 		}
 
 	case ModePartial, ModeOverlapping:
-		ht = choice.Entry.HT
+		// Widen the snapshot into a private copy-on-write successor: the
+		// residual scan builds the missing tuples into it while other
+		// queries keep probing the frozen base it shares.
+		ht = choice.Snap.HT.Widen()
 		if c.register {
 			c.o.Cache.Pin(choice.Entry)
 			c.out.pinned = append(c.out.pinned, choice.Entry)
@@ -236,7 +251,9 @@ func (c *compiler) obtainBuildHT(n *Node) (*hashtable.Table, []int, []storage.Co
 		}
 		c.out.Pipelines = append(c.out.Pipelines, &exec.Pipeline{Source: src, Sink: sink})
 		if c.register {
-			c.out.filterUpdates = append(c.out.filterUpdates, filterUpdate{entry: choice.Entry, newFilter: choice.NewFilter})
+			c.out.filterUpdates = append(c.out.filterUpdates, filterUpdate{
+				entry: choice.Entry, prev: choice.Snap, ht: ht, newFilter: choice.NewFilter,
+			})
 		}
 
 	default:
@@ -399,25 +416,30 @@ func (c *compiler) compileAggRoot(p *Planned) error {
 			c.o.Cache.Pin(choice.Entry)
 			c.out.pinned = append(c.out.pinned, choice.Entry)
 		}
-		return c.compileReadout(choice.Entry.HT, agg, agg.CachedSpecIdx, choice.PostFilter, agg.PostAgg)
+		return c.compileReadout(choice.Snap.HT, agg, agg.CachedSpecIdx, choice.PostFilter, agg.PostAgg)
 
 	case ModePartial, ModeOverlapping:
 		if c.register {
 			c.o.Cache.Pin(choice.Entry)
 			c.out.pinned = append(c.out.pinned, choice.Entry)
 		}
-		// Fold every residual input into the cached table, updating ALL
-		// of its aggregate cells so the whole table stays consistent
-		// with its (widened) lineage.
+		// Widen the snapshot and fold every residual input into the
+		// private successor, updating ALL of its aggregate cells so the
+		// whole table stays consistent with its (widened) lineage.
+		// Existing groups shadow-promote into the successor's own arena;
+		// concurrent probes of the frozen base never see the folds.
+		widened := choice.Snap.HT.Widen()
 		for _, rr := range agg.ResidualRoots {
-			if err := c.attachAggInput(rr, choice.Entry.HT, agg.GroupBase, choice.Entry.Lineage.Aggs); err != nil {
+			if err := c.attachAggInput(rr, widened, agg.GroupBase, choice.Entry.Lineage.Aggs); err != nil {
 				return err
 			}
 		}
 		if c.register {
-			c.out.filterUpdates = append(c.out.filterUpdates, filterUpdate{entry: choice.Entry, newFilter: choice.NewFilter})
+			c.out.filterUpdates = append(c.out.filterUpdates, filterUpdate{
+				entry: choice.Entry, prev: choice.Snap, ht: widened, newFilter: choice.NewFilter,
+			})
 		}
-		return c.compileReadout(choice.Entry.HT, agg, agg.CachedSpecIdx, choice.PostFilter, false)
+		return c.compileReadout(widened, agg, agg.CachedSpecIdx, choice.PostFilter, false)
 	}
 	return fmt.Errorf("optimizer: unknown aggregation mode %v", choice.Mode)
 }

@@ -28,49 +28,30 @@ type Result struct {
 }
 
 // Run plans, compiles and executes a query, maintaining the hash-table
-// cache (pins, registrations, lineage updates after partial reuse).
+// cache (pins, registrations, snapshot publications after widening).
 //
-// Run is safe for concurrent use. Queries that treat cached tables as
-// immutable (new builds, exact and subsuming reuse) execute under the
-// shared lock and run concurrently; a plan that would widen a cached
-// table in place (partial/overlapping reuse) is abandoned, re-planned
-// and executed under the exclusive lock, so in-place additions never
-// race with other queries' lock-free probes.
+// Run is safe for concurrent use and single-path: every query — read-
+// only reuse and cached-table widening alike — executes concurrently.
+// Cached tables are immutable published snapshots; a plan that widens
+// one (partial/overlapping reuse) builds a private copy-on-write
+// successor and installs it with a compare-and-swap after its pipelines
+// drain. The query registers as an epoch reader for its whole lifetime,
+// which keeps every snapshot it resolved at plan time alive until its
+// probes finish.
 func (o *Optimizer) Run(q *plan.Query) (*Result, error) {
-	o.execMu.RLock()
-	res, retry, err := o.runLocked(q, false)
-	o.execMu.RUnlock()
-	if !retry {
-		return res, err
-	}
-	o.execMu.Lock()
-	defer o.execMu.Unlock()
-	res, _, err = o.runLocked(q, true)
-	return res, err
-}
+	reader := o.Cache.EnterReader()
+	defer reader.Exit()
 
-// runLocked plans, compiles and executes under the caller's execution
-// lock. When allowMutate is false and the compiled plan would mutate a
-// cached table, the attempt is abandoned (created tables evicted, pins
-// dropped) and retry=true tells Run to redo the query exclusively —
-// re-planning from scratch, since the cache may have changed between
-// the locks.
-func (o *Optimizer) runLocked(q *plan.Query, allowMutate bool) (*Result, bool, error) {
 	t0 := time.Now()
 	planned, err := o.PlanQuery(q)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	compiled, err := o.Compile(planned)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	planTime := time.Since(t0)
-
-	if !allowMutate && len(compiled.filterUpdates) > 0 {
-		o.discard(compiled)
-		return nil, true, nil
-	}
 
 	t1 := time.Now()
 	runErr := exec.RunParallel(compiled.Pipelines, exec.Parallelism{
@@ -81,13 +62,16 @@ func (o *Optimizer) runLocked(q *plan.Query, allowMutate bool) (*Result, bool, e
 
 	if runErr != nil {
 		o.discard(compiled)
-		return nil, false, runErr
+		return nil, runErr
 	}
 
-	// Partial/overlapping reuse widened cached tables' content; their
-	// lineage must reflect it before anyone else matches them.
+	// Partial/overlapping reuse widened snapshots; publish the
+	// successors so later queries match the widened content. A lost
+	// CAS (a concurrent widening won) is benign: this query's results
+	// came from its own successor, only the competitor's version stays
+	// cached.
 	for _, fu := range compiled.filterUpdates {
-		o.Cache.UpdateFilter(fu.entry, fu.newFilter)
+		o.Cache.PublishWidened(fu.entry, fu.prev, fu.ht, fu.newFilter)
 	}
 	for _, e := range compiled.pinned {
 		o.Cache.Release(e)
@@ -111,7 +95,7 @@ func (o *Optimizer) runLocked(q *plan.Query, allowMutate bool) (*Result, bool, e
 		RowsOut:       rowsOut,
 		EstimatedCost: planned.EstimatedCost,
 		Decisions:     planned.Decisions(),
-	}, false, nil
+	}, nil
 }
 
 // discard unwinds a compiled plan that will not publish its tables —

@@ -3,6 +3,7 @@ package optimizer
 import (
 	"hashstash/internal/costmodel"
 	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
 	"hashstash/internal/htcache"
 	"hashstash/internal/plan"
 	"hashstash/internal/storage"
@@ -66,9 +67,9 @@ func (o *Optimizer) requiredBuildCols(q *plan.Query, mask int, needed map[string
 }
 
 // layoutHasCols reports whether every ref is present in the layout.
-func layoutHasCols(e *htcache.Entry, refs []storage.ColRef) bool {
+func layoutHasCols(layout hashtable.Layout, refs []storage.ColRef) bool {
 	for _, r := range refs {
-		if e.HT.Layout().ColIndex(r) < 0 {
+		if layout.ColIndex(r) < 0 {
 			return false
 		}
 	}
@@ -77,9 +78,9 @@ func layoutHasCols(e *htcache.Entry, refs []storage.ColRef) bool {
 
 // boxColsInLayout reports whether every predicate column of the box is
 // stored in the candidate's layout (needed to evaluate post-filters).
-func boxColsInLayout(e *htcache.Entry, box expr.Box) bool {
+func boxColsInLayout(layout hashtable.Layout, box expr.Box) bool {
 	for _, p := range box {
-		if e.HT.Layout().ColIndex(p.Col) < 0 {
+		if layout.ColIndex(p.Col) < 0 {
 			return false
 		}
 	}
@@ -101,15 +102,20 @@ func singleRelation(mask int) (int, bool) {
 
 // classifyJoinCandidate classifies one cached table against a join
 // build request and produces the rewrite, or ok=false if it cannot be
-// used. reqFilter is base-qualified.
+// used. reqFilter is base-qualified. The candidate's snapshot is
+// resolved once here and carried in the choice: content (filter) and
+// statistics come from that one version, and partial/overlapping reuse
+// widens exactly it.
 func (o *Optimizer) classifyJoinCandidate(q *plan.Query, mask int, e *htcache.Entry,
 	reqFilter expr.Box, reqCols []storage.ColRef) (ReuseChoice, bool) {
 
-	if !layoutHasCols(e, reqCols) {
+	snap := e.Current()
+	layout := snap.HT.Layout()
+	if !layoutHasCols(layout, reqCols) {
 		return ReuseChoice{}, false
 	}
-	rel := expr.Classify(e.Lineage.Filter, reqFilter)
-	choice := ReuseChoice{Entry: e}
+	rel := expr.Classify(snap.Filter, reqFilter)
+	choice := ReuseChoice{Entry: e, Snap: snap}
 
 	switch rel {
 	case expr.RelEqual:
@@ -118,13 +124,13 @@ func (o *Optimizer) classifyJoinCandidate(q *plan.Query, mask int, e *htcache.En
 		return choice, true
 
 	case expr.RelSubsuming:
-		if !boxColsInLayout(e, reqFilter) {
+		if !boxColsInLayout(layout, reqFilter) {
 			return ReuseChoice{}, false
 		}
 		choice.Mode = ModeSubsuming
 		choice.PostFilter = reqFilter
 		choice.Contr = 1
-		choice.Overh = o.overheadRatio(q, mask, e, reqFilter)
+		choice.Overh = o.overheadRatio(q, mask, snap, reqFilter)
 		return choice, true
 
 	case expr.RelPartial, expr.RelOverlapping:
@@ -144,21 +150,21 @@ func (o *Optimizer) classifyJoinCandidate(q *plan.Query, mask int, e *htcache.En
 		}
 		// The residual scan must be able to fill every layout column.
 		tbl := o.Cat.Table(q.Relations[relIdx].Table)
-		for _, m := range e.HT.Layout().Cols {
+		for _, m := range layout.Cols {
 			if tbl.Column(m.Ref.Column) == nil {
 				return ReuseChoice{}, false
 			}
 		}
-		residualBase, ok := reqFilter.Difference(e.Lineage.Filter)
+		residualBase, ok := reqFilter.Difference(snap.Filter)
 		if !ok {
 			return ReuseChoice{}, false
 		}
-		newFilter, ok := unionIfBox(e.Lineage.Filter, reqFilter)
+		newFilter, ok := unionIfBox(snap.Filter, reqFilter)
 		if !ok {
 			return ReuseChoice{}, false
 		}
 		if rel == expr.RelOverlapping {
-			if !boxColsInLayout(e, reqFilter) {
+			if !boxColsInLayout(layout, reqFilter) {
 				return ReuseChoice{}, false
 			}
 			choice.Mode = ModeOverlapping
@@ -170,8 +176,8 @@ func (o *Optimizer) classifyJoinCandidate(q *plan.Query, mask int, e *htcache.En
 			choice.ResidualBoxes = append(choice.ResidualBoxes, q.AliasQualify(rb))
 		}
 		choice.NewFilter = newFilter
-		choice.Contr = o.contributionRatio(q, mask, e, reqFilter)
-		choice.Overh = o.overheadRatio(q, mask, e, reqFilter)
+		choice.Contr = o.contributionRatio(q, mask, snap, reqFilter)
+		choice.Overh = o.overheadRatio(q, mask, snap, reqFilter)
 		return choice, true
 	}
 	return ReuseChoice{}, false
@@ -179,9 +185,9 @@ func (o *Optimizer) classifyJoinCandidate(q *plan.Query, mask int, e *htcache.En
 
 // contributionRatio estimates |cand ∩ req| / |req| over the masked
 // relations.
-func (o *Optimizer) contributionRatio(q *plan.Query, mask int, e *htcache.Entry, reqFilter expr.Box) float64 {
+func (o *Optimizer) contributionRatio(q *plan.Query, mask int, snap *htcache.Snapshot, reqFilter expr.Box) float64 {
 	reqAlias := q.AliasQualify(reqFilter)
-	interAlias := q.AliasQualify(reqFilter.Intersect(e.Lineage.Filter))
+	interAlias := q.AliasQualify(reqFilter.Intersect(snap.Filter))
 	reqRows := o.maskRows(q, mask, reqAlias)
 	interRows := o.maskRows(q, mask, interAlias)
 	if reqRows <= 0 {
@@ -197,14 +203,14 @@ func (o *Optimizer) contributionRatio(q *plan.Query, mask int, e *htcache.Entry,
 	return c
 }
 
-// overheadRatio estimates |cand \ req| / |cand| using the candidate's
-// actual entry count.
-func (o *Optimizer) overheadRatio(q *plan.Query, mask int, e *htcache.Entry, reqFilter expr.Box) float64 {
-	candRows := float64(e.HT.Len())
+// overheadRatio estimates |cand \ req| / |cand| using the candidate
+// snapshot's actual entry count.
+func (o *Optimizer) overheadRatio(q *plan.Query, mask int, snap *htcache.Snapshot, reqFilter expr.Box) float64 {
+	candRows := float64(snap.HT.Len())
 	if candRows <= 0 {
 		return 0
 	}
-	interAlias := q.AliasQualify(reqFilter.Intersect(e.Lineage.Filter))
+	interAlias := q.AliasQualify(reqFilter.Intersect(snap.Filter))
 	interRows := o.maskRows(q, mask, interAlias)
 	ov := 1 - interRows/candRows
 	if ov < 0 {
@@ -261,17 +267,17 @@ func (o *Optimizer) joinBuildOptions(q *plan.Query, mask int, buildKeys []storag
 		if !ok {
 			continue
 		}
-		candWidth := cand.HT.Layout().RowWidthBytes()
+		candWidth := choice.Snap.HT.Layout().RowWidthBytes()
 		opCost := o.Model.RHJ(costmodel.RHJInput{
 			BuilderRows: builderRows, ProberRows: proberRows,
 			Contr: choice.Contr, Overh: choice.Overh,
-			CandRows: float64(cand.HT.Len()), TupleWidth: candWidth,
+			CandRows: float64(choice.Snap.HT.Len()), TupleWidth: candWidth,
 		})
 		choice.OperatorCost = opCost
 		var inputCost float64
 		if len(choice.ResidualBoxes) > 0 {
 			relIdx, _ := singleRelation(mask)
-			inputCost = o.scanCost(q, relIdx, choice.ResidualBoxes, len(cand.HT.Layout().Cols))
+			inputCost = o.scanCost(q, relIdx, choice.ResidualBoxes, len(choice.Snap.HT.Layout().Cols))
 		}
 		opts = append(opts, buildOption{
 			choice:    choice,

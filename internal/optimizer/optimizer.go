@@ -97,21 +97,17 @@ func DefaultOptions() Options {
 }
 
 // Optimizer plans, compiles and runs reuse-aware queries. Run is safe
-// to call from many goroutines: queries that only read cached tables
-// execute concurrently under a shared lock, while queries that widen a
-// cached table in place (partial/overlapping reuse) and shared batch
-// plans take the exclusive lock, so lock-free probes never race with
-// cached-table mutation.
+// to call from many goroutines and never serializes queries against
+// each other: cached tables are immutable published snapshots, queries
+// that widen one (partial/overlapping reuse) build a private
+// copy-on-write successor and publish it atomically, and the cache's
+// epoch scheme keeps superseded snapshots alive until in-flight probes
+// drain.
 type Optimizer struct {
 	Cat   *catalog.Catalog
 	Cache *htcache.Cache
 	Model *costmodel.Model
 	Opts  Options
-
-	// execMu orders query execution: shared (read) mode for queries
-	// that treat the cache as immutable, exclusive (write) mode for
-	// queries that mutate cached tables.
-	execMu sync.RWMutex
 
 	// histMu guards history under concurrent planning.
 	histMu sync.Mutex
@@ -162,6 +158,11 @@ func (m ReuseMode) String() string {
 type ReuseChoice struct {
 	Mode  ReuseMode
 	Entry *htcache.Entry // nil for ModeNew
+	// Snap is the entry's snapshot the classification ran against,
+	// resolved once at plan time and held through compile and execution
+	// so the query never observes two versions of the table. Partial and
+	// overlapping reuse widen this snapshot into a private successor.
+	Snap *htcache.Snapshot
 	// Contr and Overh are the estimated contribution and overhead
 	// ratios used in the cost model.
 	Contr, Overh float64
@@ -268,22 +269,6 @@ func (o *Optimizer) historyScore(key string) int64 {
 	defer o.histMu.Unlock()
 	return o.history[key]
 }
-
-// BeginExclusive takes the optimizer's exclusive execution lock; no
-// other query runs until EndExclusive. The shared-plan executor uses it
-// around batch groups, whose re-tagging mutates cached tables in place.
-func (o *Optimizer) BeginExclusive() { o.execMu.Lock() }
-
-// EndExclusive releases the exclusive execution lock.
-func (o *Optimizer) EndExclusive() { o.execMu.Unlock() }
-
-// BeginShared takes the shared execution lock: cached-table lineages
-// are guaranteed immutable until EndShared. External planners (the
-// batch merger) hold it while reading candidate lineages outside Run.
-func (o *Optimizer) BeginShared() { o.execMu.RLock() }
-
-// EndShared releases the shared execution lock.
-func (o *Optimizer) EndShared() { o.execMu.RUnlock() }
 
 // IsScan reports whether the node is a base-table scan leaf.
 func (n *Node) IsScan() bool { return n.Kind == nodeScan }

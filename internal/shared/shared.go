@@ -215,14 +215,13 @@ func hullConstraint(a, b expr.Constraint) (expr.Constraint, bool) {
 // RunBatch plans and executes a batch, returning per-query results in
 // input order.
 func (s *Optimizer) RunBatch(queries []*plan.Query) (*BatchResult, error) {
-	// Plan under the shared execution lock: merge costing reads cached
-	// lineages, which a concurrent partial-reuse query could otherwise
-	// rewrite mid-read. (Single.Run and runSharedGroup below take their
-	// own locks; RWMutexes are not reentrant, so the lock is scoped to
-	// planning only.)
-	s.Single.BeginShared()
+	// Plan as an epoch reader: merge costing resolves cached snapshots,
+	// which stay unreclaimed (and, being frozen, immutable) until the
+	// reader exits — concurrent widening queries publish successors
+	// without disturbing this planning pass.
+	reader := s.Single.Cache.EnterReader()
 	groups, err := s.PlanBatch(queries)
-	s.Single.EndShared()
+	reader.Exit()
 	if err != nil {
 		return nil, err
 	}

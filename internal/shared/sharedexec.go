@@ -33,13 +33,16 @@ type groupExec struct {
 	reused    int // shared tables reused (after re-tag)
 }
 
-// runSharedGroup executes queries[group...] with one shared plan. The
-// group holds the single-query optimizer's exclusive execution lock:
-// re-tagging qid masks mutates cached shared tables in place, which
-// must not race with other queries' lock-free probes.
+// runSharedGroup executes queries[group...] with one shared plan,
+// fully concurrent with other queries: a reused cached table is
+// widened into a private copy-on-write successor and re-tagged there
+// (qid masks install as an overlay column), so the batch's tags never
+// touch the published snapshot other queries are probing. The group
+// registers as an epoch reader for its lifetime, keeping every
+// snapshot it resolved alive until its pipelines drain.
 func (s *Optimizer) runSharedGroup(queries []*plan.Query, group []int) ([]*optimizer.Result, error) {
-	s.Single.BeginExclusive()
-	defer s.Single.EndExclusive()
+	reader := s.Single.Cache.EnterReader()
+	defer reader.Exit()
 	g := &groupExec{s: s, rep: queries[group[0]]}
 	for _, qi := range group {
 		g.queries = append(g.queries, queries[qi])
@@ -63,10 +66,10 @@ func (s *Optimizer) runSharedGroup(queries []*plan.Query, group []int) ([]*optim
 
 	// Shared-plan pipelines parallelize like single-query ones: shared
 	// scans split into morsels and build sinks merge per-worker partial
-	// tables. Holding the exclusive lock is compatible with this — the
-	// workers only mutate the group's own tables. Pipelines without a
-	// parallel strategy (Multi-sink grouping spines) fall back to serial
-	// execution inside RunParallel.
+	// tables. The workers only mutate the group's own (fresh or widened,
+	// both private) tables, so no cross-query coordination is needed.
+	// Pipelines without a parallel strategy (Multi-sink grouping spines)
+	// fall back to serial execution inside RunParallel.
 	t0 := time.Now()
 	runErr := exec.RunParallel(g.pipelines, exec.Parallelism{
 		Workers:    s.Single.Opts.Parallelism,
@@ -290,15 +293,20 @@ func (g *groupExec) obtainSharedJoinHT(n *optimizer.Node) (*hashtable.Table, []i
 	var ht *hashtable.Table
 	qidCol := -1
 	for _, cand := range cache.Candidates(probeLin) {
-		if !g.sharedCandidateUsable(cand, n, relBoxes) {
+		snap := cand.Current()
+		if !g.sharedCandidateUsable(snap, cand.Lineage.QidCol, n, relBoxes) {
 			continue
 		}
-		if err := exec.ReTag(cand.HT, cand.Lineage.QidCol, relBoxes); err != nil {
+		// Re-tag a private widened copy: the qid masks of this batch are
+		// batch-local, so the published snapshot stays untouched (and the
+		// copy is simply dropped after the batch — no publication).
+		widened := snap.HT.Widen()
+		if err := exec.ReTag(widened, cand.Lineage.QidCol, relBoxes); err != nil {
 			continue
 		}
 		cache.Pin(cand)
 		g.pinned = append(g.pinned, cand)
-		ht = cand.HT
+		ht = widened
 		qidCol = cand.Lineage.QidCol
 		g.reused++
 		break
@@ -360,20 +368,21 @@ func (g *groupExec) obtainSharedJoinHT(n *optimizer.Node) (*hashtable.Table, []i
 	return ht, emitCols, emitRefs, qidCol, nil
 }
 
-// sharedCandidateUsable checks content and layout sufficiency: the
-// cached table must be qid-tagged, hold a superset of every query's
-// needed rows, store every needed payload column, and store every
-// predicate column (for re-tagging).
-func (g *groupExec) sharedCandidateUsable(cand *htcache.Entry, n *optimizer.Node, relBoxes []expr.Box) bool {
-	if cand.Lineage.QidCol < 0 {
+// sharedCandidateUsable checks content and layout sufficiency against
+// one resolved snapshot: the cached table must be qid-tagged, hold a
+// superset of every query's needed rows, store every needed payload
+// column, and store every predicate column (for re-tagging).
+func (g *groupExec) sharedCandidateUsable(snap *htcache.Snapshot, qidCol int, n *optimizer.Node, relBoxes []expr.Box) bool {
+	if qidCol < 0 {
 		return false
 	}
+	layout := snap.HT.Layout()
 	for _, b := range relBoxes {
-		if !cand.Lineage.Filter.Covers(b) {
+		if !snap.Filter.Covers(b) {
 			return false
 		}
 		for _, p := range b {
-			if cand.HT.Layout().ColIndex(p.Col) < 0 {
+			if layout.ColIndex(p.Col) < 0 {
 				return false
 			}
 		}
@@ -383,7 +392,7 @@ func (g *groupExec) sharedCandidateUsable(cand *htcache.Entry, n *optimizer.Node
 			continue
 		}
 		for _, c := range g.needed[rel.Alias] {
-			if cand.HT.Layout().ColIndex(storage.ColRef{Table: rel.Table, Column: c}) < 0 {
+			if layout.ColIndex(storage.ColRef{Table: rel.Table, Column: c}) < 0 {
 				return false
 			}
 		}

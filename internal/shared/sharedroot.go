@@ -235,38 +235,44 @@ func (g *groupExec) tryReuseGrouping(ag *aggGroup) bool {
 		if cand.Lineage.QidCol < 0 {
 			continue
 		}
+		snap := cand.Current()
+		layout := snap.HT.Layout()
 		usable := true
 		for _, b := range boxes {
-			if !cand.Lineage.Filter.Covers(b) {
+			if !snap.Filter.Covers(b) {
 				usable = false
 				break
 			}
 			for _, p := range b {
-				if cand.HT.Layout().ColIndex(p.Col) < 0 {
+				if layout.ColIndex(p.Col) < 0 {
 					usable = false
 					break
 				}
 			}
 		}
 		for _, r := range ag.rawCols {
-			if cand.HT.Layout().ColIndex(r) < 0 {
+			if layout.ColIndex(r) < 0 {
 				usable = false
 			}
 		}
 		for _, k := range ag.keys {
-			if cand.HT.Layout().ColIndex(k) < 0 {
+			if layout.ColIndex(k) < 0 {
 				usable = false
 			}
 		}
 		if !usable {
 			continue
 		}
-		if err := exec.ReTag(cand.HT, cand.Lineage.QidCol, boxes); err != nil {
+		// Re-tag a private widened copy (batch-local qid masks install
+		// as an overlay); the published snapshot stays untouched and the
+		// copy is dropped after the batch.
+		widened := snap.HT.Widen()
+		if err := exec.ReTag(widened, cand.Lineage.QidCol, boxes); err != nil {
 			continue
 		}
 		cache.Pin(cand)
 		g.pinned = append(g.pinned, cand)
-		ag.grouping = cand.HT
+		ag.grouping = widened
 		ag.qidCol = cand.Lineage.QidCol
 		ag.reuse = true
 		g.reused++

@@ -9,7 +9,7 @@ import (
 // Queries exercising the morsel-driven runner end to end: scan+agg,
 // join builds, reuse across overlapping date ranges (the narrower-range
 // variants trigger subsuming reuse against cached wider tables, the
-// wider ones partial reuse — the exclusive-lock path).
+// wider ones partial reuse — the copy-on-write widening path).
 func parallelQueries() []string {
 	dates := []string{"1994-01-01", "1995-03-15", "1996-06-01"}
 	var qs []string
@@ -145,8 +145,61 @@ func TestConcurrentExecUnderGCPressure(t *testing.T) {
 	}
 }
 
+// TestConcurrentMaterializedBaseline runs the materialized baseline
+// engine from many goroutines (run with -race): queries share the DB
+// lock in read mode and the temp-table cache synchronizes internally,
+// so read-only baseline traffic executes concurrently and result sets
+// stay golden.
+func TestConcurrentMaterializedBaseline(t *testing.T) {
+	queries := parallelQueries()
+	golden := openTPCH(t, WithEngine(EngineMaterialized))
+	goldens := make([][]string, len(queries))
+	for i, q := range queries {
+		res, err := golden.Exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldens[i] = canonical(res)
+	}
+
+	db := openTPCH(t, WithEngine(EngineMaterialized))
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 4; r++ {
+				qi := (w + r) % len(queries)
+				res, err := db.Exec(queries[qi])
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d query %d: %w", w, qi, err)
+					return
+				}
+				got := canonical(res)
+				if len(got) != len(goldens[qi]) {
+					errCh <- fmt.Errorf("worker %d query %d: %d rows, want %d", w, qi, len(got), len(goldens[qi]))
+					return
+				}
+				for j := range got {
+					if got[j] != goldens[qi][j] {
+						errCh <- fmt.Errorf("worker %d query %d row %d: %q != %q", w, qi, j, got[j], goldens[qi][j])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
 // TestConcurrentExecBatch mixes batch and single-query traffic over the
-// shared cache (batches take the exclusive path).
+// shared cache (batches re-tag private widened copies of reused
+// tables, so they too run concurrently).
 func TestConcurrentExecBatch(t *testing.T) {
 	queries := parallelQueries()
 	db := openTPCH(t, WithParallelism(2), WithMorselRows(256))
