@@ -1,16 +1,30 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin
 // into a JSON array of {name, ns_per_op, bytes_per_op, allocs_per_op}
-// records. CI pipes the vectorization benchmarks through it to emit
-// BENCH_vectorize.json, so the perf trajectory of the hot operator loops
-// is tracked across PRs.
+// records. CI pipes the benchmark suites through it to emit
+// BENCH_*.json, so the perf trajectory of the hot paths is tracked
+// across PRs.
 //
 //	go test -run xxx -bench 'ProbeJoin|FilterProject' -benchmem ./internal/exec | benchjson
+//
+// With -compare old.json the new results are gated against a committed
+// baseline: the run fails (exit 1) on an allocs/op regression.
+// Steady-state operator loops (small baselines, <= 8 allocs/op) are
+// gated exactly — one new allocation per op is a real regression there.
+// End-to-end benchmarks carry scheduling-dependent allocation counts
+// (how many worker partials grow depends on morsel distribution, which
+// depends on the runner's core count), so they fail only past
+// 2*old+32 — far below any per-row allocation regression, which shows
+// up as a 100x jump, but safely above cross-machine distribution
+// noise. ns/op is advisory on shared CI runners: slowdowns past 1.5x
+// print a warning without failing.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -25,9 +39,46 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// exactAllocGate is the allocs/op level below which baselines are
+// treated as deterministic steady-state loops and gated exactly.
+const exactAllocGate = 8
+
+// nsAdvisoryFactor triggers the (non-fatal) ns/op warning.
+const nsAdvisoryFactor = 1.5
+
 func main() {
+	compare := flag.String("compare", "", "baseline JSON to gate against (fail on allocs/op regressions)")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *compare == "" {
+		return
+	}
+	baseline, err := loadBaseline(*compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if failures := gate(os.Stderr, baseline, results); failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d allocs/op regression(s) against %s\n", failures, *compare)
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output.
+func parseBench(r io.Reader) ([]Result, error) {
 	var results []Result
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
@@ -58,16 +109,63 @@ func main() {
 		}
 		results = append(results, r)
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return results, sc.Err()
+}
+
+func loadBaseline(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	var list []Result
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	out := make(map[string]Result, len(list))
+	for _, r := range list {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// allocLimit is the gated allocs/op ceiling for a baseline value.
+func allocLimit(old int64) int64 {
+	if old <= exactAllocGate {
+		return old
+	}
+	return 2*old + 32
+}
+
+// gate compares new results against the baseline, writing verdicts to
+// w; it returns the number of failing (allocs/op) regressions. New
+// benchmarks and benchmarks missing from this run are advisory only —
+// the matrix may run a subset.
+func gate(w io.Writer, baseline map[string]Result, results []Result) int {
+	failures := 0
+	seen := map[string]bool{}
+	for _, r := range results {
+		seen[r.Name] = true
+		old, ok := baseline[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "benchjson: NEW %s: %d allocs/op (no baseline, not gated)\n", r.Name, r.AllocsPerOp)
+			continue
+		}
+		if limit := allocLimit(old.AllocsPerOp); r.AllocsPerOp > limit {
+			fmt.Fprintf(w, "benchjson: FAIL %s: %d allocs/op exceeds limit %d (baseline %d)\n",
+				r.Name, r.AllocsPerOp, limit, old.AllocsPerOp)
+			failures++
+		}
+		if old.NsPerOp > 0 && r.NsPerOp > old.NsPerOp*nsAdvisoryFactor {
+			fmt.Fprintf(w, "benchjson: WARN %s: %.0f ns/op vs baseline %.0f (advisory — shared-runner timing)\n",
+				r.Name, r.NsPerOp, old.NsPerOp)
+		}
+	}
+	for name := range baseline {
+		if !seen[name] {
+			fmt.Fprintf(w, "benchjson: WARN baseline %s not present in this run\n", name)
+		}
+	}
+	return failures
 }
 
 // cpuSuffix returns the trailing -N GOMAXPROCS suffix of a benchmark

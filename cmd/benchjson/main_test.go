@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+BenchmarkFilterProject-4        200	  12345 ns/op	  55.00 MB/s	  0 B/op	  0 allocs/op
+BenchmarkProbeJoin/hit-4        200	  23456 ns/op	  128 B/op	  0 allocs/op
+BenchmarkSchedScanAgg/steal-4   20	7266286 ns/op	  64110 B/op	  156 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	if results[0].Name != "BenchmarkFilterProject" || results[0].NsPerOp != 12345 {
+		t.Fatalf("bad first result: %+v", results[0])
+	}
+	if results[1].Name != "BenchmarkProbeJoin/hit" || results[1].BytesPerOp != 128 {
+		t.Fatalf("bad sub-benchmark result: %+v", results[1])
+	}
+	if results[2].AllocsPerOp != 156 {
+		t.Fatalf("bad allocs: %+v", results[2])
+	}
+}
+
+func TestAllocLimit(t *testing.T) {
+	for _, tc := range []struct{ old, want int64 }{
+		{0, 0},  // steady-state loops gate exactly
+		{8, 8},  // boundary of the exact gate
+		{9, 50}, // end-to-end: 2x + 32
+		{156, 344},
+	} {
+		if got := allocLimit(tc.old); got != tc.want {
+			t.Fatalf("allocLimit(%d) = %d, want %d", tc.old, got, tc.want)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkOp":  {Name: "BenchmarkOp", NsPerOp: 1000, AllocsPerOp: 0},
+		"BenchmarkE2E": {Name: "BenchmarkE2E", NsPerOp: 5000, AllocsPerOp: 100},
+		"BenchmarkOld": {Name: "BenchmarkOld", NsPerOp: 100, AllocsPerOp: 1},
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		var out strings.Builder
+		n := gate(&out, baseline, []Result{
+			{Name: "BenchmarkOp", NsPerOp: 1100, AllocsPerOp: 0},
+			{Name: "BenchmarkE2E", NsPerOp: 5100, AllocsPerOp: 180}, // within 2x+32
+			{Name: "BenchmarkNew", NsPerOp: 10, AllocsPerOp: 5},     // no baseline: advisory
+		})
+		if n != 0 {
+			t.Fatalf("clean run produced %d failures: %s", n, out.String())
+		}
+		if !strings.Contains(out.String(), "NEW BenchmarkNew") {
+			t.Fatalf("missing new-benchmark notice: %s", out.String())
+		}
+		if !strings.Contains(out.String(), "baseline BenchmarkOld not present") {
+			t.Fatalf("missing absent-baseline warning: %s", out.String())
+		}
+	})
+
+	t.Run("steadyStateRegression", func(t *testing.T) {
+		var out strings.Builder
+		n := gate(&out, baseline, []Result{{Name: "BenchmarkOp", NsPerOp: 1000, AllocsPerOp: 1}})
+		if n != 1 {
+			t.Fatalf("one-alloc regression on a zero-alloc loop must fail, got %d: %s", n, out.String())
+		}
+	})
+
+	t.Run("endToEndRegression", func(t *testing.T) {
+		var out strings.Builder
+		n := gate(&out, baseline, []Result{{Name: "BenchmarkE2E", NsPerOp: 5000, AllocsPerOp: 500}})
+		if n != 1 {
+			t.Fatalf("past-limit regression must fail, got %d", n)
+		}
+	})
+
+	t.Run("nsAdvisoryOnly", func(t *testing.T) {
+		var out strings.Builder
+		n := gate(&out, baseline, []Result{{Name: "BenchmarkE2E", NsPerOp: 50000, AllocsPerOp: 100}})
+		if n != 0 {
+			t.Fatalf("ns/op slowdown must stay advisory, got %d failures", n)
+		}
+		if !strings.Contains(out.String(), "WARN BenchmarkE2E") {
+			t.Fatalf("missing ns advisory: %s", out.String())
+		}
+	})
+}

@@ -17,8 +17,13 @@
 //
 // Query pipelines execute with morsel-driven parallelism: every scan is
 // split into independent morsels (row ranges of a base table, an index
-// run or a cached hash table's entry arena, ~64K rows each) that a pool
-// of workers claims from a shared dispenser. Pipeline breakers build
+// run or a cached hash table's entry arena, ~64K rows each) that are
+// range-partitioned across per-worker deques of a work-stealing
+// scheduler — workers pop their own deque LIFO and steal FIFO from
+// victims when they drain. Pipelines form a dependency DAG (a probe
+// depends on its build sink, a temp-table consumer on its producer) and
+// independent pipelines' morsels enter the scheduler concurrently
+// instead of executing in strict order. Pipeline breakers build
 // per-worker partial hash tables that are merged into one immutable
 // table at pipeline end, so probe pipelines — and cross-query reuse —
 // stay lock-free on the hot path. WithParallelism configures the pool;
@@ -51,6 +56,7 @@ import (
 
 	"hashstash/internal/catalog"
 	"hashstash/internal/costmodel"
+	"hashstash/internal/exec"
 	"hashstash/internal/htcache"
 	"hashstash/internal/matreuse"
 	"hashstash/internal/optimizer"
@@ -107,15 +113,17 @@ const (
 type Option func(*config)
 
 type config struct {
-	budget      int64
-	strategy    Strategy
-	engine      Engine
-	calibration *costmodel.Calibration
-	benefit     bool
-	partial     bool
-	overlapping bool
-	parallelism int
-	morselRows  int
+	budget          int64
+	strategy        Strategy
+	engine          Engine
+	calibration     *costmodel.Calibration
+	benefit         bool
+	partial         bool
+	overlapping     bool
+	parallelism     int
+	morselRows      int
+	serialPipelines bool
+	noSteal         bool
 }
 
 // WithCacheBudget bounds the hash-table cache (bytes); the garbage
@@ -150,9 +158,24 @@ func WithoutOverlappingReuse() Option { return func(c *config) { c.overlapping =
 func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
 // WithMorselRows overrides the morsel granularity (rows per scan unit);
-// 0 uses the storage default (~64K rows). Mostly useful in tests and
+// 0 uses the storage default (~64K rows, rebalanced per source so short
+// scans still split into stealable units). Mostly useful in tests and
 // benchmarks.
 func WithMorselRows(rows int) Option { return func(c *config) { c.morselRows = rows } }
+
+// WithoutInterPipelineParallelism restricts the scheduler to one
+// pipeline at a time in compile order (morsels of that pipeline still
+// run across the whole pool). The default lets independent pipelines —
+// build sides of different joins, per-query readouts of a shared batch
+// — execute concurrently under the dependency DAG. Ablation knob.
+func WithoutInterPipelineParallelism() Option {
+	return func(c *config) { c.serialPipelines = true }
+}
+
+// WithoutWorkStealing pins each worker to its seeded morsel partition
+// instead of stealing from drained victims' deques. Ablation knob for
+// measuring what stealing buys on skewed partitions.
+func WithoutWorkStealing() Option { return func(c *config) { c.noSteal = true } }
 
 // DB is a HashStash database instance. Exec and ExecBatch are safe for
 // concurrent use; schema changes — LoadTPCH, CreateTable, InsertRows,
@@ -198,13 +221,22 @@ func Open(opts ...Option) *DB {
 		EnableOverlapping: cfg.overlapping,
 		Parallelism:       cfg.parallelism,
 		MorselRows:        cfg.morselRows,
+		SerialPipelines:   cfg.serialPipelines,
+		NoSteal:           cfg.noSteal,
 	})
+	mat := matreuse.NewEngine(cat, cfg.budget)
+	mat.Par = exec.Parallelism{
+		Workers:         cfg.parallelism,
+		MorselRows:      cfg.morselRows,
+		SerialPipelines: cfg.serialPipelines,
+		NoSteal:         cfg.noSteal,
+	}
 	return &DB{
 		cat:    cat,
 		cache:  cache,
 		opt:    opt,
 		batch:  shared.New(opt),
-		mat:    matreuse.NewEngine(cat, cfg.budget),
+		mat:    mat,
 		engine: cfg.engine,
 	}
 }

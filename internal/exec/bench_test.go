@@ -132,6 +132,118 @@ func BenchmarkProbeJoin(b *testing.B) {
 	}
 }
 
+// schedBenchTable builds the scan input of the scheduler benchmarks:
+// key, group (97 groups) and value columns.
+func schedBenchTable(n int) *storage.Table {
+	key := storage.NewColumn("b_key", types.Int64)
+	grp := storage.NewColumn("b_grp", types.Int64)
+	val := storage.NewColumn("b_val", types.Float64)
+	for i := 0; i < n; i++ {
+		key.Ints = append(key.Ints, int64(i))
+		grp.Ints = append(grp.Ints, int64(i%97))
+		val.Floats = append(val.Floats, float64(i)*0.25)
+	}
+	return storage.NewTable("big", key, grp, val)
+}
+
+// schedAggPipeline compiles scan(tbl) -> grouped SUM/COUNT.
+func schedAggPipeline(b *testing.B, tbl *storage.Table) *Pipeline {
+	b.Helper()
+	src, err := NewTableScan(tbl, "b", nil, []string{"b_grp", "b_val"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grpRef := storage.ColRef{Table: "b", Column: "b_grp"}
+	layout := hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: grpRef, Kind: types.Int64},
+			{Ref: storage.ColRef{Column: "sum_val"}, Kind: types.Float64},
+			{Ref: storage.ColRef{Column: "cnt"}, Kind: types.Int64},
+		},
+		KeyCols: 1,
+	}
+	aggs := []AggCell{
+		{Func: expr.AggSum, InCol: src.Schema().MustIndexOf(storage.ColRef{Table: "b", Column: "b_val"}), Kind: types.Float64},
+		{Func: expr.AggCount, InCol: -1, Kind: types.Int64},
+	}
+	sink, err := NewAggHT(hashtable.New(layout), []storage.ColRef{grpRef}, aggs, src.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &Pipeline{Source: src, Sink: sink}
+}
+
+// BenchmarkSchedScanAgg measures one scan-aggregate pipeline through
+// the work-stealing scheduler: 4 workers over fine morsels, with and
+// without stealing (the deque/steal machinery is the cost under test;
+// on a 1-CPU runner the gate is alloc stability, not speedup).
+func BenchmarkSchedScanAgg(b *testing.B) {
+	tbl := schedBenchTable(256 * 1024)
+	for _, bc := range []struct {
+		name string
+		par  Parallelism
+	}{
+		{"steal", Parallelism{Workers: 4, MorselRows: 8 * 1024}},
+		{"nosteal", Parallelism{Workers: 4, MorselRows: 8 * 1024, NoSteal: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := schedAggPipeline(b, tbl)
+				b.StartTimer()
+				if err := RunParallel([]*Pipeline{p}, bc.par); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(tbl.NumRows()))
+		})
+	}
+}
+
+// BenchmarkSchedPipelineDAG measures inter-pipeline parallelism: four
+// independent scan-aggregations each feeding a dependent hash-table
+// readout — eight pipelines whose DAG lets the four spines run
+// concurrently, against the strict-order ablation.
+func BenchmarkSchedPipelineDAG(b *testing.B) {
+	tbl := schedBenchTable(64 * 1024)
+	mk := func() []*Pipeline {
+		var pipelines []*Pipeline
+		var readouts []*Pipeline
+		for i := 0; i < 4; i++ {
+			p := schedAggPipeline(b, tbl)
+			ht := p.Sink.(*AggHT).HT
+			src, err := NewHTScan(ht, []int{0, 1, 2}, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pipelines = append(pipelines, p)
+			readouts = append(readouts, &Pipeline{Source: src, Sink: NewCollect(src.Schema())})
+		}
+		return append(pipelines, readouts...)
+	}
+	for _, bc := range []struct {
+		name string
+		par  Parallelism
+	}{
+		{"dag", Parallelism{Workers: 4, MorselRows: 8 * 1024}},
+		{"strict", Parallelism{Workers: 4, MorselRows: 8 * 1024, SerialPipelines: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				pipelines := mk()
+				b.StartTimer()
+				if err := RunParallel(pipelines, bc.par); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(tbl.NumRows()) * 4)
+		})
+	}
+}
+
 // BenchmarkBuildAgg measures one batch being consumed by a hash
 // aggregation sink (grouped SUM/COUNT) — the build-side counterpart of
 // BenchmarkProbeJoin.

@@ -1,0 +1,97 @@
+package exec
+
+// Pipeline dependency analysis. Pipelines touch shared resources —
+// hash tables they build or probe, temp tables they spill or re-scan —
+// and the compile order is a correct total order over those conflicts.
+// The DAG keeps only the edges the resources force: pipeline j depends
+// on an earlier pipeline i when i writes something j reads (a probe on
+// its build sink, a temp-table consumer on its producer), when both
+// write the same table (two residual inputs widening one successor),
+// or when i reads something j later overwrites. Everything else runs
+// concurrently.
+
+// ResourceReader is implemented by sources and transforms that read a
+// resource another pipeline of the same plan may produce. Resources
+// compare by identity (pointers).
+type ResourceReader interface {
+	// PipelineReads lists the shared resources read while streaming.
+	PipelineReads() []any
+}
+
+// ResourceWriter is implemented by sinks that populate a shared
+// resource (hash tables, temp tables).
+type ResourceWriter interface {
+	// PipelineWrites lists the resources the sink mutates.
+	PipelineWrites() []any
+}
+
+// pipelineReads collects the pipeline's read set.
+func pipelineReads(p *Pipeline) []any {
+	var out []any
+	if r, ok := p.Source.(ResourceReader); ok {
+		out = append(out, r.PipelineReads()...)
+	}
+	for _, t := range p.Transforms {
+		if r, ok := t.(ResourceReader); ok {
+			out = append(out, r.PipelineReads()...)
+		}
+	}
+	return out
+}
+
+// pipelineWrites collects the pipeline's write set.
+func pipelineWrites(p *Pipeline) []any {
+	if w, ok := p.Sink.(ResourceWriter); ok {
+		return w.PipelineWrites()
+	}
+	return nil
+}
+
+// pipelineDeps builds the dependency lists of the pipeline DAG from
+// resource conflicts, preserving compile order between conflicting
+// pipelines only.
+func pipelineDeps(pipelines []*Pipeline) [][]int {
+	type rw struct {
+		reads  map[any]struct{}
+		writes map[any]struct{}
+	}
+	sets := make([]rw, len(pipelines))
+	for i, p := range pipelines {
+		sets[i].reads = asSet(pipelineReads(p))
+		sets[i].writes = asSet(pipelineWrites(p))
+	}
+	deps := make([][]int, len(pipelines))
+	for j := 1; j < len(pipelines); j++ {
+		for i := 0; i < j; i++ {
+			if intersects(sets[i].writes, sets[j].reads) ||
+				intersects(sets[i].writes, sets[j].writes) ||
+				intersects(sets[i].reads, sets[j].writes) {
+				deps[j] = append(deps[j], i)
+			}
+		}
+	}
+	return deps
+}
+
+func asSet(rs []any) map[any]struct{} {
+	if len(rs) == 0 {
+		return nil
+	}
+	m := make(map[any]struct{}, len(rs))
+	for _, r := range rs {
+		m[r] = struct{}{}
+	}
+	return m
+}
+
+func intersects(a, b map[any]struct{}) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for r := range a {
+		if _, ok := b[r]; ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,358 @@
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// plainSource wraps a source, hiding its MorselSource implementation —
+// the unsplittable-source serial fallback.
+type plainSource struct{ src Source }
+
+func (p *plainSource) Open() error                  { return p.src.Open() }
+func (p *plainSource) Next(out *storage.Batch) bool { return p.src.Next(out) }
+func (p *plainSource) Schema() storage.Schema       { return p.src.Schema() }
+
+// gateSink wraps a sink, recording Finish — and has no parallel merge
+// strategy, so its pipeline runs as one serial task. It forwards the
+// wrapped sink's resource writes so DAG edges survive the wrapping.
+type gateSink struct {
+	sink     Sink
+	finished atomic.Bool
+}
+
+func (g *gateSink) Consume(b *storage.Batch) { g.sink.Consume(b) }
+func (g *gateSink) Finish()                  { g.sink.Finish(); g.finished.Store(true) }
+func (g *gateSink) PipelineWrites() []any {
+	if w, ok := g.sink.(ResourceWriter); ok {
+		return w.PipelineWrites()
+	}
+	return nil
+}
+
+// checkedProbe fails the run if a probe batch flows before the build
+// sink finished — the DAG-edge correctness property. PipelineReads is
+// promoted from the embedded Probe, so the scheduler sees the same
+// dependency a bare probe would induce.
+type checkedProbe struct {
+	*Probe
+	built     *atomic.Bool
+	violation *atomic.Bool
+}
+
+func (c *checkedProbe) Apply(in, out *storage.Batch) {
+	if !c.built.Load() {
+		c.violation.Store(true)
+	}
+	c.Probe.Apply(in, out)
+}
+
+// tagJoinLayout is the b_tag -> b_val build layout used by the DAG
+// tests.
+func tagJoinLayout() hashtable.Layout {
+	return hashtable.Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "b", Column: "b_tag"}, Kind: types.String},
+			{Ref: storage.ColRef{Table: "b", Column: "b_val"}, Kind: types.Float64},
+		},
+		KeyCols: 1,
+	}
+}
+
+// TestPipelineDeps checks the resource-conflict edges directly.
+func TestPipelineDeps(t *testing.T) {
+	tbl := bigTable(t, 1_000, 10, false)
+	ht := hashtable.New(tagJoinLayout())
+
+	bsrc, err := NewTableScan(tbl, "b", nil, []string{"b_tag", "b_val"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsink, err := NewBuildHT(ht, bsrc.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := &Pipeline{Source: bsrc, Sink: bsink}
+
+	// An unrelated pipeline: scan into a fresh collect.
+	osrc, err := NewTableScan(tbl, "b", nil, []string{"b_key"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := &Pipeline{Source: osrc, Sink: NewCollect(osrc.Schema())}
+
+	// Probe pipeline reading ht.
+	psrc, err := NewTableScan(tbl, "b", []expr.Box{keyBox(0, 6)}, []string{"b_key", "b_tag"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := NewProbe(ht, []storage.ColRef{{Table: "b", Column: "b_tag"}}, []int{1}, nil, nil, psrc.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeP := &Pipeline{Source: psrc, Transforms: []Transform{probe}, Sink: NewCollect(probe.OutSchema())}
+
+	// A second writer of the same table (residual widening shape).
+	rsrc, err := NewTableScan(tbl, "b", []expr.Box{keyBox(7, 13)}, []string{"b_tag", "b_val"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsink, err := NewBuildHT(ht, rsrc.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	residual := &Pipeline{Source: rsrc, Sink: rsink}
+
+	// HTScan reader of the same table.
+	hsrc, err := NewHTScan(ht, []int{0, 1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	htRead := &Pipeline{Source: hsrc, Sink: NewCollect(hsrc.Schema())}
+
+	deps := pipelineDeps([]*Pipeline{build, other, probeP, residual, htRead})
+	want := [][]int{
+		nil,    // build: no deps
+		nil,    // other: independent
+		{0},    // probe reads ht written by build
+		{0, 2}, // residual: write-write with build, write-after-read with probe
+		{0, 3}, // HT scan reads ht: after both writers; no edge to the probe (two readers don't conflict)
+	}
+	for i := range want {
+		if fmt.Sprint(deps[i]) != fmt.Sprint(want[i]) {
+			t.Fatalf("pipeline %d deps = %v, want %v (all: %v)", i, deps[i], want[i], deps)
+		}
+	}
+}
+
+// TestProbeNeverStartsBeforeBuildFinishes runs the join shape under a
+// worker storm and asserts the DAG held: no probe batch flowed before
+// the build sink's Finish.
+func TestProbeNeverStartsBeforeBuildFinishes(t *testing.T) {
+	tbl := bigTable(t, 60_000, 11, false)
+
+	run := func(par Parallelism) [][]types.Value {
+		ht := hashtable.New(tagJoinLayout())
+		bsrc, err := NewTableScan(tbl, "b", nil, []string{"b_tag", "b_val"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsink, err := NewBuildHT(ht, bsrc.Schema(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gate := &gateSink{sink: bsink}
+		build := &Pipeline{Source: bsrc, Sink: gate}
+
+		// Probe side: a handful of rows — the property under test is the
+		// DAG edge (the probe job must not be seeded until the build
+		// finishes), not probe throughput, and each row fans out to
+		// thousands of matches anyway.
+		psrc, err := NewTableScan(tbl, "b", []expr.Box{keyBox(0, 6)}, []string{"b_key", "b_tag"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe, err := NewProbe(ht, []storage.ColRef{{Table: "b", Column: "b_tag"}}, []int{1}, nil, nil, psrc.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var violation atomic.Bool
+		checked := &checkedProbe{Probe: probe, built: &gate.finished, violation: &violation}
+		collect := NewCollect(probe.OutSchema())
+		probeP := &Pipeline{Source: psrc, Transforms: []Transform{checked}, Sink: collect}
+
+		if err := RunParallel([]*Pipeline{build, probeP}, par); err != nil {
+			t.Fatal(err)
+		}
+		if violation.Load() {
+			t.Fatal("a probe batch flowed before the build sink finished")
+		}
+		return collect.Rows
+	}
+
+	serial := run(Parallelism{Workers: 1})
+	for _, par := range []Parallelism{
+		{Workers: 8, MorselRows: 2048},
+		{Workers: 8, MorselRows: 2048, NoSteal: true},
+		{Workers: 8, MorselRows: 2048, SerialPipelines: true},
+	} {
+		assertSameRows(t, serial, run(par))
+	}
+}
+
+// TestRunParallelSerialFallbacks covers every path that must degrade to
+// a single serial task: an unsplittable source, a sink without a merge
+// strategy, and Workers <= 1 — each among other scheduled pipelines.
+func TestRunParallelSerialFallbacks(t *testing.T) {
+	tbl := bigTable(t, 20_000, 13, false)
+
+	mkScan := func() *TableScan {
+		src, err := NewTableScan(tbl, "b", nil, []string{"b_key", "b_grp"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	serial := runToCollect(t, mkScan())
+
+	t.Run("unsplittableSource", func(t *testing.T) {
+		collect := NewCollect(mkScan().Schema())
+		p := &Pipeline{Source: &plainSource{src: mkScan()}, Sink: collect}
+		if err := RunParallel([]*Pipeline{p}, Parallelism{Workers: 4, MorselRows: 1024}); err != nil {
+			t.Fatal(err)
+		}
+		assertSameRows(t, serial.Rows, collect.Rows)
+	})
+
+	t.Run("noMergeSink", func(t *testing.T) {
+		collect := NewCollect(mkScan().Schema())
+		gate := &gateSink{sink: collect}
+		p := &Pipeline{Source: mkScan(), Sink: gate}
+		if err := RunParallel([]*Pipeline{p}, Parallelism{Workers: 4, MorselRows: 1024}); err != nil {
+			t.Fatal(err)
+		}
+		if !gate.finished.Load() {
+			t.Fatal("fallback pipeline never finished its sink")
+		}
+		assertSameRows(t, serial.Rows, collect.Rows)
+		// Serial fallback preserves scan order exactly.
+		for i := range collect.Rows {
+			if collect.Rows[i][0].I != serial.Rows[i][0].I {
+				t.Fatalf("row %d out of order: %v vs %v", i, collect.Rows[i][0], serial.Rows[i][0])
+			}
+		}
+	})
+
+	t.Run("singleWorker", func(t *testing.T) {
+		collect := NewCollect(mkScan().Schema())
+		p := &Pipeline{Source: mkScan(), Sink: collect}
+		if err := RunParallel([]*Pipeline{p}, Parallelism{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		assertSameRows(t, serial.Rows, collect.Rows)
+	})
+}
+
+// TestMultiSinkSpineParallel: a pipeline fanning out to several
+// mergeable sinks (the shared-plan grouping-spine shape) splits into
+// morsels, with every child sink merged from per-worker partials.
+func TestMultiSinkSpineParallel(t *testing.T) {
+	tbl := bigTable(t, 40_000, 23, false)
+
+	run := func(par Parallelism) ([][]types.Value, int, int64) {
+		src, err := NewTableScan(tbl, "b", nil, []string{"b_tag", "b_val"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ht := hashtable.New(tagJoinLayout())
+		bsink, err := NewBuildHT(ht, src.Schema(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		temp := NewTempTable("spill", src.Schema())
+		p := &Pipeline{Source: src, Sink: &Multi{Sinks: []Sink{bsink, temp}}}
+		if err := RunParallel([]*Pipeline{p}, par); err != nil {
+			t.Fatal(err)
+		}
+		return htRows(t, ht), temp.Table.NumRows(), temp.ByteSize()
+	}
+
+	sRows, sTemp, sBytes := run(Parallelism{Workers: 1})
+	pRows, pTemp, pBytes := run(Parallelism{Workers: 4, MorselRows: 2048})
+	assertSameRows(t, sRows, pRows)
+	if sTemp != pTemp {
+		t.Fatalf("temp rows: serial %d, parallel %d", sTemp, pTemp)
+	}
+	if sBytes != pBytes {
+		t.Fatalf("temp bytes: serial %d, parallel %d", sBytes, pBytes)
+	}
+}
+
+// TestTempTableConsumerOrdering: a pipeline scanning a temp table the
+// previous pipeline spills (the materialized baseline's
+// readout-from-spill shape) must wait for the spill — expressed here
+// through an HTScan-over-build chain plus temp concatenation.
+func TestTempTableConsumerOrdering(t *testing.T) {
+	tbl := bigTable(t, 30_000, 17, false)
+
+	run := func(par Parallelism) [][]types.Value {
+		// Pipeline 1: scan → aggregate.
+		aggP, aggHT := scanAggPipeline(t, tbl, nil)
+		// Pipeline 2: HT readout → temp spill.
+		hsrc, err := NewHTScan(aggHT, identityColsTest(len(aggHT.Layout().Cols)), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		temp := NewTempTable("agg_spill", hsrc.Schema())
+		spill := &Pipeline{Source: hsrc, Sink: temp}
+		// Pipeline 3: re-scan the spilled table into the final collect
+		// (an unsplittable source reading pipeline 2's output).
+		resrc, err := NewTableScan(temp.Table, "m", nil, []string{"b_grp", "sum_val", "cnt"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect := NewCollect(resrc.Schema())
+		final := &Pipeline{Source: &tempTableReader{TableScan: resrc, table: temp.Table}, Sink: collect}
+		if err := RunParallel([]*Pipeline{aggP, spill, final}, par); err != nil {
+			t.Fatal(err)
+		}
+		return collect.Rows
+	}
+
+	serial := run(Parallelism{Workers: 1})
+	parallel := run(Parallelism{Workers: 8, MorselRows: 1024})
+	assertSameRows(t, serial, parallel)
+}
+
+// tempTableReader marks a table scan as reading another pipeline's
+// spill (base-table scans normally have no producers, so the read set
+// is empty by default).
+type tempTableReader struct {
+	*TableScan
+	table *storage.Table
+}
+
+func (r *tempTableReader) PipelineReads() []any { return []any{r.table} }
+
+// TestExecStealStorm floods the scheduler with many small pipelines and
+// fine morsels under -race: independent aggregations with dependent
+// readouts, all sharing the pool.
+func TestExecStealStorm(t *testing.T) {
+	tbl := bigTable(t, 50_000, 29, false)
+	var pipelines []*Pipeline
+	var hts []*hashtable.Table
+	var collects []*Collect
+	for i := 0; i < 6; i++ {
+		p, ht := scanAggPipeline(t, tbl, nil)
+		pipelines = append(pipelines, p)
+		hts = append(hts, ht)
+	}
+	for _, ht := range hts {
+		src, err := NewHTScan(ht, identityColsTest(len(ht.Layout().Cols)), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect := NewCollect(src.Schema())
+		pipelines = append(pipelines, &Pipeline{Source: src, Sink: collect})
+		collects = append(collects, collect)
+	}
+	if err := RunParallel(pipelines, Parallelism{Workers: 8, MorselRows: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	want := sortedRows(collects[0].Rows)
+	if len(want) != 29 {
+		t.Fatalf("got %d groups, want 29", len(want))
+	}
+	for i, c := range collects[1:] {
+		got := sortedRows(c.Rows)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("readout %d diverged", i+1)
+		}
+	}
+}

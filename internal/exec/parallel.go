@@ -1,9 +1,9 @@
 package exec
 
 import (
-	"sync"
-	"sync/atomic"
+	"fmt"
 
+	"hashstash/internal/exec/sched"
 	"hashstash/internal/expr"
 	"hashstash/internal/hashtable"
 	"hashstash/internal/storage"
@@ -11,23 +11,33 @@ import (
 )
 
 // Morsel-driven parallel execution: a pipeline's source is split into
-// independent morsel-sized sub-sources; a pool of workers claims morsels
-// from a shared counter and streams each through the (stateless, shared)
-// transform chain into a per-worker sink. Per-worker sinks build private
-// partial hash tables that are merged into the pipeline's real sink at
-// Finish, so the published table is immutable and later probes stay
-// lock-free. Pipelines still execute in dependency order — parallelism
-// is within a pipeline, as in morsel-driven engines.
+// independent morsel-sized sub-sources that become the tasks of one
+// scheduler job. The scheduler range-partitions each job's morsels
+// across per-worker deques (LIFO local pop, FIFO steal — see
+// exec/sched), replacing the old single shared atomic dispenser.
+// Per-worker sinks build private partial hash tables that are merged
+// into the pipeline's real sink when the job's last morsel drains, so
+// the published table is immutable and later probes stay lock-free.
+//
+// Pipelines no longer execute in strict compile order: resource
+// conflicts (a probe on its build sink, a temp-table consumer on its
+// producer, two residual inputs widening one table) become DAG edges
+// between jobs, and everything the DAG leaves unordered — build sides
+// of different joins, per-query readouts of a shared batch — runs
+// concurrently.
 
 // MorselSource is a Source that can split itself into independent
 // sub-sources over disjoint row ranges.
 type MorselSource interface {
 	Source
 	// Morsels partitions the source into sub-sources covering at most
-	// rows rows each (rows <= 0 uses storage.DefaultMorselRows). It
-	// returns nil when the source cannot be split; the runner then falls
-	// back to serial execution, which surfaces any underlying error.
-	Morsels(rows int) []Source
+	// rows rows each (rows <= 0 uses storage.DefaultMorselRows),
+	// re-balanced for a pool of workers via
+	// storage.BalancedMorselRows so short scans still split into
+	// stealable units. It returns nil when the source cannot be split;
+	// the runner then falls back to serial execution, which surfaces
+	// any underlying error.
+	Morsels(rows, workers int) []Source
 }
 
 // Parallelism configures the parallel runner.
@@ -35,86 +45,114 @@ type Parallelism struct {
 	// Workers is the worker-pool size; values <= 1 run serially.
 	Workers int
 	// MorselRows is the morsel granularity (<= 0 uses
-	// storage.DefaultMorselRows).
+	// storage.DefaultMorselRows, rebalanced per source for the pool).
 	MorselRows int
+	// SerialPipelines disables inter-pipeline parallelism: pipelines
+	// enter the scheduler one at a time in compile order (morsels of
+	// one pipeline still run across the pool). Ablation knob.
+	SerialPipelines bool
+	// NoSteal disables work stealing between the per-worker deques.
+	// Ablation knob.
+	NoSteal bool
 }
 
-// RunParallel executes pipelines in order, running each pipeline's
-// morsels across a worker pool. Pipelines whose source cannot be split
-// or whose sink has no parallel merge strategy run serially.
+// RunParallel executes pipelines on the work-stealing scheduler,
+// honoring the resource-dependency DAG between them. Pipelines whose
+// source cannot be split or whose sink has no parallel merge strategy
+// run as single serial tasks — still scheduled, still ordered by their
+// DAG edges.
 func RunParallel(pipelines []*Pipeline, par Parallelism) error {
-	for _, p := range pipelines {
-		if err := p.runParallel(par); err != nil {
-			return err
+	if par.Workers <= 1 || len(pipelines) == 0 {
+		return Run(pipelines)
+	}
+	deps := pipelineDeps(pipelines)
+	jobs := make([]*sched.Job, len(pipelines))
+	for i, p := range pipelines {
+		jobs[i] = p.job(par)
+		jobs[i].Deps = deps[i]
+		if par.SerialPipelines && i > 0 {
+			// Strict compile order: chain every job to its predecessor
+			// (subsumes the resource edges).
+			jobs[i].Deps = []int{i - 1}
 		}
 	}
-	return nil
+	return sched.Run(jobs, sched.Options{Workers: par.Workers, NoSteal: par.NoSteal})
 }
 
-func (p *Pipeline) runParallel(par Parallelism) error {
-	if par.Workers <= 1 {
-		return p.Run()
-	}
-	ms, ok := p.Source.(MorselSource)
-	if !ok {
-		return p.Run()
-	}
-	sources := ms.Morsels(par.MorselRows)
-	if len(sources) < 2 {
-		return p.Run()
-	}
-	nw := par.Workers
-	if nw > len(sources) {
-		nw = len(sources)
-	}
-	merge := mergeSinkFor(p.Sink, nw)
-	if merge == nil {
-		return p.Run()
-	}
-
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	errs := make([]error, nw)
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			sink := merge.worker(w)
-			batches := p.newBatches()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(sources) {
-					return
-				}
-				if err := p.stream(sources[i], batches, sink); err != nil {
-					errs[w] = err
-					return
-				}
+// job lowers one pipeline into a scheduler job. The split decision is
+// deferred to the job's Prepare hook — it runs when every dependency
+// has finished, which is the earliest moment a source over
+// dependency-built state (an HTScan of a hash table the previous
+// pipeline builds, a scan of a freshly spilled temp table) can count
+// its morsels. Splittable sources with mergeable sinks become one task
+// per morsel streaming into per-worker sinks; everything else becomes
+// a single task running the pipeline serially (unsplittable source,
+// single morsel, or a sink with no parallel merge strategy).
+func (p *Pipeline) job(par Parallelism) *sched.Job {
+	return &sched.Job{
+		Label: fmt.Sprintf("pipeline(%T->%T)", p.Source, p.Sink),
+		Prepare: func(j *sched.Job) error {
+			j.NTasks = 1
+			j.Run = func(int, int) error { return p.Run() }
+			ms, ok := p.Source.(MorselSource)
+			if !ok {
+				return nil
 			}
-		}(w)
+			sources := ms.Morsels(par.MorselRows, par.Workers)
+			if len(sources) < 2 {
+				return nil
+			}
+			merge := mergeSinkFor(p.Sink, par.Workers)
+			if merge == nil {
+				return nil
+			}
+			// Worker contexts are allocated eagerly, one per pool slot:
+			// allocation work stays deterministic however the morsels
+			// end up distributed (CI gates allocs/op across machines
+			// with different core counts).
+			ctxs := make([]*workerCtx, par.Workers)
+			for w := range ctxs {
+				ctxs[w] = &workerCtx{batches: p.newBatches(), sink: merge.worker(w)}
+			}
+			j.NTasks = len(sources)
+			j.Run = func(w, i int) error {
+				// Slot w is only ever touched by worker w.
+				c := ctxs[w]
+				return p.stream(sources[i], c.batches, c.sink)
+			}
+			j.Finish = func() error {
+				merge.merge()
+				p.Sink.Finish()
+				return nil
+			}
+			return nil
+		},
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	merge.merge()
-	p.Sink.Finish()
-	return nil
+}
+
+// workerCtx is one worker's private streaming state for one job: the
+// per-stage batches and the per-worker partial sink.
+type workerCtx struct {
+	batches []*storage.Batch
+	sink    Sink
 }
 
 // mergeSink adapts a pipeline sink for parallel consumption: worker(w)
 // returns an independent sink for worker w; merge folds the worker
-// results into the adapted sink after all workers finish.
+// results into the adapted sink after the last morsel. Partials are
+// created eagerly for every pool slot (the runner requests each one at
+// Prepare), keeping allocation work deterministic however the morsels
+// end up distributed.
 type mergeSink interface {
 	worker(w int) Sink
 	merge()
 }
 
 // mergeSinkFor returns the parallel adapter for a sink, or nil when the
-// sink type has no parallel strategy (TempTable, Multi — those
-// pipelines run serially).
+// sink type has no parallel strategy and the pipeline must run as one
+// serial task. Multi fans out to an adapter per child and parallelizes
+// whenever every child does — the multi-sink grouping spines of shared
+// plans build all their grouping tables from one scheduled scan.
 func mergeSinkFor(s Sink, nw int) mergeSink {
 	switch s := s.(type) {
 	case *BuildHT:
@@ -123,6 +161,12 @@ func mergeSinkFor(s Sink, nw int) mergeSink {
 		return newParallelAgg(s, nw)
 	case *Collect:
 		return newParallelCollect(s, nw)
+	case *TempTable:
+		return newParallelTemp(s, nw)
+	case *Multi:
+		if pm := newParallelMulti(s, nw); pm != nil {
+			return pm
+		}
 	}
 	return nil
 }
@@ -250,6 +294,66 @@ func (pc *parallelCollect) worker(w int) Sink { return pc.parts[w] }
 func (pc *parallelCollect) merge() {
 	for _, part := range pc.parts {
 		pc.target.Rows = append(pc.target.Rows, part.Rows...)
+	}
+}
+
+// parallelTemp spills each worker's rows into a private table and
+// concatenates the columns at merge. Row order is worker-dependent
+// (materialized relations are unordered — reuse re-scans them whole).
+type parallelTemp struct {
+	target *TempTable
+	parts  []*TempTable
+}
+
+func newParallelTemp(t *TempTable, nw int) *parallelTemp {
+	pt := &parallelTemp{target: t, parts: make([]*TempTable, nw)}
+	for w := range pt.parts {
+		pt.parts[w] = NewTempTable(fmt.Sprintf("%s_w%d", t.Table.Name, w), t.Schema)
+	}
+	return pt
+}
+
+func (pt *parallelTemp) worker(w int) Sink { return pt.parts[w] }
+
+func (pt *parallelTemp) merge() {
+	for _, part := range pt.parts {
+		for c := range pt.target.Table.Cols {
+			pt.target.Table.Cols[c].AppendColumn(part.Table.Cols[c])
+		}
+	}
+}
+
+// parallelMulti fans each worker's stream out to one partial per child
+// sink; merge folds every child in declaration order.
+type parallelMulti struct {
+	children []mergeSink
+	workers  []*Multi
+}
+
+func newParallelMulti(m *Multi, nw int) *parallelMulti {
+	pm := &parallelMulti{children: make([]mergeSink, len(m.Sinks)), workers: make([]*Multi, nw)}
+	for i, s := range m.Sinks {
+		child := mergeSinkFor(s, nw)
+		if child == nil {
+			return nil
+		}
+		pm.children[i] = child
+	}
+	for w := range pm.workers {
+		sinks := make([]Sink, len(pm.children))
+		for i, child := range pm.children {
+			sinks[i] = child.worker(w)
+		}
+		pm.workers[w] = &Multi{Sinks: sinks}
+	}
+	return pm
+}
+
+func (pm *parallelMulti) worker(w int) Sink { return pm.workers[w] }
+
+func (pm *parallelMulti) merge() {
+	for _, child := range pm.children {
+		child.merge()
 	}
 }
 

@@ -93,7 +93,7 @@ func TestTableScanMorselsCoverAllRows(t *testing.T) {
 			serial := runToCollect(t, mk())
 
 			src := mk()
-			morsels := src.Morsels(1024)
+			morsels := src.Morsels(1024, 1)
 			if len(morsels) < 2 {
 				t.Fatalf("expected several morsels, got %d", len(morsels))
 			}
@@ -271,7 +271,9 @@ func TestParallelFallbacks(t *testing.T) {
 		t.Fatalf("fallback produced %d groups, want 10", len(htRows(t, ht)))
 	}
 
-	// TempTable sink has no parallel merge → serial fallback.
+	// TempTable sinks merge per-worker spills since the scheduler
+	// landed; a tiny input still collapses to one morsel and must stay
+	// correct through the single-task path.
 	src, err := NewTableScan(tbl, "b", nil, []string{"b_key"})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,417 @@
+// Package sched is the execution engine's work-stealing morsel
+// scheduler. A query compiles into jobs — one per pipeline — whose
+// tasks (morsels) are range-partitioned across per-worker deques.
+// Workers pop their own deque LIFO (the hot end stays cache-resident)
+// and steal FIFO from victims when they drain, so an unbalanced
+// partition (a selective residual box, a short index run) never idles
+// a core the way the old single shared atomic dispenser could only fix
+// by global contention.
+//
+// Jobs form a dependency DAG: a job's tasks enter the deques only
+// after every dependency has finished (merged its partial sinks and
+// run its Finish hook). Independent pipelines — the build sides of
+// different joins, per-query readouts of a shared batch — therefore
+// execute concurrently instead of in strict compile order; dependent
+// ones (a probe on its build sink, a temp-table consumer on its
+// producer) are still strictly ordered.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one schedulable unit: NTasks independent tasks plus an
+// optional Finish hook that runs exactly once after the last task
+// completes (pipeline sinks merge their per-worker partials there).
+type Job struct {
+	// Label names the job in errors (typically the pipeline's shape).
+	Label string
+	// Prepare runs once when the job becomes ready — after every
+	// dependency finished, before any task is seeded — and may set
+	// NTasks/Run/Finish from state the dependencies produced. A
+	// pipeline scanning a hash table built by an earlier pipeline can
+	// only count its morsels here: at plan time the table is empty.
+	// Nil for fully static jobs.
+	Prepare func(j *Job) error
+	// NTasks is the number of independent tasks (morsels). Zero-task
+	// jobs finish immediately once their dependencies do.
+	NTasks int
+	// Run executes task task on worker worker (0 <= worker < Workers).
+	// Tasks of one job may run concurrently on different workers; the
+	// worker index is stable within a task and distinct across
+	// concurrently-running tasks, so per-worker state needs no locks.
+	Run func(worker, task int) error
+	// Finish runs once after the last task, on whichever worker
+	// completed it; the scheduler guarantees every Run result is
+	// visible to it. Nil is allowed.
+	Finish func() error
+	// Deps lists job indexes that must finish before this job's tasks
+	// become runnable.
+	Deps []int
+}
+
+// Options configures a scheduler run.
+type Options struct {
+	// Workers is the pool size; values <= 1 execute the DAG on the
+	// calling goroutine in dependency order.
+	Workers int
+	// NoSteal disables stealing (workers consume only their own seeded
+	// partitions; an ablation knob, not a fast path).
+	NoSteal bool
+}
+
+// task addresses one unit of work.
+type task struct {
+	job int
+	idx int
+}
+
+// deque is one worker's queue. Local pops take the tail (LIFO — the
+// most recently pushed morsel is the one whose pages are warm), steals
+// take the head (FIFO — the oldest work, farthest from the owner's
+// cursor). A mutex suffices: morsels are tens of thousands of rows, so
+// the queue is touched orders of magnitude less often than the data.
+type deque struct {
+	mu    sync.Mutex
+	items []task
+}
+
+func (d *deque) push(ts ...task) {
+	d.mu.Lock()
+	d.items = append(d.items, ts...)
+	d.mu.Unlock()
+}
+
+func (d *deque) pop() (task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return task{}, false
+	}
+	t := d.items[n-1]
+	d.items = d.items[:n-1]
+	return t, true
+}
+
+func (d *deque) steal() (task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return task{}, false
+	}
+	t := d.items[0]
+	d.items = d.items[1:]
+	return t, true
+}
+
+// jobState is a Job plus its runtime counters.
+type jobState struct {
+	job        *Job
+	remaining  atomic.Int64 // tasks not yet completed
+	pending    atomic.Int64 // unfinished dependencies
+	seeded     atomic.Bool  // spread already ran for this job
+	dependents []int
+}
+
+type scheduler struct {
+	jobs    []*jobState
+	deques  []deque
+	workers int
+	steal   bool
+
+	// mu guards gen/doneJobs/done/err; cond parks idle workers.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	gen      uint64 // bumped whenever tasks are pushed
+	doneJobs int
+	done     bool
+	err      error
+	failed   atomic.Bool
+}
+
+// Run executes the job DAG and blocks until every job finished or one
+// failed (the first error is returned; queued work is abandoned). The
+// DAG must be acyclic and dependency indexes in range.
+func Run(jobs []*Job, opts Options) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	order, err := topoOrder(jobs)
+	if err != nil {
+		return err
+	}
+	if opts.Workers <= 1 {
+		return runSerial(jobs, order)
+	}
+
+	s := &scheduler{
+		jobs:    make([]*jobState, len(jobs)),
+		deques:  make([]deque, opts.Workers),
+		workers: opts.Workers,
+		steal:   !opts.NoSteal,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i, j := range jobs {
+		s.jobs[i] = &jobState{job: j}
+		s.jobs[i].pending.Store(int64(len(j.Deps)))
+	}
+	for i, j := range jobs {
+		for _, d := range j.Deps {
+			s.jobs[d].dependents = append(s.jobs[d].dependents, i)
+		}
+	}
+	for i, js := range s.jobs {
+		if js.pending.Load() == 0 {
+			s.spread(i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.worker(w)
+		}(w)
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// runSerial executes the DAG on the calling goroutine in topological
+// order — the Workers <= 1 path, equivalent to the serial runner.
+func runSerial(jobs []*Job, order []int) error {
+	for _, ji := range order {
+		j := jobs[ji]
+		if j.Prepare != nil {
+			if err := j.Prepare(j); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < j.NTasks; i++ {
+			if err := j.Run(0, i); err != nil {
+				return err
+			}
+		}
+		if j.Finish != nil {
+			if err := j.Finish(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// topoOrder validates dependency indexes and acyclicity, returning a
+// topological order (Kahn).
+func topoOrder(jobs []*Job) ([]int, error) {
+	indeg := make([]int, len(jobs))
+	dependents := make([][]int, len(jobs))
+	for i, j := range jobs {
+		for _, d := range j.Deps {
+			if d < 0 || d >= len(jobs) {
+				return nil, fmt.Errorf("sched: job %d (%s) depends on out-of-range job %d", i, j.Label, d)
+			}
+			if d == i {
+				return nil, fmt.Errorf("sched: job %d (%s) depends on itself", i, j.Label)
+			}
+			indeg[i]++
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	order := make([]int, 0, len(jobs))
+	var ready []int
+	for i := range jobs {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, i)
+		for _, d := range dependents[i] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if len(order) != len(jobs) {
+		return nil, fmt.Errorf("sched: dependency cycle among %d jobs", len(jobs)-len(order))
+	}
+	return order, nil
+}
+
+// spread seeds a ready job: Prepare finalizes its task list (every
+// dependency has finished, so dependency-produced state — a built hash
+// table's entry count — is now visible), then the tasks are
+// range-partitioned into one contiguous chunk per worker (morsel i and
+// i+1 usually cover adjacent row ranges, so a worker's chunk walks the
+// table sequentially) and the workers are woken. Zero-task jobs finish
+// on the spot. Idempotent: a zero-task job finishing during the
+// startup seeding loop can release a dependent the loop itself is
+// about to visit, and only the first spread may seed it.
+func (s *scheduler) spread(ji int) {
+	js := s.jobs[ji]
+	if !js.seeded.CompareAndSwap(false, true) {
+		return
+	}
+	if js.job.Prepare != nil && !s.failed.Load() {
+		if err := js.job.Prepare(js.job); err != nil {
+			s.fail(err)
+		}
+	}
+	if s.failed.Load() {
+		s.finishJob(ji)
+		return
+	}
+	n := js.job.NTasks
+	js.remaining.Store(int64(n))
+	if n == 0 {
+		s.finishJob(ji)
+		return
+	}
+	// Start the chunk placement at a job-dependent deque so a wave of
+	// small jobs (single-task serial fallbacks) spreads across the
+	// pool instead of piling onto worker 0.
+	chunk := (n + s.workers - 1) / s.workers
+	for k, lo := 0, 0; lo < n; k, lo = k+1, lo+chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		ts := make([]task, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			ts = append(ts, task{job: ji, idx: i})
+		}
+		s.deques[(ji+k)%s.workers].push(ts...)
+	}
+	s.mu.Lock()
+	s.gen++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// worker is one pool goroutine: drain the local deque, steal when it
+// runs dry, park when the whole pool looks empty.
+func (s *scheduler) worker(w int) {
+	for {
+		t, ok := s.next(w)
+		if !ok {
+			return
+		}
+		s.exec(w, t)
+	}
+}
+
+// next finds the next task for worker w or reports completion. The
+// park protocol is generation-based: read gen, re-poll every queue,
+// then sleep only while gen is unchanged — a push after the re-poll
+// necessarily bumps gen after our read, so the sleep condition is
+// already false and no wakeup is lost.
+func (s *scheduler) next(w int) (task, bool) {
+	for {
+		if t, ok := s.poll(w); ok {
+			return t, true
+		}
+		s.mu.Lock()
+		g := s.gen
+		done := s.done
+		s.mu.Unlock()
+		if done {
+			return task{}, false
+		}
+		if t, ok := s.poll(w); ok {
+			return t, true
+		}
+		s.mu.Lock()
+		for s.gen == g && !s.done {
+			s.cond.Wait()
+		}
+		done = s.done
+		s.mu.Unlock()
+		if done {
+			return task{}, false
+		}
+	}
+}
+
+// poll tries the local deque (LIFO) then every victim (FIFO steal).
+func (s *scheduler) poll(w int) (task, bool) {
+	if t, ok := s.deques[w].pop(); ok {
+		return t, true
+	}
+	if !s.steal {
+		return task{}, false
+	}
+	for i := 1; i < s.workers; i++ {
+		if t, ok := s.deques[(w+i)%s.workers].steal(); ok {
+			return t, true
+		}
+	}
+	return task{}, false
+}
+
+// exec runs one task and completes its job when it was the last. After
+// a failure tasks are skipped (not run), but their counters still
+// drain so completion bookkeeping stays consistent.
+func (s *scheduler) exec(w int, t task) {
+	js := s.jobs[t.job]
+	if !s.failed.Load() {
+		if err := js.job.Run(w, t.idx); err != nil {
+			s.fail(err)
+		}
+	}
+	// The atomic decrement orders every worker's writes (per-worker
+	// sink state) before the finisher's merge.
+	if js.remaining.Add(-1) == 0 {
+		s.finishJob(t.job)
+	}
+}
+
+// finishJob merges/finishes a completed job and releases dependents
+// whose last dependency this was.
+func (s *scheduler) finishJob(ji int) {
+	js := s.jobs[ji]
+	if !s.failed.Load() && js.job.Finish != nil {
+		if err := js.job.Finish(); err != nil {
+			s.fail(err)
+		}
+	}
+	if !s.failed.Load() {
+		for _, d := range js.dependents {
+			if s.jobs[d].pending.Add(-1) == 0 {
+				s.spread(d)
+			}
+		}
+	}
+	s.mu.Lock()
+	s.doneJobs++
+	if s.doneJobs == len(s.jobs) && !s.done {
+		s.done = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// fail records the first error and stops the pool: queued tasks are
+// skipped, parked workers wake and exit.
+func (s *scheduler) fail(err error) {
+	s.failed.Store(true)
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	if !s.done {
+		s.done = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}

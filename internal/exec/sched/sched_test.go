@@ -1,0 +1,290 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestJobCompletesAllTasks: every task of a single job runs exactly
+// once, then Finish runs once.
+func TestJobCompletesAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			ran := make([]atomic.Int64, n)
+			var finished atomic.Int64
+			job := &Job{
+				NTasks: n,
+				Run: func(w, i int) error {
+					ran[i].Add(1)
+					return nil
+				},
+				Finish: func() error { finished.Add(1); return nil },
+			}
+			if err := Run([]*Job{job}, Options{Workers: workers}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range ran {
+				if got := ran[i].Load(); got != 1 {
+					t.Fatalf("task %d ran %d times", i, got)
+				}
+			}
+			if finished.Load() != 1 {
+				t.Fatalf("Finish ran %d times", finished.Load())
+			}
+		})
+	}
+}
+
+// TestDependencyOrder: a dependent job's tasks must observe every
+// dependency task and its Finish hook as completed.
+func TestDependencyOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var depDone, depFinished atomic.Bool
+			var violations atomic.Int64
+			dep := &Job{
+				Label:  "dep",
+				NTasks: 50,
+				Run: func(w, i int) error {
+					if i == 49 {
+						depDone.Store(true)
+					}
+					return nil
+				},
+				Finish: func() error { depFinished.Store(true); return nil },
+			}
+			// The last dep task index isn't necessarily the last to run,
+			// so the dependent only checks the Finish flag — the real
+			// ordering guarantee.
+			cons := &Job{
+				Label:  "consumer",
+				NTasks: 50,
+				Run: func(w, i int) error {
+					if !depFinished.Load() {
+						violations.Add(1)
+					}
+					return nil
+				},
+				Deps: []int{0},
+			}
+			if err := Run([]*Job{dep, cons}, Options{Workers: workers}); err != nil {
+				t.Fatal(err)
+			}
+			if v := violations.Load(); v != 0 {
+				t.Fatalf("%d consumer tasks ran before the dependency finished", v)
+			}
+		})
+	}
+}
+
+// TestDiamondDAG: two independent middle jobs run between a shared
+// producer and a shared consumer.
+func TestDiamondDAG(t *testing.T) {
+	var order sync.Map
+	var clock atomic.Int64
+	stamp := func(label string) func() error {
+		return func() error {
+			order.Store(label, clock.Add(1))
+			return nil
+		}
+	}
+	mk := func(label string, deps ...int) *Job {
+		return &Job{
+			Label:  label,
+			NTasks: 8,
+			Run:    func(w, i int) error { return nil },
+			Finish: stamp(label),
+			Deps:   deps,
+		}
+	}
+	jobs := []*Job{mk("src"), mk("left", 0), mk("right", 0), mk("sink", 1, 2)}
+	if err := Run(jobs, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string) int64 {
+		v, ok := order.Load(label)
+		if !ok {
+			t.Fatalf("job %s never finished", label)
+		}
+		return v.(int64)
+	}
+	if get("src") > get("left") || get("src") > get("right") {
+		t.Fatal("source finished after a middle job")
+	}
+	if get("sink") < get("left") || get("sink") < get("right") {
+		t.Fatal("sink finished before a middle job")
+	}
+}
+
+// TestStealStorm floods many tiny tasks through a deliberately skewed
+// seed (all tasks of each job land in few chunks) and checks, under
+// -race, that stealing spreads them without dropping or duplicating
+// any.
+func TestStealStorm(t *testing.T) {
+	const jobs, tasks = 20, 257
+	counts := make([][]atomic.Int64, jobs)
+	js := make([]*Job, jobs)
+	var total atomic.Int64
+	for j := range js {
+		counts[j] = make([]atomic.Int64, tasks)
+		j := j
+		js[j] = &Job{
+			Label:  fmt.Sprintf("storm%d", j),
+			NTasks: tasks,
+			Run: func(w, i int) error {
+				counts[j][i].Add(1)
+				total.Add(1)
+				return nil
+			},
+		}
+		if j > 0 && j%5 == 0 {
+			// A sprinkle of edges so readiness changes mid-storm.
+			js[j].Deps = []int{j - 1}
+		}
+	}
+	if err := Run(js, Options{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := total.Load(); got != jobs*tasks {
+		t.Fatalf("ran %d tasks, want %d", got, jobs*tasks)
+	}
+	for j := range counts {
+		for i := range counts[j] {
+			if got := counts[j][i].Load(); got != 1 {
+				t.Fatalf("job %d task %d ran %d times", j, i, got)
+			}
+		}
+	}
+}
+
+// TestNoSteal: with stealing disabled everything still completes (the
+// seeding partitions cover every worker).
+func TestNoSteal(t *testing.T) {
+	var total atomic.Int64
+	job := &Job{
+		NTasks: 64,
+		Run:    func(w, i int) error { total.Add(1); return nil },
+	}
+	if err := Run([]*Job{job}, Options{Workers: 4, NoSteal: true}); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 64 {
+		t.Fatalf("ran %d tasks, want 64", total.Load())
+	}
+}
+
+// TestErrorPropagation: the first task error surfaces and dependents
+// never start.
+func TestErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var depStarted atomic.Bool
+			fail := &Job{
+				Label:  "fail",
+				NTasks: 16,
+				Run: func(w, i int) error {
+					if i == 7 {
+						return boom
+					}
+					return nil
+				},
+			}
+			after := &Job{
+				Label:  "after",
+				NTasks: 4,
+				Run:    func(w, i int) error { depStarted.Store(true); return nil },
+				Deps:   []int{0},
+			}
+			err := Run([]*Job{fail, after}, Options{Workers: workers})
+			if !errors.Is(err, boom) {
+				t.Fatalf("got %v, want boom", err)
+			}
+			if depStarted.Load() {
+				t.Fatal("dependent ran after its dependency failed")
+			}
+		})
+	}
+}
+
+// TestFinishError: a Finish failure surfaces like a task failure.
+func TestFinishError(t *testing.T) {
+	boom := errors.New("merge failed")
+	job := &Job{
+		NTasks: 8,
+		Run:    func(w, i int) error { return nil },
+		Finish: func() error { return boom },
+	}
+	if err := Run([]*Job{job}, Options{Workers: 4}); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want merge failure", err)
+	}
+}
+
+// TestZeroTaskJob: jobs without tasks still run Finish and release
+// dependents — and a dependent released while the startup seeding loop
+// is still walking the job list must be seeded exactly once (its tasks
+// and Finish must not run twice).
+func TestZeroTaskJob(t *testing.T) {
+	var finished, after, afterFinished atomic.Int64
+	jobs := []*Job{
+		{Label: "empty", NTasks: 0, Finish: func() error { finished.Add(1); return nil }},
+		{
+			Label:  "after",
+			NTasks: 1,
+			Run:    func(w, i int) error { after.Add(1); return nil },
+			Finish: func() error { afterFinished.Add(1); return nil },
+			Deps:   []int{0},
+		},
+	}
+	if err := Run(jobs, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if finished.Load() != 1 || after.Load() != 1 || afterFinished.Load() != 1 {
+		t.Fatalf("finished=%d after=%d afterFinished=%d, want 1/1/1",
+			finished.Load(), after.Load(), afterFinished.Load())
+	}
+}
+
+// TestCycleDetected: dependency cycles are rejected up front.
+func TestCycleDetected(t *testing.T) {
+	jobs := []*Job{
+		{Label: "a", NTasks: 1, Run: func(w, i int) error { return nil }, Deps: []int{1}},
+		{Label: "b", NTasks: 1, Run: func(w, i int) error { return nil }, Deps: []int{0}},
+	}
+	if err := Run(jobs, Options{Workers: 4}); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := Run(jobs, Options{Workers: 1}); err == nil {
+		t.Fatal("cycle not detected on the serial path")
+	}
+	self := []*Job{{Label: "self", NTasks: 1, Run: func(w, i int) error { return nil }, Deps: []int{0}}}
+	if err := Run(self, Options{Workers: 4}); err == nil {
+		t.Fatal("self-dependency not detected")
+	}
+}
+
+// TestWorkerIndexInRange: the worker index handed to Run is always a
+// valid per-worker-state slot.
+func TestWorkerIndexInRange(t *testing.T) {
+	const workers = 5
+	var bad atomic.Int64
+	job := &Job{
+		NTasks: 200,
+		Run: func(w, i int) error {
+			if w < 0 || w >= workers {
+				bad.Add(1)
+			}
+			return nil
+		},
+	}
+	if err := Run([]*Job{job}, Options{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() != 0 {
+		t.Fatalf("%d tasks saw an out-of-range worker index", bad.Load())
+	}
+}

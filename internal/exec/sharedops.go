@@ -134,12 +134,13 @@ func (s *SharedScan) Next(out *storage.Batch) bool {
 // independent morsels that share the (read-only) per-query matchers, so
 // shared-plan scan pipelines parallelize like ordinary scans. It returns
 // nil when a box fails to bind; the serial fallback surfaces the error.
-func (s *SharedScan) Morsels(rows int) []Source {
+func (s *SharedScan) Morsels(rows, workers int) []Source {
 	if err := s.resolveMatchers(); err != nil {
 		return nil
 	}
 	var out []Source
-	for _, m := range storage.MorselRange(s.Table.NumRows(), rows) {
+	n := s.Table.NumRows()
+	for _, m := range storage.MorselRange(n, storage.BalancedMorselRows(n, rows, workers)) {
 		out = append(out, &sharedScanMorsel{scan: s, m: m})
 	}
 	return out

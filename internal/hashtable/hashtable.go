@@ -673,6 +673,22 @@ func (t *Table) StoreColumn(col int, vals []uint64) {
 	t.overlay = vals
 }
 
+// DropOverlay eagerly releases the overlay column StoreColumn installed
+// on a widened table — one uint64 per slot, the batch-local qid masks
+// of a shared plan's re-tag. A shared batch calls this the moment its
+// pipelines drain instead of holding the masks until the whole widened
+// copy becomes garbage; reads of the column afterwards see the frozen
+// base's stale cells, so this must only run once nothing will read the
+// tags again. No-op when no overlay is installed.
+func (t *Table) DropOverlay() {
+	t.mustMutate("DropOverlay")
+	t.overlayCol = -1
+	t.overlay = nil
+}
+
+// HasOverlay reports whether an overlay column is installed.
+func (t *Table) HasOverlay() bool { return t.overlay != nil }
+
 // CellValue decodes cell col of entry e as a typed value using the
 // layout's kind (strings resolve through the heap).
 func (t *Table) CellValue(e int32, col int) types.Value {

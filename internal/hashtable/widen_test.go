@@ -230,6 +230,47 @@ func TestStoreColumnOverlay(t *testing.T) {
 	}
 }
 
+func TestDropOverlayReclaimsEagerly(t *testing.T) {
+	base := buildWidenBase(200)
+	w := base.Widen()
+	vals := make([]uint64, w.Slots())
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	w.StoreColumn(2, vals)
+	if !w.HasOverlay() {
+		t.Fatal("StoreColumn on a widened table must install an overlay")
+	}
+	withOverlay := w.ByteSize()
+	w.DropOverlay()
+	if w.HasOverlay() {
+		t.Fatal("overlay still installed after DropOverlay")
+	}
+	if shrunk := withOverlay - w.ByteSize(); shrunk != int64(len(vals))*8 {
+		t.Fatalf("DropOverlay reclaimed %d bytes, want %d", shrunk, len(vals)*8)
+	}
+	// Reads fall back to the shared base cells (stale tags — callers
+	// only drop once nothing reads the column again).
+	if got := w.CellValue(7, 2).F; got != 7 {
+		t.Fatalf("post-drop cell = %v, want base value 7", got)
+	}
+	// Dropping is idempotent and a no-op on tables without overlays.
+	w.DropOverlay()
+	root := buildWidenBase(10)
+	root.DropOverlay()
+
+	// A frozen table must reject the drop like any other mutation.
+	frozen := buildWidenBase(10).Widen()
+	frozen.StoreColumn(2, make([]uint64, frozen.Slots()))
+	frozen.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DropOverlay on a frozen table did not panic")
+		}
+	}()
+	frozen.DropOverlay()
+}
+
 func TestWidenMergeGroupsPromotes(t *testing.T) {
 	// Aggregate-style table: key + one sum cell.
 	layout := Layout{

@@ -31,6 +31,13 @@ type Engine struct {
 	Cat   *catalog.Catalog
 	Cache *TempCache
 
+	// Par configures morsel-driven execution of the baseline's
+	// pipelines. The zero value runs serially; with workers the
+	// pipeline DAG orders spills before their re-scans (a temp-table
+	// consumer depends on its producer) while independent build sides
+	// run concurrently.
+	Par exec.Parallelism
+
 	// planner supplies join trees; it never reuses hash tables and its
 	// own cache stays empty.
 	planner *optimizer.Optimizer
@@ -202,6 +209,11 @@ func newTempScan(e *TempEntry, filter expr.Box) (*tempScan, error) {
 func (s *tempScan) Schema() storage.Schema { return s.entry.Schema }
 func (s *tempScan) Open() error            { s.pos = 0; return nil }
 
+// PipelineReads implements exec.ResourceReader: a fresh aggregation
+// spills its readout to a temp table and re-reads it in the same plan,
+// so the scan must wait for the spill pipeline's sink.
+func (s *tempScan) PipelineReads() []any { return []any{s.entry.Table} }
+
 func (s *tempScan) Next(out *storage.Batch) bool {
 	n := s.entry.Table.NumRows()
 	produced := 0
@@ -256,7 +268,7 @@ func (e *Engine) Run(q *plan.Query) (*optimizer.Result, error) {
 		return nil, compileErr
 	}
 	t0 := time.Now()
-	if err := exec.Run(c.pipelines); err != nil {
+	if err := exec.RunParallel(c.pipelines, e.Par); err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(t0)

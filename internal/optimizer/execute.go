@@ -55,8 +55,10 @@ func (o *Optimizer) Run(q *plan.Query) (*Result, error) {
 
 	t1 := time.Now()
 	runErr := exec.RunParallel(compiled.Pipelines, exec.Parallelism{
-		Workers:    o.Opts.Parallelism,
-		MorselRows: o.Opts.MorselRows,
+		Workers:         o.Opts.Parallelism,
+		MorselRows:      o.Opts.MorselRows,
+		SerialPipelines: o.Opts.SerialPipelines,
+		NoSteal:         o.Opts.NoSteal,
 	})
 	execTime := time.Since(t1)
 

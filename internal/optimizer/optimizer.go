@@ -84,6 +84,12 @@ type Options struct {
 	// MorselRows overrides the morsel granularity (<= 0 uses
 	// storage.DefaultMorselRows).
 	MorselRows int
+	// SerialPipelines disables inter-pipeline parallelism (the
+	// scheduler runs pipelines in strict compile order); ablation knob.
+	SerialPipelines bool
+	// NoSteal disables work stealing between worker deques; ablation
+	// knob.
+	NoSteal bool
 }
 
 // DefaultOptions returns the HashStash defaults.

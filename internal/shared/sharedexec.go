@@ -27,10 +27,14 @@ type groupExec struct {
 	pipelines []*exec.Pipeline
 	pinned    []*htcache.Entry
 	created   []*htcache.Entry
-	collects  []*exec.Collect // one per query (aggregate path)
-	spineOut  *exec.Collect   // SPJ path: shared output split by qid
-	columns   [][]string
-	reused    int // shared tables reused (after re-tag)
+	// retagged are the private widened copies this batch re-tagged; the
+	// overlay qid columns they carry are batch-local and reclaimed
+	// eagerly once the pipelines drain.
+	retagged []*hashtable.Table
+	collects []*exec.Collect // one per query (aggregate path)
+	spineOut *exec.Collect   // SPJ path: shared output split by qid
+	columns  [][]string
+	reused   int // shared tables reused (after re-tag)
 }
 
 // runSharedGroup executes queries[group...] with one shared plan,
@@ -68,17 +72,28 @@ func (s *Optimizer) runSharedGroup(queries []*plan.Query, group []int) ([]*optim
 	// scans split into morsels and build sinks merge per-worker partial
 	// tables. The workers only mutate the group's own (fresh or widened,
 	// both private) tables, so no cross-query coordination is needed.
-	// Pipelines without a parallel strategy (Multi-sink grouping spines)
-	// fall back to serial execution inside RunParallel.
+	// Multi-sink grouping spines split like ordinary scans (every child
+	// sink merges per-worker partials), and the per-query readout
+	// pipelines — independent in the pipeline DAG — run concurrently
+	// once their grouping table's build finishes.
 	t0 := time.Now()
 	runErr := exec.RunParallel(g.pipelines, exec.Parallelism{
-		Workers:    s.Single.Opts.Parallelism,
-		MorselRows: s.Single.Opts.MorselRows,
+		Workers:         s.Single.Opts.Parallelism,
+		MorselRows:      s.Single.Opts.MorselRows,
+		SerialPipelines: s.Single.Opts.SerialPipelines,
+		NoSteal:         s.Single.Opts.NoSteal,
 	})
 	elapsed := time.Since(t0)
 	if runErr != nil {
 		g.discardAll()
 		return nil, runErr
+	}
+	// Nothing reads the batch-local qid tags after the pipelines drain
+	// (results live in the collect sinks), so the overlay columns on
+	// re-tagged widened copies — one uint64 per slot — are reclaimed
+	// now instead of when the whole copy becomes garbage.
+	for _, ht := range g.retagged {
+		ht.DropOverlay()
 	}
 	g.releaseAll()
 	return g.collectResults(elapsed)
@@ -306,6 +321,7 @@ func (g *groupExec) obtainSharedJoinHT(n *optimizer.Node) (*hashtable.Table, []i
 		}
 		cache.Pin(cand)
 		g.pinned = append(g.pinned, cand)
+		g.retagged = append(g.retagged, widened)
 		ht = widened
 		qidCol = cand.Lineage.QidCol
 		g.reused++

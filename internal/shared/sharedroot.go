@@ -272,6 +272,7 @@ func (g *groupExec) tryReuseGrouping(ag *aggGroup) bool {
 		}
 		cache.Pin(cand)
 		g.pinned = append(g.pinned, cand)
+		g.retagged = append(g.retagged, widened)
 		ag.grouping = widened
 		ag.qidCol = cand.Lineage.QidCol
 		ag.reuse = true

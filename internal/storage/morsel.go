@@ -43,3 +43,40 @@ func MorselRange(n, size int) []Morsel {
 func (t *Table) Morsels(size int) []Morsel {
 	return MorselRange(t.NumRows(), size)
 }
+
+// MinMorselRows floors the balanced morsel granularity: below ~1K rows
+// per-morsel scheduling overhead starts to show against the scan work
+// itself.
+const MinMorselRows = 1024
+
+// stealFactor is the target number of morsels per worker when
+// balancing: enough slack that a worker finishing early always finds
+// victims with stealable tails, few enough that locality survives.
+const stealFactor = 4
+
+// BalancedMorselRows is the work-stealing partitioning hint: the
+// configured morsel size when [0, n) already yields enough morsels to
+// balance a pool of workers, otherwise a finer granularity targeting
+// stealFactor morsels per worker. The automatic shrink floors at
+// MinMorselRows; an explicitly smaller configured size is respected
+// (tests and benchmarks force fine morsels that way). Sources pass
+// their row counts through this before chunking so short scans — a
+// selective residual box, a small index run — still split into
+// stealable units instead of one morsel per core.
+func BalancedMorselRows(n, size, workers int) int {
+	if size <= 0 {
+		size = DefaultMorselRows
+	}
+	if workers <= 1 || n <= 0 {
+		return size
+	}
+	if target := n / (stealFactor * workers); target < size {
+		if target < MinMorselRows {
+			target = MinMorselRows
+		}
+		if target < size {
+			size = target
+		}
+	}
+	return size
+}
