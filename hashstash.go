@@ -124,6 +124,8 @@ type config struct {
 	morselRows      int
 	serialPipelines bool
 	noSteal         bool
+	noBucketRehash  bool
+	rehashBudget    int
 }
 
 // WithCacheBudget bounds the hash-table cache (bytes); the garbage
@@ -177,6 +179,20 @@ func WithoutInterPipelineParallelism() Option {
 // measuring what stealing buys on skewed partitions.
 func WithoutWorkStealing() Option { return func(c *config) { c.noSteal = true } }
 
+// WithoutBucketRehash disables incremental bucket maintenance of
+// widened cached tables: delta-heavy and tombstone-heavy bucket chains
+// are no longer rewritten into table-owned arenas on widening and
+// publication, and deep segment chains fall back to the all-or-nothing
+// compaction clone. Ablation knob for measuring what incremental
+// rehash buys on reuse-heavy workloads.
+func WithoutBucketRehash() Option { return func(c *config) { c.noBucketRehash = true } }
+
+// WithRehashBudget caps the chain nodes each bucket-maintenance pass
+// may walk (the amortization grain of incremental rehash); 0 uses the
+// default (hashtable.DefaultRehashBudget). Mostly useful in tests and
+// benchmarks.
+func WithRehashBudget(nodes int) Option { return func(c *config) { c.rehashBudget = nodes } }
+
 // DB is a HashStash database instance. Exec and ExecBatch are safe for
 // concurrent use; schema changes — LoadTPCH, CreateTable, InsertRows,
 // BuildIndex — must not run concurrently with queries.
@@ -223,7 +239,10 @@ func Open(opts ...Option) *DB {
 		MorselRows:        cfg.morselRows,
 		SerialPipelines:   cfg.serialPipelines,
 		NoSteal:           cfg.noSteal,
+		NoBucketRehash:    cfg.noBucketRehash,
+		RehashBudget:      cfg.rehashBudget,
 	})
+	cache.SetRehash(!cfg.noBucketRehash, cfg.rehashBudget)
 	mat := matreuse.NewEngine(cat, cfg.budget)
 	mat.Par = exec.Parallelism{
 		Workers:         cfg.parallelism,

@@ -379,23 +379,15 @@ func (s *HTScan) Open() error {
 }
 
 // emitEntries filters the candidate entry range [start, end) through
-// liveness (slots tombstoned by a widened table's shadow promotions),
-// the qid mask and the post-filter, and appends the survivors' columns
-// to out. It returns (emitted, post-filtered) counts. The qid test and
-// each post-filter column refine an entry selection vector with the
-// kind dispatch hoisted out of the entry loop; surviving entries decode
-// once per output column.
+// liveness (slots tombstoned by a widened table's shadow promotions and
+// bucket rehashes — skipped in bulk, 64 tombstone bits per word of the
+// live bitmap, via AppendLive), the qid mask and the post-filter, and
+// appends the survivors' columns to out. It returns (emitted,
+// post-filtered) counts. The qid test and each post-filter column
+// refine an entry selection vector with the kind dispatch hoisted out
+// of the entry loop; surviving entries decode once per output column.
 func (s *HTScan) emitEntries(out *storage.Batch, start, end int32) (int, int64) {
-	ents := fillRange(out.Scratch().Sel(int(end-start)), start)
-	if s.HT.HasDead() {
-		kept := ents[:0]
-		for _, e := range ents {
-			if s.HT.Live(e) {
-				kept = append(kept, e)
-			}
-		}
-		ents = kept
-	}
+	ents := s.HT.AppendLive(out.Scratch().Sel(int(end - start))[:0], start, end)
 	if s.QidCol >= 0 {
 		kept := ents[:0]
 		for _, e := range ents {

@@ -245,10 +245,14 @@ func (p *Probe) encodeKeys(in *storage.Batch, n int) (enc [][]uint64, miss []boo
 // (immutable) hash table, its working buffers come from the input
 // batch's scratch, and its stat counters are folded in atomically.
 //
-// The probe is batch-at-a-time: keys encode column-wise, the hash
-// vector for the whole batch computes in one pass (HashColumns), chain
-// walks reuse the precomputed hashes, and the (input row, entry) match
-// pairs materialize once per column via gather kernels.
+// The probe is batch-at-a-time end to end: keys encode column-wise, the
+// hash vector for the whole batch computes in one pass (HashColumns),
+// the chain walks run inside hashtable.ProbeHashedColumn (bucket heads
+// for the whole batch resolve up front, stored hashes screen candidates
+// before any key compare, tombstone checks are hoisted), the post-
+// filter and qid mask refine the match pairs with one typed kernel per
+// constraint, and the surviving pairs materialize once per column via
+// gather kernels.
 func (p *Probe) Apply(in, out *storage.Batch) {
 	n := in.Len()
 	if n == 0 {
@@ -259,45 +263,29 @@ func (p *Probe) Apply(in, out *storage.Batch) {
 	hashes := sc.Hash(n)
 	hashtable.HashColumns(hashes, enc)
 
-	var key [8]uint64 // key cells of one row; stack-allocated for typical key widths
-	keyRow := key[:]
-	if len(enc) > len(key) {
-		keyRow = make([]uint64, len(enc))
-	}
-	keyRow = keyRow[:len(enc)]
 	sel := sc.Sel(n)[:0] // input row of each match
 	ents := sc.Ents(n)   // entry of each match
-	var masks []int64    // AND-ed qid mask of each match (shared plans)
+	sel, ents = p.HT.ProbeHashedColumn(sc.Cur(n), hashes, enc, miss, sel, ents)
+	var filtered int64
+	sel, ents, filtered = p.filterPairs(sel, ents)
+	var masks []int64 // AND-ed qid mask of each match (shared plans)
 	qid := p.QidCol >= 0 && p.QidInCol >= 0
 	if qid {
-		masks = sc.Masks(n)
-	}
-	var matches, filtered int64
-	for i := 0; i < n; i++ {
-		if miss != nil && miss[i] {
-			continue
-		}
-		for k := range keyRow {
-			keyRow[k] = enc[k][i]
-		}
-		it := p.HT.ProbeHashed(hashes[i], keyRow)
-		for e := it.Next(); e != -1; e = it.Next() {
-			if !p.entryMatches(e) {
-				filtered++
+		masks = sc.Masks(len(ents))
+		inMasks := in.Cols[p.QidInCol].Ints
+		kept := 0
+		for i, e := range ents {
+			mask := p.HT.Cell(e, p.QidCol) & uint64(inMasks[sel[i]])
+			if mask == 0 {
 				continue
 			}
-			if qid {
-				mask := p.HT.Cell(e, p.QidCol) & uint64(in.Cols[p.QidInCol].Ints[i])
-				if mask == 0 {
-					continue
-				}
-				masks = append(masks, int64(mask))
-			}
-			matches++
-			sel = append(sel, int32(i))
-			ents = append(ents, e)
+			masks = append(masks, int64(mask))
+			sel[kept], ents[kept] = sel[i], e
+			kept++
 		}
+		sel, ents = sel[:kept], ents[:kept]
 	}
+	matches := int64(len(ents))
 
 	for c := range in.Cols {
 		if qid && c == p.QidInCol {
@@ -324,26 +312,47 @@ func (p *Probe) Apply(in, out *storage.Batch) {
 	}
 }
 
-func (p *Probe) entryMatches(e int32) bool {
+// filterPairs refines the (row, entry) match pairs through the
+// post-filter, one typed in-place compaction per constrained layout
+// column (the pair-aligned counterpart of HTScan.filterEntries), and
+// reports how many pairs it rejected.
+func (p *Probe) filterPairs(sel, ents []int32) ([]int32, []int32, int64) {
+	var filtered int64
+	ht := p.HT
 	for j, ci := range p.pfCols {
+		if len(ents) == 0 {
+			break
+		}
 		con := p.pfCons[j]
-		bits := p.HT.Cell(e, ci)
+		kept := 0
 		switch p.pfKinds[j] {
 		case types.Int64, types.Date:
-			if !con.MatchInt(int64(bits)) {
-				return false
+			for i, e := range ents {
+				if con.MatchInt(int64(ht.Cell(e, ci))) {
+					sel[kept], ents[kept] = sel[i], e
+					kept++
+				}
 			}
 		case types.Float64:
-			if !con.MatchFloat(types.FromBits(types.Float64, bits).F) {
-				return false
+			for i, e := range ents {
+				if con.MatchFloat(types.FromBits(types.Float64, ht.Cell(e, ci)).F) {
+					sel[kept], ents[kept] = sel[i], e
+					kept++
+				}
 			}
 		case types.String:
-			if !con.MatchString(p.HT.Strings().At(bits)) {
-				return false
+			strs := ht.Strings()
+			for i, e := range ents {
+				if con.MatchString(strs.At(ht.Cell(e, ci))) {
+					sel[kept], ents[kept] = sel[i], e
+					kept++
+				}
 			}
 		}
+		filtered += int64(len(ents) - kept)
+		sel, ents = sel[:kept], ents[:kept]
 	}
-	return true
+	return sel, ents, filtered
 }
 
 // PipelineReads implements ResourceReader: a probe must never start

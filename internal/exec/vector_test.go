@@ -223,6 +223,30 @@ func buildGoldenHT(rng *rand.Rand, stringKey bool, n int) *hashtable.Table {
 	return ht
 }
 
+// refEntryMatches is the row-at-a-time post-filter (one kind dispatch
+// per entry), the golden reference for Probe.filterPairs.
+func refEntryMatches(p *Probe, e int32) bool {
+	for j, ci := range p.pfCols {
+		con := p.pfCons[j]
+		bits := p.HT.Cell(e, ci)
+		switch p.pfKinds[j] {
+		case types.Int64, types.Date:
+			if !con.MatchInt(int64(bits)) {
+				return false
+			}
+		case types.Float64:
+			if !con.MatchFloat(types.FromBits(types.Float64, bits).F) {
+				return false
+			}
+		case types.String:
+			if !con.MatchString(p.HT.Strings().At(bits)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // refProbe is the seed's row-at-a-time probe (including post-filter and
 // qid-mask semantics), used as the golden reference.
 func refProbe(p *Probe, in, out *storage.Batch) {
@@ -253,7 +277,7 @@ func refProbe(p *Probe, in, out *storage.Batch) {
 		}
 		it := p.HT.Probe(key)
 		for e := it.Next(); e != -1; e = it.Next() {
-			if !p.entryMatches(e) {
+			if !refEntryMatches(p, e) {
 				continue
 			}
 			var mask uint64

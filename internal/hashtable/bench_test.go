@@ -1,0 +1,98 @@
+package hashtable
+
+import (
+	"testing"
+
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// BenchmarkWidenedProbe measures the batched probe path over the three
+// table shapes the reuse lifecycle produces: a fresh root table, a
+// table widened through six generations of shadow-promotion churn with
+// maintenance off (the chain-degradation case the compaction clone used
+// to reset), and the same lineage under incremental bucket rehash. The
+// loop is steady-state allocation-free (gated exactly by the benchjson
+// CI compare); ns/op is advisory on shared runners — the chain/probe
+// metric (mean probe chain length from the table's counters) is the
+// machine-independent observable that rehash flattens chains.
+func BenchmarkWidenedProbe(b *testing.B) {
+	const keys = 4096
+	const batch = storage.BatchSize
+	layout := Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "t", Column: "k"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Table: "t", Column: "v"}, Kind: types.Int64},
+		},
+		KeyCols: 1,
+	}
+	buildRoot := func() *Table {
+		t := New(layout)
+		for k := uint64(0); k < keys; k++ {
+			e, _ := t.Upsert([]uint64{k})
+			t.SetCell(e, 1, k)
+		}
+		return t
+	}
+	// churn widens cur one generation, folding a rotating quarter of the
+	// groups (each fold shadow-promotes a frozen base group). With
+	// maintain on, the publish-time maintenance pass runs after the
+	// churn, as htcache.PublishWidened does.
+	churn := func(cur *Table, gen int, maintain bool) *Table {
+		opts := WidenOptions{Rehash: maintain, Budget: 1 << 20}
+		w := cur.WidenWith(opts)
+		for i := 0; i < keys/4; i++ {
+			k := uint64((gen*keys/4 + i) % keys)
+			e, _ := w.Upsert([]uint64{k})
+			w.SetCell(e, 1, w.Cell(e, 1)+1)
+		}
+		if maintain {
+			w.Maintain(1 << 20)
+		}
+		return w
+	}
+	lineage := func(maintain bool) *Table {
+		cur := buildRoot()
+		for gen := 0; gen < maxWidenSegments; gen++ {
+			cur = churn(cur, gen, maintain)
+		}
+		cur.Freeze()
+		return cur
+	}
+
+	variants := []struct {
+		name string
+		tbl  *Table
+	}{
+		{"fresh", buildRoot().Freeze()},
+		{"chain6", lineage(false)},
+		{"rehashed", lineage(true)},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			probe := make([]uint64, batch)
+			enc := [][]uint64{probe}
+			hashes := make([]uint64, batch)
+			cur := make([]int32, batch)
+			rows := make([]int32, 0, batch)
+			ents := make([]int32, 0, batch)
+			start := v.tbl.ProbeStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := uint64(i*batch) % keys
+				for j := range probe {
+					probe[j] = (base + uint64(j)) % keys
+				}
+				HashColumns(hashes, enc)
+				rows, ents = v.tbl.ProbeHashedColumn(cur, hashes, enc, nil, rows[:0], ents[:0])
+				if len(rows) != batch {
+					b.Fatalf("batch %d: %d matches, want %d", i, len(rows), batch)
+				}
+			}
+			b.StopTimer()
+			ps := v.tbl.ProbeStats()
+			b.ReportMetric(float64(ps.ChainNodes-start.ChainNodes)/float64(ps.Probes-start.Probes), "chain/probe")
+		})
+	}
+}

@@ -34,9 +34,11 @@
 //
 //   - Entry indices are global across segments; chain links may point
 //     from delta entries into base segments (inserts push at the chain
-//     head), and base links are never rewritten — widened tables do not
-//     split buckets (their delta is small; deep widening chains compact
-//     into a fresh root table instead).
+//     head), and base links are never rewritten. Delta-heavy and
+//     tombstone-heavy buckets are flattened by incremental rehash
+//     (maintain.go): their chains rewrite into table-owned arenas,
+//     restoring fresh-table probe cost and bucket splitting without a
+//     stop-the-world compaction.
 //
 //   - Aggregation widening must update cells of existing groups. A
 //     base group is shadow-promoted on first touch: its row is copied
@@ -62,10 +64,11 @@ const (
 	maxDepth     = 26 // directory growth cap (64M slots)
 	bucketCap    = 8  // average chain length that triggers a split
 
-	// maxWidenSegments bounds the shared-segment chain a widened table
-	// may accumulate; Widen of a deeper table compacts into a fresh root
-	// table instead (amortized, like a directory resize), restoring
-	// bucket splits and single-segment probe locality.
+	// maxWidenSegments is the shared-segment depth past which bucket
+	// maintenance turns aggressive (any tombstone or segment-crossing
+	// chain rehashes, see maintain.go). With maintenance disabled it is
+	// the depth at which Widen compacts into a fresh root table instead
+	// — the pre-rehash policy, kept as the ablation baseline.
 	maxWidenSegments = 6
 )
 
@@ -115,6 +118,13 @@ type bucket struct {
 	// wasted on skewed keys: without it every insert into a stuck
 	// bucket would pay an O(chain + directory) split attempt.
 	nextSplit int32
+	// frozenN counts chain nodes living in frozen base segments (live or
+	// tombstoned) and deadN counts tombstoned nodes still linked in the
+	// chain — the per-bucket depth stats that drive incremental rehash
+	// (see maintain.go). Both are zero for root-table buckets and for
+	// buckets whose chain has been rehashed into table-owned arenas.
+	frozenN int32
+	deadN   int32
 }
 
 // segment is one frozen, shared arena slice of a widened table. Entries
@@ -167,6 +177,19 @@ type Table struct {
 	frozen atomic.Bool
 
 	scratch []uint64 // reusable row buffer for Upsert's insert path
+
+	// Incremental bucket maintenance (see maintain.go): a resumable
+	// sweep cursor, reusable chain scratch, and per-table counters.
+	maintPos     int32
+	maintScratch []int32
+	maint        MaintStats
+
+	// Batched-probe statistics, accumulated once per batch by
+	// ProbeHashedColumn. Atomic: frozen snapshots are probed by many
+	// workers at once.
+	probes     atomic.Int64
+	probeNodes atomic.Int64
+	tombSkips  atomic.Int64
 }
 
 // New creates an empty table with the given layout.
@@ -238,7 +261,7 @@ func (t *Table) DirSize() int { return len(t.dir) }
 // is the htSize input of the reuse-aware cost model.
 func (t *Table) ByteSize() int64 {
 	total := int64(len(t.dir))*4 +
-		int64(len(t.buckets))*13 +
+		int64(len(t.buckets))*21 +
 		int64(len(t.hashes))*8 +
 		int64(len(t.next))*4 +
 		int64(len(t.payload))*8 +
@@ -261,18 +284,33 @@ func (t *Table) Freeze() *Table {
 	return t
 }
 
-// Widen returns a mutable copy-on-write successor of the table: the
+// Widen returns a mutable copy-on-write successor of the table with the
+// default maintenance policy (incremental bucket rehash enabled); see
+// WidenWith for the mechanics and the knobs.
+func (t *Table) Widen() *Table { return t.WidenWith(DefaultWidenOptions()) }
+
+// WidenWith returns a mutable copy-on-write successor of the table: the
 // directory and bucket headers are cloned, the source's entry arenas
 // (base segments plus its own tail) are shared as frozen read-only
 // segments, the string heap is shared through an overlay heap, and new
 // entries append into arenas owned by the successor. The source is
-// frozen. A source whose segment chain is already maxWidenSegments deep
-// is compacted into a fresh root table instead (full copy, amortized).
-func (t *Table) Widen() *Table {
+// frozen.
+//
+// With opts.Rehash (the default) the successor runs one incremental
+// maintenance pass (Maintain) before returning, rewriting the chains of
+// tombstone- or delta-heavy buckets into its own arenas; deep segment
+// chains flatten bucket by bucket instead of forcing a stop-the-world
+// compaction clone, which only remains as a rare safety valve against
+// unbounded dead-slot bloat (compactBloat). With opts.Rehash off a
+// source whose segment chain is already maxWidenSegments deep is
+// compacted into a fresh root table instead (full copy) — the pre-
+// maintenance behaviour, kept as an ablation baseline.
+func (t *Table) WidenWith(opts WidenOptions) *Table {
 	t.Freeze()
-	if len(t.segs)+1 > maxWidenSegments {
+	if t.widenShouldCompact(opts) {
 		nt := New(t.layout)
 		nt.MergeFrom(t)
+		nt.maint.Compactions = 1
 		return nt
 	}
 	segs := make([]segment, 0, len(t.segs)+1)
@@ -310,6 +348,19 @@ func (t *Table) Widen() *Table {
 	if t.overlay != nil {
 		nt.overlay = append(make([]uint64, 0, len(t.overlay)), t.overlay...)
 	}
+	// Every chain node of the successor now lives in a frozen segment;
+	// tombstoned nodes carry over from the source's chains.
+	for i := range nt.buckets {
+		nt.buckets[i].frozenN = nt.buckets[i].n
+	}
+	if len(t.segs)+1 > maxWidenSegments {
+		// The pre-maintenance policy would have cloned the whole table
+		// here; incremental rehash pays the migration bucket by bucket.
+		nt.maint.CompactionsAvoided++
+	}
+	if opts.Rehash {
+		nt.Maintain(opts.Budget)
+	}
 	return nt
 }
 
@@ -346,17 +397,32 @@ func (t *Table) globalDepth() uint8 { return t.gd }
 func (t *Table) slot(h uint64) int32 { return int32(h & uint64(len(t.dir)-1)) }
 
 // segFor locates the frozen segment holding global index e (< segEnd).
-// Segment chains are at most maxWidenSegments deep; the newest (and
-// usually smallest) segments sit at the tail, the original bulk at the
-// head, so the reverse scan terminates quickly either way.
+// Short chains reverse-scan (the newest, usually smallest segments sit
+// at the tail, the original bulk at the head, so the scan terminates
+// quickly either way); deeper chains — incremental rehash no longer
+// compacts them wholesale, so they can outgrow maxWidenSegments —
+// binary-search the start offsets instead, keeping the per-node cost
+// logarithmic however long a lineage widens.
 func (t *Table) segFor(e int32) *segment {
 	segs := t.segs
-	for i := len(segs) - 1; i > 0; i-- {
-		if e >= segs[i].start {
-			return &segs[i]
+	if len(segs) <= 4 {
+		for i := len(segs) - 1; i > 0; i-- {
+			if e >= segs[i].start {
+				return &segs[i]
+			}
+		}
+		return &segs[0]
+	}
+	lo, hi := 0, len(segs)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if e >= segs[mid].start {
+			lo = mid
+		} else {
+			hi = mid - 1
 		}
 	}
-	return &segs[0]
+	return &segs[lo]
 }
 
 // hashAt reads the full hash of entry e across segment boundaries.
@@ -419,10 +485,12 @@ func (t *Table) InsertHashed(h uint64, row []uint64) {
 func (t *Table) insertHashed(h uint64, row []uint64) {
 	bi := t.dir[t.slot(h)]
 	b := &t.buckets[bi]
-	// Widened tables never split: base chain links are frozen and may
-	// not be redistributed. Their deltas are small; deep chains resolve
-	// through compaction on the next Widen.
-	if t.segEnd == 0 && b.n >= b.nextSplit && t.maybeSplit(bi, h) {
+	// Only chains whose links are all mutable may split: frozen base
+	// links cannot be redistributed. That covers every root-table bucket
+	// and — since incremental rehash rewrites chains into table-owned
+	// arenas — rehashed buckets of widened tables, which thereby regain
+	// splitting instead of chaining their delta unboundedly.
+	if b.frozenN == 0 && b.deadN == 0 && b.n >= b.nextSplit && t.maybeSplit(bi, h) {
 		bi = t.dir[t.slot(h)]
 		b = &t.buckets[bi]
 	}
@@ -440,8 +508,10 @@ func (t *Table) insertHashed(h uint64, row []uint64) {
 }
 
 // maybeSplit splits the bucket holding hash h, doubling the directory if
-// needed. It reports whether a split occurred. Only root tables split
-// (insertHashed gates on segEnd == 0), so direct arena access is safe.
+// needed. It reports whether a split occurred. Only buckets whose chain
+// is entirely in the table's own arenas split (insertHashed gates on
+// frozenN == deadN == 0), so the own-arena arrays are accessed directly
+// at the global index minus segEnd.
 func (t *Table) maybeSplit(bi int32, h uint64) bool {
 	b := &t.buckets[bi]
 	gd := t.globalDepth()
@@ -469,17 +539,18 @@ func (t *Table) maybeSplit(bi int32, h uint64) bool {
 	nb := &t.buckets[newBi]
 
 	// Redistribute the chain.
+	off := t.segEnd
 	cur := b.head
 	total := b.n
 	b.head, b.n = -1, 0
 	for cur != -1 {
-		nxt := t.next[cur]
-		if t.hashes[cur]&bit != 0 {
-			t.next[cur] = nb.head
+		nxt := t.next[cur-off]
+		if t.hashes[cur-off]&bit != 0 {
+			t.next[cur-off] = nb.head
 			nb.head = cur
 			nb.n++
 		} else {
-			t.next[cur] = b.head
+			t.next[cur-off] = b.head
 			b.head = cur
 			b.n++
 		}
@@ -611,11 +682,10 @@ func (t *Table) promote(e int32, h uint64) int32 {
 		t.scratch = make([]uint64, t.nCols)
 	}
 	copy(t.scratch, t.rowAt(e))
-	if t.dead == nil {
-		t.dead = make([]uint64, (int(t.segEnd)+63)/64)
-	}
-	t.dead[e>>6] |= 1 << uint(e&63)
-	t.deadCount++
+	t.tombstone(e)
+	// The original stays linked in its chain as a dead node until a
+	// bucket rehash drops it.
+	t.buckets[t.dir[t.slot(h)]].deadN++
 	t.nEntries-- // insertHashed re-counts the promoted copy
 	t.insertHashed(h, t.scratch)
 	idx := t.nSlots - 1

@@ -1,0 +1,378 @@
+package hashtable
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// batchProbe probes every key of a single-int64-key table through the
+// batched path, returning the (row, entry) match pairs.
+func batchProbe(tbl *Table, keys []uint64) (rows, ents []int32) {
+	n := len(keys)
+	enc := [][]uint64{keys}
+	hashes := make([]uint64, n)
+	HashColumns(hashes, enc)
+	cur := make([]int32, n)
+	return tbl.ProbeHashedColumn(cur, hashes, enc, nil, nil, nil)
+}
+
+// meanChain probes keys and reports the mean probe chain length the
+// table's counters observed for exactly that batch.
+func meanChain(tbl *Table, keys []uint64) float64 {
+	before := tbl.ProbeStats()
+	batchProbe(tbl, keys)
+	after := tbl.ProbeStats()
+	return float64(after.ChainNodes-before.ChainNodes) / float64(after.Probes-before.Probes)
+}
+
+// probeRows decodes the matched rows of key k, sorted for multiset
+// comparison.
+func probeRows(tbl *Table, k uint64) []string {
+	var out []string
+	it := tbl.Probe([]uint64{k})
+	for e := it.Next(); e != -1; e = it.Next() {
+		row := fmt.Sprintf("%d|%s|%v", int64(tbl.Cell(e, 0)), tbl.Strings().At(tbl.Cell(e, 1)), tbl.CellValue(e, 2))
+		out = append(out, row)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func rowsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRehashEquivalenceProperty grows two lineages of the same join
+// table through identical widen+insert generations — one under
+// incremental bucket rehash with randomized budgets and extra Maintain
+// passes, one under the never-rehash policy — and checks after every
+// generation that both probe identically to a model map. Rehash must be
+// invisible: same matches, same multiplicities, same walk order per
+// key.
+func TestRehashEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const keySpace = 120
+	golden := make(map[uint64][]string)
+
+	insert := func(tbl *Table, k uint64, s string, f float64) {
+		tbl.Insert([]uint64{k, tbl.Strings().Intern(s), types.NewFloat(f).Bits()})
+	}
+	record := func(k uint64, s string, f float64) {
+		row := fmt.Sprintf("%d|%s|%v", int64(k), s, types.NewFloat(f).F)
+		golden[k] = append(golden[k], row)
+	}
+
+	maintained := New(widenLayout())
+	control := New(widenLayout())
+	for i := 0; i < 300; i++ {
+		k := uint64(rng.Intn(keySpace))
+		s := fmt.Sprintf("s%d", rng.Intn(7))
+		f := float64(i)
+		insert(maintained, k, s, f)
+		insert(control, k, s, f)
+		record(k, s, f)
+	}
+
+	for gen := 0; gen < maxWidenSegments-1; gen++ {
+		maintained = maintained.WidenWith(WidenOptions{Rehash: true, Budget: 1 + rng.Intn(4096)})
+		control = control.WidenWith(WidenOptions{Rehash: false})
+		for i := 0; i < 60; i++ {
+			k := uint64(rng.Intn(keySpace))
+			s := fmt.Sprintf("s%d", rng.Intn(7))
+			f := float64(1000*gen + i)
+			insert(maintained, k, s, f)
+			insert(control, k, s, f)
+			record(k, s, f)
+		}
+		if rng.Intn(2) == 0 {
+			maintained.Maintain(1 + rng.Intn(4096))
+		}
+		if err := maintained.CheckInvariants(); err != nil {
+			t.Fatalf("gen %d: maintained invariants: %v", gen, err)
+		}
+		for k := uint64(0); k < keySpace; k++ {
+			want := append([]string(nil), golden[k]...)
+			sort.Strings(want)
+			if got := probeRows(maintained, k); !rowsEqual(got, want) {
+				t.Fatalf("gen %d key %d: maintained probe %v, want %v", gen, k, got, want)
+			}
+			if got := probeRows(control, k); !rowsEqual(got, want) {
+				t.Fatalf("gen %d key %d: control probe %v, want %v", gen, k, got, want)
+			}
+		}
+		// The batched path must agree with the iterator path pair for
+		// pair (same order, same entries) on the maintained table.
+		keys := make([]uint64, keySpace)
+		for i := range keys {
+			keys[i] = uint64(i)
+		}
+		rows, ents := batchProbe(maintained, keys)
+		var wantRows, wantEnts []int32
+		for i, k := range keys {
+			it := maintained.Probe([]uint64{k})
+			for e := it.Next(); e != -1; e = it.Next() {
+				wantRows = append(wantRows, int32(i))
+				wantEnts = append(wantEnts, e)
+			}
+		}
+		if len(rows) != len(wantRows) {
+			t.Fatalf("gen %d: batched probe %d pairs, iterator %d", gen, len(rows), len(wantRows))
+		}
+		for i := range rows {
+			if rows[i] != wantRows[i] || ents[i] != wantEnts[i] {
+				t.Fatalf("gen %d pair %d: batched (%d,%d), iterator (%d,%d)",
+					gen, i, rows[i], ents[i], wantRows[i], wantEnts[i])
+			}
+		}
+	}
+	if maintained.MaintStats().RehashedBuckets == 0 {
+		t.Fatal("property run never rehashed a bucket")
+	}
+}
+
+// TestDeepChainFlattensWithoutCompaction is the regression test for the
+// scenario that used to force the global compaction clone: an
+// aggregation table widened past maxWidenSegments with shadow-promotion
+// churn every generation. Under incremental rehash the lineage must
+// stay widened (no compaction clone), keep answering correctly, and its
+// mean probe chain length must flatten to within 1.5x of a freshly
+// built table with the same content.
+func TestDeepChainFlattensWithoutCompaction(t *testing.T) {
+	const keys = 256
+	layout := Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "t", Column: "k"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Table: "t", Column: "v"}, Kind: types.Int64},
+		},
+		KeyCols: 1,
+	}
+	golden := make(map[uint64]uint64, keys)
+
+	cur := New(layout)
+	for k := uint64(0); k < keys; k++ {
+		e, _ := cur.Upsert([]uint64{k})
+		cur.SetCell(e, 1, 1)
+		golden[k] = 1
+	}
+
+	const gens = maxWidenSegments + 3
+	var total MaintStats
+	for gen := 0; gen < gens; gen++ {
+		w := cur.WidenWith(WidenOptions{Rehash: true, Budget: 1 << 20})
+		// Churn a rotating quarter of the keys: every fold into a frozen
+		// base group shadow-promotes it, leaving a tombstone behind.
+		for i := 0; i < keys/4; i++ {
+			k := uint64((gen*keys/4 + i) % keys)
+			e, found := w.Upsert([]uint64{k})
+			if !found {
+				t.Fatalf("gen %d: key %d vanished", gen, k)
+			}
+			w.SetCell(e, 1, w.Cell(e, 1)+1)
+			golden[k]++
+		}
+		// The publish-time maintenance pass (htcache piggy-backs one on
+		// PublishWidened) cleans this generation's churn.
+		w.Maintain(1 << 20)
+		if err := w.CheckInvariants(); err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+		ms := w.MaintStats()
+		total.RehashedBuckets += ms.RehashedBuckets
+		total.RewrittenEntries += ms.RewrittenEntries
+		total.ReclaimedTombstones += ms.ReclaimedTombstones
+		total.CompactionsAvoided += ms.CompactionsAvoided
+		total.Compactions += ms.Compactions
+		cur = w
+	}
+
+	if !cur.Widened() {
+		t.Fatal("deep lineage was compacted into a root table")
+	}
+	if total.Compactions != 0 {
+		t.Fatalf("deep lineage paid %d compaction clones", total.Compactions)
+	}
+	if total.CompactionsAvoided == 0 {
+		t.Fatal("deep widening never recorded an avoided compaction")
+	}
+	if total.RehashedBuckets == 0 || total.ReclaimedTombstones == 0 {
+		t.Fatalf("maintenance did no work: %+v", total)
+	}
+	// The amortized policy must migrate churned buckets, not clone the
+	// world: across all generations it may rewrite at most a few
+	// multiples of the live set, where per-widen cloning would have
+	// rewritten gens*keys entries.
+	if total.RewrittenEntries > int64(3*gens*keys/4) {
+		t.Fatalf("maintenance rewrote %d entries — amortization failed (clone would be %d)",
+			total.RewrittenEntries, gens*keys)
+	}
+
+	// Content check against the model.
+	probeKeys := make([]uint64, keys)
+	for i := range probeKeys {
+		probeKeys[i] = uint64(i)
+	}
+	rows, ents := batchProbe(cur, probeKeys)
+	if len(rows) != keys {
+		t.Fatalf("probe found %d matches, want %d (duplicates or losses)", len(rows), keys)
+	}
+	for i, e := range ents {
+		k := probeKeys[rows[i]]
+		if got := cur.Cell(e, 1); got != golden[k] {
+			t.Fatalf("key %d: value %d, want %d", k, got, golden[k])
+		}
+	}
+
+	// Chain-length acceptance: rehashed deep table within 1.5x of fresh.
+	fresh := New(layout)
+	for k := uint64(0); k < keys; k++ {
+		e, _ := fresh.Upsert([]uint64{k})
+		fresh.SetCell(e, 1, golden[k])
+	}
+	freshMean := meanChain(fresh, probeKeys)
+	deepMean := meanChain(cur, probeKeys)
+	if deepMean > 1.5*freshMean {
+		t.Fatalf("mean probe chain %0.2f exceeds 1.5x fresh (%0.2f)", deepMean, freshMean)
+	}
+	if ps := cur.ProbeStats(); ps.TombstoneSkips != 0 {
+		t.Fatalf("flattened table still skipped %d tombstones while probing", ps.TombstoneSkips)
+	}
+}
+
+// TestDeepChainControlStaysSlow sanity-checks the other side of the
+// acceptance criterion: without the final flattening passes the same
+// churn leaves chains measurably longer than fresh, so the 1.5x bound
+// above is not vacuous.
+func TestDeepChainControlStaysSlow(t *testing.T) {
+	const keys = 256
+	layout := Layout{
+		Cols: []storage.ColMeta{
+			{Ref: storage.ColRef{Table: "t", Column: "k"}, Kind: types.Int64},
+			{Ref: storage.ColRef{Table: "t", Column: "v"}, Kind: types.Int64},
+		},
+		KeyCols: 1,
+	}
+	cur := New(layout)
+	for k := uint64(0); k < keys; k++ {
+		cur.Upsert([]uint64{k})
+	}
+	// Same churn, maintenance off (and shallow enough that the rehash-off
+	// policy never compacts either).
+	for gen := 0; gen < maxWidenSegments; gen++ {
+		w := cur.WidenWith(WidenOptions{Rehash: false})
+		for i := 0; i < keys; i++ {
+			w.Upsert([]uint64{uint64(i)})
+		}
+		cur = w
+	}
+	probeKeys := make([]uint64, keys)
+	for i := range probeKeys {
+		probeKeys[i] = uint64(i)
+	}
+	fresh := New(layout)
+	for k := uint64(0); k < keys; k++ {
+		fresh.Upsert([]uint64{k})
+	}
+	if churned, clean := meanChain(cur, probeKeys), meanChain(fresh, probeKeys); churned < 2*clean {
+		t.Fatalf("unmaintained churn should inflate chains: %0.2f vs fresh %0.2f", churned, clean)
+	}
+}
+
+// TestRehashRestoresSplitting: a rehashed bucket's chain is entirely
+// table-owned, so the extendible split machinery — forfeited by widened
+// tables — comes back for it.
+func TestRehashRestoresSplitting(t *testing.T) {
+	w := buildWidenBase(256).WidenWith(WidenOptions{Rehash: true, Budget: 1 << 20})
+	before := w.Splits()
+	// Pour new keys in, flattening the dirtied buckets between batches
+	// (the publish-time maintenance cadence). Un-rehashed buckets chain
+	// unboundedly; rehashed ones must start splitting again.
+	const batches, perBatch = 4, 1024
+	for b := 0; b < batches; b++ {
+		for i := 0; i < perBatch; i++ {
+			k := uint64(100000 + b*perBatch + i)
+			w.Insert([]uint64{k, w.Strings().Intern("x"), 0})
+		}
+		w.Maintain(1 << 20)
+	}
+	if w.Splits() == before {
+		t.Fatalf("no bucket split despite %d inserts into rehashed buckets", batches*perBatch)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{0, 255, 100000, uint64(100000 + batches*perBatch - 1)} {
+		if got := probeAll(w, k); len(got) != 1 {
+			t.Fatalf("key %d probes %d entries after splits", k, len(got))
+		}
+	}
+}
+
+// TestAppendLive cross-checks the word-at-a-time live-range gather
+// against the per-slot reference on randomized tombstone patterns and
+// range boundaries.
+func TestAppendLive(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	base := buildWidenBase(300)
+	w := base.Widen()
+	// Promote a random subset to sprinkle tombstones across the bitmap.
+	for k := 0; k < 300; k++ {
+		if rng.Intn(3) == 0 {
+			w.Upsert([]uint64{uint64(k)})
+		}
+	}
+	n := int32(w.Slots())
+	for trial := 0; trial < 200; trial++ {
+		start := int32(rng.Intn(int(n)))
+		end := start + int32(rng.Intn(int(n-start)+1))
+		got := w.AppendLive(nil, start, end)
+		var want []int32
+		for e := start; e < end; e++ {
+			if w.Live(e) {
+				want = append(want, e)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("[%d,%d): %d live, want %d", start, end, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("[%d,%d) pos %d: %d != %d", start, end, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestProbeHashedColumnMissRows: rows flagged missed (string keys never
+// interned on the build side) are skipped without walking any chain.
+func TestProbeHashedColumnMissRows(t *testing.T) {
+	tbl := buildWidenBase(64)
+	keys := []uint64{1, 2, 3, 4}
+	enc := [][]uint64{keys}
+	hashes := make([]uint64, len(keys))
+	HashColumns(hashes, enc)
+	miss := []bool{false, true, false, true}
+	before := tbl.ProbeStats()
+	rows, _ := tbl.ProbeHashedColumn(make([]int32, len(keys)), hashes, enc, miss, nil, nil)
+	after := tbl.ProbeStats()
+	if after.Probes-before.Probes != 2 {
+		t.Fatalf("counted %d probes, want 2", after.Probes-before.Probes)
+	}
+	for _, r := range rows {
+		if miss[r] {
+			t.Fatalf("missed row %d produced a match", r)
+		}
+	}
+}

@@ -133,11 +133,15 @@ func TestWidenShadowPromotion(t *testing.T) {
 	}
 }
 
+// TestWidenChainAndCompaction pins the rehash-off ablation policy: a
+// segment chain deeper than maxWidenSegments compacts into a fresh root
+// table. The default policy (incremental bucket rehash) is covered in
+// rehash_test.go.
 func TestWidenChainAndCompaction(t *testing.T) {
 	cur := buildWidenBase(64)
 	total := 64
 	for round := 0; round < maxWidenSegments+3; round++ {
-		w := cur.Widen()
+		w := cur.WidenWith(WidenOptions{Rehash: false})
 		for i := 0; i < 16; i++ {
 			k := uint64(total + i)
 			w.Insert([]uint64{k, w.strs.Intern("x"), types.NewFloat(float64(k)).Bits()})

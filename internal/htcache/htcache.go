@@ -188,6 +188,25 @@ type Stats struct {
 	Retired        int   // superseded snapshots awaiting reader drain
 	RetiredBytes   int64 // their footprint
 	Reclaims       int64 // superseded snapshots freed after drain
+
+	// Bucket-maintenance statistics, accumulated from each published
+	// table's hashtable.MaintStats (widening queries pay maintenance
+	// incrementally; these count the work and what it saved).
+	BucketRehashes      int64 // bucket chains rewritten into own arenas
+	RewrittenEntries    int64 // live base entries copied forward
+	TombstonesReclaimed int64 // dead nodes dropped from chains
+	CompactionsAvoided  int64 // deep widenings spared the compaction clone
+	Compactions         int64 // compaction clones that still ran (safety valve)
+
+	// Batched-probe statistics (hashtable.ProbeStats), cumulative and
+	// monotonic: live counters of published and still-draining retired
+	// snapshots plus an accumulator folded in when a snapshot is
+	// reclaimed or its entry evicted. ProbeChainNodes/Probes is the
+	// mean probe chain length benchmarks and tests assert on to show
+	// rehashed chains actually flatten.
+	Probes          int64
+	ProbeChainNodes int64
+	TombstoneSkips  int64
 }
 
 // Cache is the hash table cache. All methods are safe for concurrent
@@ -219,6 +238,15 @@ type Cache struct {
 	widenPub  int64
 	widenLost int64
 	reclaims  int64
+
+	// Bucket-maintenance policy (SetRehash) and accumulated counters.
+	rehashOff    bool
+	rehashBudget int
+	maint        hashtable.MaintStats
+	// probeAcc accumulates the probe counters of tables leaving the
+	// live sets (reclaimed snapshots, evicted entries) so Stats stays
+	// monotonic across publications.
+	probeAcc hashtable.ProbeStats
 }
 
 // retiredSnap is a superseded snapshot awaiting reader drain. The
@@ -310,6 +338,7 @@ func (c *Cache) reclaimLocked() {
 		if rs.epoch < minEpoch && rs.entry.Pins == 0 {
 			rs.snap.reclaimed.Store(true)
 			c.reclaims++
+			c.foldProbeLocked(rs.snap.HT)
 			continue
 		}
 		kept = append(kept, rs)
@@ -344,6 +373,18 @@ func (c *Cache) Register(ht *hashtable.Table, lin Lineage) *Entry {
 	return e
 }
 
+// SetRehash configures incremental bucket maintenance of widened
+// tables: whether PublishWidened piggy-backs a maintenance pass on the
+// successor before freezing it, and the per-pass node budget (<= 0 uses
+// hashtable.DefaultRehashBudget). On by default. Callers configure this
+// once at startup, before queries run.
+func (c *Cache) SetRehash(enabled bool, budget int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rehashOff = !enabled
+	c.rehashBudget = budget
+}
+
 // PublishWidened installs a widened successor of prev as the entry's
 // current snapshot. ht is frozen here; filter is the new content
 // description (the widened lineage). The install is a compare-and-swap:
@@ -351,7 +392,21 @@ func (c *Cache) Register(ht *hashtable.Table, lin Lineage) *Entry {
 // false is returned — the caller's table was still correct for its own
 // query, only the cache keeps the competitor's version. On success the
 // superseded snapshot is retired into the epoch scheme.
+//
+// Publication is where maintenance piggy-backs: the successor is still
+// private and mutable here (its building query's pipelines drained, no
+// reader can hold it), so one incremental rehash pass flattens the
+// bucket chains its delta inserts and shadow promotions dirtied before
+// anyone probes the new snapshot. Readers of superseded snapshots are
+// untouched — they drain under the epoch scheme — and the rebuilt
+// buckets become visible atomically with the CAS below.
 func (c *Cache) PublishWidened(e *Entry, prev *Snapshot, ht *hashtable.Table, filter expr.Box) bool {
+	c.mu.RLock()
+	rehash, budget := !c.rehashOff, c.rehashBudget
+	c.mu.RUnlock()
+	if rehash && !ht.Frozen() {
+		ht.Maintain(budget)
+	}
 	ht.Freeze()
 	next := &Snapshot{HT: ht, Filter: filter, Version: prev.Version + 1}
 	if !e.cur.CompareAndSwap(prev, next) {
@@ -363,6 +418,12 @@ func (c *Cache) PublishWidened(e *Entry, prev *Snapshot, ht *hashtable.Table, fi
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.widenPub++
+	ms := ht.MaintStats()
+	c.maint.RehashedBuckets += ms.RehashedBuckets
+	c.maint.RewrittenEntries += ms.RewrittenEntries
+	c.maint.ReclaimedTombstones += ms.ReclaimedTombstones
+	c.maint.CompactionsAvoided += ms.CompactionsAvoided
+	c.maint.Compactions += ms.Compactions
 	e.Bytes = ht.ByteSize()
 	e.LastUsed = c.tick()
 	c.retireLocked(prev, e)
@@ -536,8 +597,21 @@ func (c *Cache) gcLocked() int {
 	return evicted
 }
 
+// foldProbeLocked folds a table's probe counters into the cumulative
+// accumulator as it leaves the live sets Stats sums over. A reclaimed
+// snapshot's readers have drained (its counters are final); an evicted
+// entry's still-retired snapshots stay in the retired sum until their
+// own reclamation.
+func (c *Cache) foldProbeLocked(ht *hashtable.Table) {
+	ps := ht.ProbeStats()
+	c.probeAcc.Probes += ps.Probes
+	c.probeAcc.ChainNodes += ps.ChainNodes
+	c.probeAcc.TombstoneSkips += ps.TombstoneSkips
+}
+
 func (c *Cache) evict(e *Entry) {
 	delete(c.entries, e.ID)
+	c.foldProbeLocked(e.cur.Load().HT)
 	key := e.Lineage.StructKey()
 	list := c.byStruct[key]
 	for i, x := range list {
@@ -584,19 +658,36 @@ func (c *Cache) Stats() Stats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	s := Stats{
-		Entries:        len(c.entries),
-		Bytes:          c.totalBytesLocked(),
-		Hits:           c.hits,
-		Evictions:      c.evictions,
-		Registered:     c.registered,
-		EvictedByes:    c.evictedB,
-		WidenPublished: c.widenPub,
-		WidenLost:      c.widenLost,
-		Retired:        len(c.retired),
-		Reclaims:       c.reclaims,
+		Entries:             len(c.entries),
+		Bytes:               c.totalBytesLocked(),
+		Hits:                c.hits,
+		Evictions:           c.evictions,
+		Registered:          c.registered,
+		EvictedByes:         c.evictedB,
+		WidenPublished:      c.widenPub,
+		WidenLost:           c.widenLost,
+		Retired:             len(c.retired),
+		Reclaims:            c.reclaims,
+		BucketRehashes:      c.maint.RehashedBuckets,
+		RewrittenEntries:    c.maint.RewrittenEntries,
+		TombstonesReclaimed: c.maint.ReclaimedTombstones,
+		CompactionsAvoided:  c.maint.CompactionsAvoided,
+		Compactions:         c.maint.Compactions,
+	}
+	s.Probes = c.probeAcc.Probes
+	s.ProbeChainNodes = c.probeAcc.ChainNodes
+	s.TombstoneSkips = c.probeAcc.TombstoneSkips
+	addProbe := func(ps hashtable.ProbeStats) {
+		s.Probes += ps.Probes
+		s.ProbeChainNodes += ps.ChainNodes
+		s.TombstoneSkips += ps.TombstoneSkips
 	}
 	for _, rs := range c.retired {
 		s.RetiredBytes += rs.snap.HT.ByteSize()
+		addProbe(rs.snap.HT.ProbeStats())
+	}
+	for _, e := range c.entries {
+		addProbe(e.cur.Load().HT.ProbeStats())
 	}
 	if c.registered > 0 {
 		s.HitRatio = float64(c.hits) / float64(c.registered)

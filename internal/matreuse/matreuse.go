@@ -214,39 +214,48 @@ func (s *tempScan) Open() error            { s.pos = 0; return nil }
 // so the scan must wait for the spill pipeline's sink.
 func (s *tempScan) PipelineReads() []any { return []any{s.entry.Table} }
 
+// Next is batch-at-a-time: the post-filter refines a selection vector
+// with one typed kernel per constrained column (bounds hoisted, no
+// per-row kind dispatch) and the survivors materialize once per column
+// via gather; an unfiltered scan bulk-copies each column's range.
 func (s *tempScan) Next(out *storage.Batch) bool {
 	n := s.entry.Table.NumRows()
 	produced := 0
 	for s.pos < n && produced < storage.BatchSize {
-		row := int32(s.pos)
-		s.pos++
-		ok := true
-		for _, m := range s.matcher {
-			switch m.col.Kind {
-			case types.Int64, types.Date:
-				if !m.con.MatchInt(m.col.Ints[row]) {
-					ok = false
-				}
-			case types.Float64:
-				if !m.con.MatchFloat(m.col.Floats[row]) {
-					ok = false
-				}
-			case types.String:
-				if !m.con.MatchString(m.col.Strs[row]) {
-					ok = false
-				}
-			}
-			if !ok {
-				break
-			}
+		chunk := storage.BatchSize - produced
+		if rem := n - s.pos; rem < chunk {
+			chunk = rem
 		}
-		if !ok {
+		start, end := int32(s.pos), int32(s.pos+chunk)
+		s.pos += chunk
+		if len(s.matcher) == 0 {
+			for i := range s.entry.Schema {
+				out.Cols[i].AppendColumnRange(s.entry.Table.Cols[i], start, end)
+			}
+			produced += chunk
 			continue
 		}
-		for i := range s.entry.Schema {
-			out.Cols[i].AppendFrom(s.entry.Table.Cols[i], row)
+		sel := out.Scratch().Sel(chunk)
+		for i := range sel {
+			sel[i] = start + int32(i)
 		}
-		produced++
+		for _, m := range s.matcher {
+			if len(sel) == 0 {
+				break
+			}
+			switch m.col.Kind {
+			case types.Int64, types.Date:
+				sel = m.con.FilterInts(m.col.Ints, sel)
+			case types.Float64:
+				sel = m.con.FilterFloats(m.col.Floats, sel)
+			case types.String:
+				sel = m.con.FilterStrings(m.col.Strs, sel)
+			}
+		}
+		for i := range s.entry.Schema {
+			out.Cols[i].AppendColumnGather(s.entry.Table.Cols[i], sel)
+		}
+		produced += len(sel)
 	}
 	return produced > 0
 }

@@ -224,7 +224,7 @@ func (c *compiler) obtainBuildHT(n *Node) (*hashtable.Table, []int, []storage.Co
 		// Widen the snapshot into a private copy-on-write successor: the
 		// residual scan builds the missing tuples into it while other
 		// queries keep probing the frozen base it shares.
-		ht = choice.Snap.HT.Widen()
+		ht = choice.Snap.HT.WidenWith(c.o.WidenOptions())
 		if c.register {
 			c.o.Cache.Pin(choice.Entry)
 			c.out.pinned = append(c.out.pinned, choice.Entry)
@@ -428,7 +428,7 @@ func (c *compiler) compileAggRoot(p *Planned) error {
 		// whole table stays consistent with its (widened) lineage.
 		// Existing groups shadow-promote into the successor's own arena;
 		// concurrent probes of the frozen base never see the folds.
-		widened := choice.Snap.HT.Widen()
+		widened := choice.Snap.HT.WidenWith(c.o.WidenOptions())
 		for _, rr := range agg.ResidualRoots {
 			if err := c.attachAggInput(rr, widened, agg.GroupBase, choice.Entry.Lineage.Aggs); err != nil {
 				return err

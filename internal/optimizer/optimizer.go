@@ -31,6 +31,7 @@ import (
 	"hashstash/internal/catalog"
 	"hashstash/internal/costmodel"
 	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
 	"hashstash/internal/htcache"
 	"hashstash/internal/plan"
 	"hashstash/internal/storage"
@@ -90,6 +91,13 @@ type Options struct {
 	// NoSteal disables work stealing between worker deques; ablation
 	// knob.
 	NoSteal bool
+	// NoBucketRehash disables incremental bucket maintenance of widened
+	// tables, falling back to the all-or-nothing compaction clone at
+	// the segment-depth bound; ablation knob.
+	NoBucketRehash bool
+	// RehashBudget caps chain nodes walked per bucket-maintenance pass
+	// (<= 0 uses hashtable.DefaultRehashBudget).
+	RehashBudget int
 }
 
 // DefaultOptions returns the HashStash defaults.
@@ -129,6 +137,13 @@ func New(cat *catalog.Catalog, cache *htcache.Cache, model *costmodel.Model, opt
 		model = costmodel.NewModel(nil)
 	}
 	return &Optimizer{Cat: cat, Cache: cache, Model: model, Opts: opts, history: make(map[string]int64)}
+}
+
+// WidenOptions translates the ablation knobs into the hashtable
+// maintenance policy every copy-on-write widening uses (compile-time
+// widening here, batch-local re-tag copies in the shared planner).
+func (o *Optimizer) WidenOptions() hashtable.WidenOptions {
+	return hashtable.WidenOptions{Rehash: !o.Opts.NoBucketRehash, Budget: o.Opts.RehashBudget}
 }
 
 // ReuseMode labels how a hash table is obtained for an operator.

@@ -315,7 +315,7 @@ func (g *groupExec) obtainSharedJoinHT(n *optimizer.Node) (*hashtable.Table, []i
 		// Re-tag a private widened copy: the qid masks of this batch are
 		// batch-local, so the published snapshot stays untouched (and the
 		// copy is simply dropped after the batch — no publication).
-		widened := snap.HT.Widen()
+		widened := snap.HT.WidenWith(g.s.Single.WidenOptions())
 		if err := exec.ReTag(widened, cand.Lineage.QidCol, relBoxes); err != nil {
 			continue
 		}

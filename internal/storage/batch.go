@@ -218,6 +218,7 @@ func (s Schema) MustIndexOf(ref ColRef) int {
 type Scratch struct {
 	sel   []int32
 	ents  []int32
+	cur   []int32
 	hash  []uint64
 	masks []int64
 	miss  []bool
@@ -252,6 +253,17 @@ func (s *Scratch) Ents(n int) []int32 {
 		s.ents = make([]int32, 0, grow(n))
 	}
 	return s.ents[:0]
+}
+
+// Cur returns a third int32 buffer (per-row chain cursors of batched
+// hash-table probes), independent of Sel and Ents, with length n
+// (contents unspecified).
+func (s *Scratch) Cur(n int) []int32 {
+	if cap(s.cur) < n {
+		s.cur = make([]int32, n, grow(n))
+	}
+	s.cur = s.cur[:n]
+	return s.cur
 }
 
 // Hash returns the per-row hash buffer with length n.
