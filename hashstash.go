@@ -126,6 +126,8 @@ type config struct {
 	noSteal         bool
 	noBucketRehash  bool
 	rehashBudget    int
+	noSecondaryIdx  bool
+	indexBudget     int64
 }
 
 // WithCacheBudget bounds the hash-table cache (bytes); the garbage
@@ -193,6 +195,17 @@ func WithoutBucketRehash() Option { return func(c *config) { c.noBucketRehash = 
 // benchmarks.
 func WithRehashBudget(nodes int) Option { return func(c *config) { c.rehashBudget = nodes } }
 
+// WithoutSecondaryIndexes disables the ordered secondary-index access
+// path: the optimizer neither builds indexes lazily nor drives scans
+// with cached ones, so every selection runs as a (possibly
+// storage-index-assisted) table scan. Ablation knob.
+func WithoutSecondaryIndexes() Option { return func(c *config) { c.noSecondaryIdx = true } }
+
+// WithIndexBuildBudget caps the total bytes of lazily built secondary
+// indexes kept live in the cache; a build that would exceed the budget
+// is skipped and the query scans instead. 0 = unlimited.
+func WithIndexBuildBudget(bytes int64) Option { return func(c *config) { c.indexBudget = bytes } }
+
 // DB is a HashStash database instance. Exec and ExecBatch are safe for
 // concurrent use; schema changes — LoadTPCH, CreateTable, InsertRows,
 // BuildIndex — must not run concurrently with queries.
@@ -231,16 +244,18 @@ func Open(opts ...Option) *DB {
 		strategy = NeverReuse
 	}
 	opt := optimizer.New(cat, cache, model, optimizer.Options{
-		Strategy:          strategy,
-		BenefitOriented:   cfg.benefit,
-		EnablePartial:     cfg.partial,
-		EnableOverlapping: cfg.overlapping,
-		Parallelism:       cfg.parallelism,
-		MorselRows:        cfg.morselRows,
-		SerialPipelines:   cfg.serialPipelines,
-		NoSteal:           cfg.noSteal,
-		NoBucketRehash:    cfg.noBucketRehash,
-		RehashBudget:      cfg.rehashBudget,
+		Strategy:           strategy,
+		BenefitOriented:    cfg.benefit,
+		EnablePartial:      cfg.partial,
+		EnableOverlapping:  cfg.overlapping,
+		Parallelism:        cfg.parallelism,
+		MorselRows:         cfg.morselRows,
+		SerialPipelines:    cfg.serialPipelines,
+		NoSteal:            cfg.noSteal,
+		NoBucketRehash:     cfg.noBucketRehash,
+		RehashBudget:       cfg.rehashBudget,
+		NoSecondaryIndexes: cfg.noSecondaryIdx,
+		IndexBuildBudget:   cfg.indexBudget,
 	})
 	cache.SetRehash(!cfg.noBucketRehash, cfg.rehashBudget)
 	mat := matreuse.NewEngine(cat, cfg.budget)
@@ -302,6 +317,9 @@ func (db *DB) InsertRows(table string, rows [][]Value) error {
 		t.AppendRow(row...)
 	}
 	db.cat.Register(t) // recompute statistics
+	// Cached artifacts over the table — hash tables and secondary
+	// indexes alike — describe its old contents; evict them.
+	db.cache.InvalidateTable(table)
 	return nil
 }
 

@@ -29,6 +29,52 @@ type Calibration struct {
 	// table into a pipeline batch: cost = ScanBase + ScanPerByte*width.
 	ScanBase    float64
 	ScanPerByte float64
+
+	// Secondary-index access constants (all ns). Zero values fall back
+	// to the defaults below, so calibrations recorded before indexes
+	// existed keep working.
+	IndexDescentPerLevel float64 // one node-local binary search
+	IndexLeafPerRow      float64 // walking a leaf run entry
+	IndexGatherBase      float64 // per-row random gather through the perm
+	IndexGatherPerByte   float64 // per emitted byte of gathered row
+	IndexBuildPerRow     float64 // per row·log2(rows) of the bulk sort
+}
+
+// Fallback index constants; see the field comments on Calibration.
+const (
+	defIndexDescentPerLevel = 30
+	defIndexLeafPerRow      = 1.5
+	defIndexGatherBase      = 18
+	defIndexGatherPerByte   = 0.5
+	defIndexBuildPerRow     = 6
+)
+
+func orDefault(v, def float64) float64 {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// IndexDescent returns the calibrated per-level descent cost.
+func (c *Calibration) IndexDescent() float64 {
+	return orDefault(c.IndexDescentPerLevel, defIndexDescentPerLevel)
+}
+
+// IndexLeaf returns the calibrated per-row leaf-run cost.
+func (c *Calibration) IndexLeaf() float64 {
+	return orDefault(c.IndexLeafPerRow, defIndexLeafPerRow)
+}
+
+// IndexGather returns the calibrated gather costs (base, per byte).
+func (c *Calibration) IndexGather() (float64, float64) {
+	return orDefault(c.IndexGatherBase, defIndexGatherBase),
+		orDefault(c.IndexGatherPerByte, defIndexGatherPerByte)
+}
+
+// IndexBuild returns the calibrated per-row·log2(rows) build cost.
+func (c *Calibration) IndexBuild() float64 {
+	return orDefault(c.IndexBuildPerRow, defIndexBuildPerRow)
 }
 
 // Validate checks the calibration grids are well-formed.
@@ -184,5 +230,11 @@ func Default() *Calibration {
 		},
 		ScanBase:    4,
 		ScanPerByte: 0.15,
+
+		IndexDescentPerLevel: defIndexDescentPerLevel,
+		IndexLeafPerRow:      defIndexLeafPerRow,
+		IndexGatherBase:      defIndexGatherBase,
+		IndexGatherPerByte:   defIndexGatherPerByte,
+		IndexBuildPerRow:     defIndexBuildPerRow,
 	}
 }

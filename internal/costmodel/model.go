@@ -142,6 +142,35 @@ func (m *Model) ScanCost(rows float64, width int) float64 {
 	return m.Cal.ScanCost(rows, width)
 }
 
+// IndexBuildCost estimates bulk-loading a secondary index over rows
+// base rows: a comparison sort of the permutation (rows·log2 rows)
+// plus a linear gather of the keys into leaf order.
+func (m *Model) IndexBuildCost(rows float64) float64 {
+	if rows < 2 {
+		return 0
+	}
+	return rows*math.Log2(rows)*m.Cal.IndexBuild() + rows*2
+}
+
+// IndexRangeCost estimates one index-driven range scan: two log-height
+// descents resolve the leaf run, then every matching row pays a leaf
+// walk plus a random gather of width emitted bytes through the
+// permutation. Compare against ScanCost(totalRows, width): the index
+// reads only the matches but pays cache-hostile gathers for them, so
+// the model crosses over to the sequential scan as selectivity grows.
+func (m *Model) IndexRangeCost(totalRows, matchRows float64, width int) float64 {
+	if matchRows < 0 {
+		matchRows = 0
+	}
+	height := 1.0
+	for n := totalRows; n > 64; n /= 64 {
+		height++
+	}
+	gBase, gByte := m.Cal.IndexGather()
+	perRow := m.Cal.IndexLeaf() + gBase + gByte*float64(width)
+	return 2*height*m.Cal.IndexDescent() + matchRows*perRow
+}
+
 // MaterializeCost estimates spilling rows of the given width to an
 // in-memory temporary table (the materialization-based reuse baseline's
 // extra cost: one streaming write of the tuple bytes).

@@ -362,8 +362,13 @@ var (
 	_ MorselSource = (*TableScan)(nil)
 	_ MorselSource = (*HTScan)(nil)
 	_ MorselSource = (*SharedScan)(nil)
+	_ MorselSource = (*IndexScan)(nil)
 	_ Source       = (*tableScanMorsel)(nil)
 	_ Source       = (*htScanMorsel)(nil)
 	_ Source       = (*sharedScanMorsel)(nil)
-	_              = storage.DefaultMorselRows
+	_ Source       = (*indexScanMorsel)(nil)
+	// IndexOrderScan is deliberately NOT a MorselSource: its pipeline
+	// runs as one serial task so rows reach the sink in index order.
+	_ Source = (*IndexOrderScan)(nil)
+	_        = storage.DefaultMorselRows
 )

@@ -32,17 +32,21 @@ type AblationResult struct {
 }
 
 // Ablation runs the high-reuse workload under four optimizer
-// configurations sharing the same data.
+// configurations sharing the same data. Secondary indexes are disabled
+// in every configuration so the table isolates the hash-table reuse
+// design choices: a lazy index build landing in one trace but not
+// another would skew the comparison with an orthogonal subsystem's
+// investment (indexes have their own benchmark, BenchmarkIndexRange).
 func Ablation(env *Env, n int) (*AblationResult, error) {
 	steps := workload.Generate(workload.Config{Level: workload.High, N: n})
 	configs := []struct {
 		name string
 		opts optimizer.Options
 	}{
-		{"no-reuse (baseline)", optimizer.Options{Strategy: optimizer.NeverReuse, BenefitOriented: true}},
-		{"exact+subsuming only", optimizer.Options{Strategy: optimizer.CostModel, BenefitOriented: true}},
-		{"no benefit-oriented opts", optimizer.Options{Strategy: optimizer.CostModel, EnablePartial: true, EnableOverlapping: true}},
-		{"full HashStash", optimizer.Options{Strategy: optimizer.CostModel, BenefitOriented: true, EnablePartial: true, EnableOverlapping: true}},
+		{"no-reuse (baseline)", optimizer.Options{Strategy: optimizer.NeverReuse, BenefitOriented: true, NoSecondaryIndexes: true}},
+		{"exact+subsuming only", optimizer.Options{Strategy: optimizer.CostModel, BenefitOriented: true, NoSecondaryIndexes: true}},
+		{"no benefit-oriented opts", optimizer.Options{Strategy: optimizer.CostModel, EnablePartial: true, EnableOverlapping: true, NoSecondaryIndexes: true}},
+		{"full HashStash", optimizer.Options{Strategy: optimizer.CostModel, BenefitOriented: true, EnablePartial: true, EnableOverlapping: true, NoSecondaryIndexes: true}},
 	}
 	out := &AblationResult{SF: env.SF, N: n}
 	var baseline time.Duration

@@ -31,12 +31,13 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hashstash/internal/btree"
 	"hashstash/internal/expr"
 	"hashstash/internal/hashtable"
 	"hashstash/internal/storage"
 )
 
-// Kind labels what materialized a cached hash table.
+// Kind labels what materialized a cached artifact.
 type Kind uint8
 
 const (
@@ -49,6 +50,10 @@ const (
 	// SharedGrouping is the grouping phase of a shared aggregation:
 	// entries are individual tuples (not folded aggregates), tagged.
 	SharedGrouping
+	// SecondaryIndex is an ordered secondary index (btree.Tree) over one
+	// base-table column — the second artifact kind the registry recycles,
+	// behind the same snapshot/pin/epoch machinery as hash tables.
+	SecondaryIndex
 )
 
 // String implements fmt.Stringer.
@@ -62,6 +67,8 @@ func (k Kind) String() string {
 		return "shared-join-build"
 	case SharedGrouping:
 		return "shared-grouping"
+	case SecondaryIndex:
+		return "secondary-index"
 	}
 	return "kind(?)"
 }
@@ -116,7 +123,10 @@ func (l Lineage) StructKey() string {
 // for the whole plan/compile/execute pipeline; widening queries derive
 // a successor from it and publish with PublishWidened.
 type Snapshot struct {
-	HT *hashtable.Table
+	// Exactly one of HT and Idx is set, selected by the entry's
+	// Lineage.Kind (SecondaryIndex entries carry Idx).
+	HT  *hashtable.Table
+	Idx *btree.Tree
 	// Filter is the base-qualified content description of this version.
 	Filter expr.Box
 	// Version increments per publication (1 = registration).
@@ -170,6 +180,18 @@ func (e *Entry) Current() *Snapshot { return e.cur.Load() }
 // query never observes two versions.
 func (e *Entry) HT() *hashtable.Table { return e.cur.Load().HT }
 
+// byteSize reports the footprint of whichever artifact the snapshot
+// holds.
+func (s *Snapshot) byteSize() int64 {
+	if s.HT != nil {
+		return s.HT.ByteSize()
+	}
+	if s.Idx != nil {
+		return s.Idx.ByteSize()
+	}
+	return 0
+}
+
 // Stats summarizes cache state for experiments and monitoring.
 type Stats struct {
 	Entries     int
@@ -207,6 +229,20 @@ type Stats struct {
 	Probes          int64
 	ProbeChainNodes int64
 	TombstoneSkips  int64
+
+	// Index is the secondary-index slice of the cache's lifecycle.
+	Index IndexStats
+}
+
+// IndexStats summarizes the cached secondary indexes' lifecycle: how
+// many were built, how much they were used (live tree counters plus an
+// accumulator folded in on eviction, like the probe statistics), and
+// how many were dropped by base-table invalidation.
+type IndexStats struct {
+	Builds        int64 // indexes registered
+	RangeProbes   int64 // constraint resolutions against cached trees
+	RowsGathered  int64 // row ids materialized through cached trees
+	Invalidations int64 // index entries evicted by InvalidateTable
 }
 
 // Cache is the hash table cache. All methods are safe for concurrent
@@ -247,6 +283,12 @@ type Cache struct {
 	// live sets (reclaimed snapshots, evicted entries) so Stats stays
 	// monotonic across publications.
 	probeAcc hashtable.ProbeStats
+
+	// Secondary-index lifecycle counters; idxAcc plays probeAcc's role
+	// for evicted trees.
+	idxBuilds int64
+	idxInval  int64
+	idxAcc    btree.Stats
 }
 
 // retiredSnap is a superseded snapshot awaiting reader drain. The
@@ -338,7 +380,7 @@ func (c *Cache) reclaimLocked() {
 		if rs.epoch < minEpoch && rs.entry.Pins == 0 {
 			rs.snap.reclaimed.Store(true)
 			c.reclaims++
-			c.foldProbeLocked(rs.snap.HT)
+			c.foldLocked(rs.snap)
 			continue
 		}
 		kept = append(kept, rs)
@@ -371,6 +413,89 @@ func (c *Cache) Register(ht *hashtable.Table, lin Lineage) *Entry {
 	c.registered++
 	c.gcLocked()
 	return e
+}
+
+// IndexLineage is the canonical lineage of a secondary index over one
+// base column: the structural key is (SecondaryIndex, table, column),
+// so every query requesting an index on the same column resolves the
+// same cached entry.
+func IndexLineage(col storage.ColRef) Lineage {
+	return Lineage{
+		Kind:    SecondaryIndex,
+		Tables:  []string{col.Table},
+		JoinSig: col.Table,
+		KeyCols: []storage.ColRef{col},
+		QidCol:  -1,
+	}
+}
+
+// RegisterIndex admits a freshly built secondary index under the same
+// lifecycle as a hash table build: the entry comes back pinned and
+// unready, becomes a reuse candidate only when the building query
+// releases it, and is evicted by GC, Abandon or InvalidateTable like
+// any other entry.
+func (c *Cache) RegisterIndex(tree *btree.Tree, col storage.ColRef) *Entry {
+	lin := IndexLineage(col)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &Entry{
+		ID:       c.nextID,
+		Lineage:  lin,
+		LastUsed: c.tick(),
+		Pins:     1,
+		Bytes:    tree.ByteSize(),
+	}
+	e.cur.Store(&Snapshot{Idx: tree, Filter: lin.Filter, Version: 1})
+	c.nextID++
+	c.entries[e.ID] = e
+	key := lin.StructKey()
+	c.byStruct[key] = append(c.byStruct[key], e)
+	c.registered++
+	c.idxBuilds++
+	c.gcLocked()
+	return e
+}
+
+// IndexBytes reports the live footprint of cached secondary-index
+// entries (the build-budget check compares against it).
+func (c *Cache) IndexBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var total int64
+	for _, e := range c.entries {
+		if e.Lineage.Kind == SecondaryIndex {
+			total += e.Bytes
+		}
+	}
+	return total
+}
+
+// InvalidateTable drops every unpinned cached artifact whose lineage
+// touches the given base table — the base data changed, so indexes and
+// hash tables over it describe rows that no longer exist. Callers
+// mutate tables only while no queries run (the engine's documented
+// contract), so unpinned is the steady state here.
+func (c *Cache) InvalidateTable(table string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for _, e := range c.entries {
+		if e.Pins > 0 {
+			continue
+		}
+		for _, t := range e.Lineage.Tables {
+			if t == table {
+				if e.Lineage.Kind == SecondaryIndex {
+					c.idxInval++
+				}
+				c.evict(e)
+				dropped++
+				break
+			}
+		}
+	}
+	c.reclaimLocked()
+	return dropped
 }
 
 // SetRehash configures incremental bucket maintenance of widened
@@ -495,10 +620,12 @@ func (c *Cache) Release(e *Entry) {
 	}
 	snap := e.cur.Load()
 	if !e.ready {
-		snap.HT.Freeze()
+		if snap.HT != nil {
+			snap.HT.Freeze() // trees are born immutable; nothing to freeze
+		}
 		e.ready = true
 	}
-	e.Bytes = snap.HT.ByteSize()
+	e.Bytes = snap.byteSize()
 	e.LastUsed = c.tick()
 	c.reclaimLocked()
 	c.gcLocked()
@@ -597,21 +724,28 @@ func (c *Cache) gcLocked() int {
 	return evicted
 }
 
-// foldProbeLocked folds a table's probe counters into the cumulative
-// accumulator as it leaves the live sets Stats sums over. A reclaimed
+// foldLocked folds a snapshot's access counters into the cumulative
+// accumulators as it leaves the live sets Stats sums over. A reclaimed
 // snapshot's readers have drained (its counters are final); an evicted
 // entry's still-retired snapshots stay in the retired sum until their
 // own reclamation.
-func (c *Cache) foldProbeLocked(ht *hashtable.Table) {
-	ps := ht.ProbeStats()
-	c.probeAcc.Probes += ps.Probes
-	c.probeAcc.ChainNodes += ps.ChainNodes
-	c.probeAcc.TombstoneSkips += ps.TombstoneSkips
+func (c *Cache) foldLocked(s *Snapshot) {
+	if s.HT != nil {
+		ps := s.HT.ProbeStats()
+		c.probeAcc.Probes += ps.Probes
+		c.probeAcc.ChainNodes += ps.ChainNodes
+		c.probeAcc.TombstoneSkips += ps.TombstoneSkips
+	}
+	if s.Idx != nil {
+		is := s.Idx.Stats()
+		c.idxAcc.RangeProbes += is.RangeProbes
+		c.idxAcc.RowsGathered += is.RowsGathered
+	}
 }
 
 func (c *Cache) evict(e *Entry) {
 	delete(c.entries, e.ID)
-	c.foldProbeLocked(e.cur.Load().HT)
+	c.foldLocked(e.cur.Load())
 	key := e.Lineage.StructKey()
 	list := c.byStruct[key]
 	for i, x := range list {
@@ -677,17 +811,29 @@ func (c *Cache) Stats() Stats {
 	s.Probes = c.probeAcc.Probes
 	s.ProbeChainNodes = c.probeAcc.ChainNodes
 	s.TombstoneSkips = c.probeAcc.TombstoneSkips
-	addProbe := func(ps hashtable.ProbeStats) {
-		s.Probes += ps.Probes
-		s.ProbeChainNodes += ps.ChainNodes
-		s.TombstoneSkips += ps.TombstoneSkips
+	s.Index.Builds = c.idxBuilds
+	s.Index.Invalidations = c.idxInval
+	s.Index.RangeProbes = c.idxAcc.RangeProbes
+	s.Index.RowsGathered = c.idxAcc.RowsGathered
+	add := func(sn *Snapshot) {
+		if sn.HT != nil {
+			ps := sn.HT.ProbeStats()
+			s.Probes += ps.Probes
+			s.ProbeChainNodes += ps.ChainNodes
+			s.TombstoneSkips += ps.TombstoneSkips
+		}
+		if sn.Idx != nil {
+			is := sn.Idx.Stats()
+			s.Index.RangeProbes += is.RangeProbes
+			s.Index.RowsGathered += is.RowsGathered
+		}
 	}
 	for _, rs := range c.retired {
-		s.RetiredBytes += rs.snap.HT.ByteSize()
-		addProbe(rs.snap.HT.ProbeStats())
+		s.RetiredBytes += rs.snap.byteSize()
+		add(rs.snap)
 	}
 	for _, e := range c.entries {
-		addProbe(e.cur.Load().HT.ProbeStats())
+		add(e.cur.Load())
 	}
 	if c.registered > 0 {
 		s.HitRatio = float64(c.hits) / float64(c.registered)

@@ -286,7 +286,7 @@ func (e *Engine) Run(q *plan.Query) (*optimizer.Result, error) {
 	}
 	return &optimizer.Result{
 		Columns:  c.columns,
-		Rows:     c.out.Rows,
+		Rows:     optimizer.OrderAndLimit(c.out.Rows, c.columns, q),
 		ExecTime: elapsed,
 	}, nil
 }

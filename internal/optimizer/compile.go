@@ -20,6 +20,10 @@ type Compiled struct {
 	pinned        []*htcache.Entry
 	created       []*htcache.Entry
 	filterUpdates []filterUpdate
+	// ordered marks plans whose pipelines already emit rows in ORDER BY
+	// order, truncated to LIMIT (the bounded index-order scan); the
+	// executor's sort+truncate fallback is skipped.
+	ordered bool
 }
 
 // filterUpdate records one copy-on-write widening performed by the
@@ -104,6 +108,9 @@ func (c *compiler) compileStream(n *Node) (exec.Source, []exec.Transform, storag
 		boxes := n.ScanBoxes
 		if boxes == nil {
 			boxes = []expr.Box{c.q.FilterFor(rel.Alias)}
+		}
+		if src := c.tryIndexScan(n, rel, boxes); src != nil {
+			return src, nil, src.Schema(), nil
 		}
 		src, err := exec.NewTableScan(c.o.Cat.Table(rel.Table), rel.Alias, boxes, c.needed[rel.Alias])
 		if err != nil {
@@ -291,11 +298,62 @@ func maskTables(q *plan.Query, mask int) []string {
 	return out
 }
 
+// tryOrderedSource lowers a single-scan top-k query (ORDER BY col
+// LIMIT k) to a bounded index-order scan when a cached index on the
+// order column exists: the index's permutation IS the sort, so the scan
+// walks it (reversed for DESC), filters residually and stops at k rows.
+// Indexes are never built just for ordering — only recycled.
+func (c *compiler) tryOrderedSource(root *Node) exec.Source {
+	q := c.q
+	o := c.o
+	if o.Opts.NoSecondaryIndexes || q.OrderBy == nil || q.Limit <= 0 || root.Kind != nodeScan {
+		return nil
+	}
+	rel := q.Relations[root.RelIdx]
+	if q.OrderBy.Col.Table != rel.Alias {
+		return nil
+	}
+	boxes := root.ScanBoxes
+	if boxes == nil {
+		boxes = []expr.Box{q.FilterFor(rel.Alias)}
+	}
+	if len(boxes) != 1 || boxes[0].Empty() {
+		return nil
+	}
+	tbl := o.Cat.Table(rel.Table)
+	if tbl == nil {
+		return nil
+	}
+	colBase := storage.ColRef{Table: rel.Table, Column: q.OrderBy.Col.Column}
+	entry, tree := o.cachedIndexEntry(colBase)
+	if tree == nil {
+		return nil
+	}
+	src, err := exec.NewIndexOrderScan(tbl, rel.Alias, tree, q.OrderBy.Desc, q.Limit, boxes[0], c.needed[rel.Alias])
+	if err != nil {
+		return nil
+	}
+	if c.register {
+		o.Cache.Pin(entry)
+		c.out.pinned = append(c.out.pinned, entry)
+	}
+	return src
+}
+
 // compileSPJRoot terminates a pure SPJ query with projection + collect.
 func (c *compiler) compileSPJRoot(root *Node) error {
-	src, tfs, schema, err := c.compileStream(root)
-	if err != nil {
-		return err
+	var src exec.Source
+	var tfs []exec.Transform
+	var schema storage.Schema
+	if ord := c.tryOrderedSource(root); ord != nil {
+		src, schema = ord, ord.Schema()
+		c.out.ordered = true
+	} else {
+		var err error
+		src, tfs, schema, err = c.compileStream(root)
+		if err != nil {
+			return err
+		}
 	}
 	var cols []int
 	var names []string

@@ -106,18 +106,27 @@ func (o *Optimizer) scanIndexed(q *plan.Query, relIdx int, box expr.Box) bool {
 }
 
 // scanCost estimates scanning relation relIdx under the union of boxes.
+// Each box costs the cheapest available access path: the sequential
+// scan, a pre-built storage index, or a cached secondary index (the
+// enumerator thereby sees — and plans around — the index access path
+// without ever triggering a build).
 func (o *Optimizer) scanCost(q *plan.Query, relIdx int, boxes []expr.Box, emitted int) float64 {
 	rel := q.Relations[relIdx]
 	ts := o.Cat.Stats(rel.Table)
 	width := emitted * 8
 	var total float64
 	for _, box := range boxes {
-		outRows := ts.EstimateRows(box)
+		cost := o.Model.ScanCost(float64(ts.Rows), width)
 		if o.scanIndexed(q, relIdx, box) {
-			total += o.Model.ScanCost(outRows, width)
-		} else {
-			total += o.Model.ScanCost(float64(ts.Rows), width)
+			outRows := ts.EstimateRows(box)
+			if c := o.Model.ScanCost(outRows, width); c < cost {
+				cost = c
+			}
 		}
+		if c := o.cachedIndexCost(q, relIdx, box, width); c >= 0 && c < cost {
+			cost = c
+		}
+		total += cost
 	}
 	return total
 }

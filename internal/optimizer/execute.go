@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"sort"
 	"time"
 
 	"hashstash/internal/exec"
@@ -88,9 +89,13 @@ func (o *Optimizer) Run(q *plan.Query) (*Result, error) {
 		rowsIn += in
 		rowsOut += out
 	}
+	rows := compiled.Out.Rows
+	if !compiled.ordered {
+		rows = OrderAndLimit(rows, compiled.Columns, q)
+	}
 	return &Result{
 		Columns:       compiled.Columns,
-		Rows:          compiled.Out.Rows,
+		Rows:          rows,
 		PlanTime:      planTime,
 		ExecTime:      execTime,
 		RowsIn:        rowsIn,
@@ -98,6 +103,36 @@ func (o *Optimizer) Run(q *plan.Query) (*Result, error) {
 		EstimatedCost: planned.EstimatedCost,
 		Decisions:     planned.Decisions(),
 	}, nil
+}
+
+// OrderAndLimit is the fallback for ORDER BY / LIMIT queries whose plan
+// did not use the bounded index-order scan: a stable sort over the
+// collected rows, then truncation. The materialized baseline shares it.
+func OrderAndLimit(rows [][]types.Value, columns []string, q *plan.Query) [][]types.Value {
+	if q.OrderBy != nil {
+		idx := -1
+		want := q.OrderBy.Col.String()
+		for i, c := range columns {
+			if c == want {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 {
+			desc := q.OrderBy.Desc
+			sort.SliceStable(rows, func(i, j int) bool {
+				c := rows[i][idx].Compare(rows[j][idx])
+				if desc {
+					return c > 0
+				}
+				return c < 0
+			})
+		}
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return rows
 }
 
 // discard unwinds a compiled plan that will not publish its tables —

@@ -98,6 +98,14 @@ type Options struct {
 	// RehashBudget caps chain nodes walked per bucket-maintenance pass
 	// (<= 0 uses hashtable.DefaultRehashBudget).
 	RehashBudget int
+	// NoSecondaryIndexes disables the ordered secondary-index access
+	// path entirely: no lazy index builds, no cached-index scans;
+	// ablation knob.
+	NoSecondaryIndexes bool
+	// IndexBuildBudget caps the total bytes of lazily built secondary
+	// indexes live in the cache (<= 0 = unlimited). A build that would
+	// exceed it is skipped and the constraint scans instead.
+	IndexBuildBudget int64
 }
 
 // DefaultOptions returns the HashStash defaults.
@@ -129,6 +137,16 @@ type Optimizer struct {
 	// queries probed for a matching cached table — the signal for the
 	// benefit-oriented join-order tie-break.
 	history map[string]int64
+
+	// idxMu guards idxBenefit under concurrent compilation.
+	idxMu sync.Mutex
+	// idxBenefit accumulates, per base-qualified column, the benefit
+	// (estimated scan cost minus index-range cost, ns) forgone by not
+	// having a secondary index — the ski-rental signal for lazy builds:
+	// once the accumulated benefit pays for IndexBuildCost, the next
+	// query builds the index. A NaN entry marks a column proven
+	// unindexable (e.g. floats containing NaN).
+	idxBenefit map[string]float64
 }
 
 // New constructs an optimizer. A nil model uses the default calibration.
@@ -136,7 +154,11 @@ func New(cat *catalog.Catalog, cache *htcache.Cache, model *costmodel.Model, opt
 	if model == nil {
 		model = costmodel.NewModel(nil)
 	}
-	return &Optimizer{Cat: cat, Cache: cache, Model: model, Opts: opts, history: make(map[string]int64)}
+	return &Optimizer{
+		Cat: cat, Cache: cache, Model: model, Opts: opts,
+		history:    make(map[string]int64),
+		idxBenefit: make(map[string]float64),
+	}
 }
 
 // WidenOptions translates the ablation knobs into the hashtable

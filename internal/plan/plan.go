@@ -44,6 +44,18 @@ type Query struct {
 	// GroupBy and Aggs are set for SPJA blocks.
 	GroupBy []storage.ColRef
 	Aggs    []expr.AggSpec
+	// OrderBy orders the result by one selected column; Limit truncates
+	// it (0 = no limit). Together they express the top-k shape that an
+	// ordered secondary index can answer without sorting.
+	OrderBy *OrderSpec
+	Limit   int
+}
+
+// OrderSpec is the ORDER BY clause: one selected column, ascending by
+// default.
+type OrderSpec struct {
+	Col  storage.ColRef
+	Desc bool
 }
 
 // IsAggregate reports whether the query has an aggregation block.
@@ -164,6 +176,26 @@ func (q *Query) Validate(cat *catalog.Catalog) error {
 			return err
 		}
 	}
+	if q.OrderBy != nil {
+		if _, err := resolve(q.OrderBy.Col); err != nil {
+			return err
+		}
+		// The order column must be selected: the result sorter (and the
+		// index-order fast path) orders the projected rows.
+		found := false
+		for _, s := range q.Select {
+			if s == q.OrderBy.Col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("plan: ORDER BY column %v not in SELECT", q.OrderBy.Col)
+		}
+	}
+	if q.Limit < 0 {
+		return fmt.Errorf("plan: negative LIMIT %d", q.Limit)
+	}
 	if len(q.Relations) > 1 && !q.connected(cat) {
 		return fmt.Errorf("plan: join graph is not connected")
 	}
@@ -238,6 +270,16 @@ func (q *Query) String() string {
 		}
 		b.WriteString(" GROUP BY ")
 		b.WriteString(strings.Join(g, ", "))
+	}
+	if q.OrderBy != nil {
+		b.WriteString(" ORDER BY ")
+		b.WriteString(q.OrderBy.Col.String())
+		if q.OrderBy.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
 	}
 	return b.String()
 }

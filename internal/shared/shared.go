@@ -47,8 +47,14 @@ type BatchResult struct {
 func (b *BatchResult) NumSharedPlans() int { return len(b.Groups) }
 
 // mergeable reports whether two queries may share a plan: the paper
-// requires identical join graphs.
+// requires identical join graphs. ORDER BY / LIMIT queries never merge —
+// ordering and truncation are per-query properties the shared plan's
+// qid-tagged union cannot express, so they run as singletons (which
+// route through the single-query executor and its order/limit paths).
 func mergeable(a, b *plan.Query) bool {
+	if a.OrderBy != nil || b.OrderBy != nil || a.Limit > 0 || b.Limit > 0 {
+		return false
+	}
 	return a.JoinGraphSignature() == b.JoinGraphSignature()
 }
 

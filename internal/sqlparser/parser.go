@@ -127,10 +127,52 @@ func (p *parser) parseQuery() (*plan.Query, error) {
 			return nil, err
 		}
 	}
+	if p.keyword("ORDER") {
+		if !p.keyword("BY") {
+			return nil, p.errf("expected BY after ORDER")
+		}
+		if err := p.parseOrderBy(); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("LIMIT") {
+		if err := p.parseLimit(); err != nil {
+			return nil, err
+		}
+	}
 	if p.cur().kind != tokEOF {
 		return nil, p.errf("trailing input")
 	}
 	return p.q, p.resolveSelect()
+}
+
+func (p *parser) parseOrderBy() error {
+	alias, col, err := p.parseColRef()
+	if err != nil {
+		return err
+	}
+	spec := &plan.OrderSpec{Col: storage.ColRef{Table: alias, Column: col}}
+	if p.keyword("DESC") {
+		spec.Desc = true
+	} else {
+		p.keyword("ASC")
+	}
+	p.q.OrderBy = spec
+	return nil
+}
+
+func (p *parser) parseLimit() error {
+	t := p.cur()
+	if t.kind != tokNumber {
+		return p.errf("expected row count after LIMIT")
+	}
+	p.pos++
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return p.errf("bad LIMIT %q", t.text)
+	}
+	p.q.Limit = n
+	return nil
 }
 
 func (p *parser) parseSelectList() error {
@@ -294,6 +336,7 @@ func (p *parser) parseFrom() error {
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
 	"AND": true, "AS": true, "BETWEEN": true, "IN": true, "DATE": true,
+	"ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
 }
 
 func isKeyword(s string) bool { return keywords[strings.ToUpper(s)] }

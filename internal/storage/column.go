@@ -109,6 +109,19 @@ func (c *Column) less(i, j int32) bool {
 	return false
 }
 
+// SortedPerm returns the row ids of the column ordered by value. The
+// sort is stable, so rows with equal keys stay in row-id order — range
+// lookups over the permutation return runs that scan the base table
+// mostly forward.
+func SortedPerm(col *Column) []int32 {
+	perm := make([]int32, col.Len())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return col.less(perm[a], perm[b]) })
+	return perm
+}
+
 // Index is a sorted secondary index: Perm lists all row ids of the table
 // ordered by the indexed column's value. Range lookups binary-search the
 // permutation and return a contiguous run of row ids.
@@ -119,12 +132,7 @@ type Index struct {
 
 // BuildIndex sorts the table's rows by the column value.
 func BuildIndex(col *Column) *Index {
-	perm := make([]int32, col.Len())
-	for i := range perm {
-		perm[i] = int32(i)
-	}
-	sort.SliceStable(perm, func(a, b int) bool { return col.less(perm[a], perm[b]) })
-	return &Index{Col: col, Perm: perm}
+	return &Index{Col: col, Perm: SortedPerm(col)}
 }
 
 // Range returns the slice of the permutation whose column values v

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"hashstash/internal/expr"
+	"hashstash/internal/plan"
+	"hashstash/internal/storage"
+	"hashstash/internal/tpch"
+	"hashstash/internal/types"
+)
+
+// Range-heavy workload: single-relation selections with narrow, drifting
+// l_shipdate windows — the access pattern the ordered secondary-index
+// path serves. Unlike the join workloads above, there is no hash table
+// to recycle here; what repeats across queries is the *column* being
+// constrained, which is exactly the signal the ski-rental lazy-build
+// heuristic accumulates before investing in an index.
+
+// RangeConfig controls range-workload generation.
+type RangeConfig struct {
+	// N is the number of queries (default 32).
+	N int
+	// Selectivity is the fraction of the shipdate domain each window
+	// covers (default 0.01).
+	Selectivity float64
+	// TopK, when > 0, makes every fourth query an ORDER BY
+	// l_extendedprice DESC LIMIT TopK top-k query over the window.
+	TopK int
+	// Seed makes generation deterministic; 0 selects a default.
+	Seed uint64
+}
+
+// GenerateRange produces a range-heavy (optionally top-k-mixed)
+// workload over lineitem.
+func GenerateRange(cfg RangeConfig) []Step {
+	if cfg.N <= 0 {
+		cfg.N = 32
+	}
+	if cfg.Selectivity <= 0 {
+		cfg.Selectivity = 0.01
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x52414e47 // "RANG"
+	}
+	r := &rng{state: seed}
+
+	dlo, dhi := tpch.OrderDateRange()
+	shipLo, shipHi := dlo+1, dhi+121
+	span := shipHi - shipLo
+	width := int64(float64(span) * cfg.Selectivity)
+	if width < 1 {
+		width = 1
+	}
+
+	steps := make([]Step, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		lo := shipLo + r.intn(span-width+1)
+		hi := lo + width
+		q := rangeQuery(lo, hi)
+		if cfg.TopK > 0 && i%4 == 3 {
+			q.OrderBy = &plan.OrderSpec{Col: ref("l", "l_extendedprice"), Desc: true}
+			q.Limit = cfg.TopK
+		}
+		steps = append(steps, Step{Query: q, Kind: ShiftMuch, Lo: lo, Hi: hi})
+	}
+	return steps
+}
+
+// rangeQuery builds one single-relation selection over lineitem.
+func rangeQuery(lo, hi int64) *plan.Query {
+	return &plan.Query{
+		Relations: []plan.Rel{{Alias: "l", Table: "lineitem"}},
+		Filter: expr.NewBox(expr.Pred{
+			Col: ref("l", "l_shipdate"),
+			Con: expr.IntervalConstraint(types.Date, expr.Interval{
+				HasLo: true, Lo: types.NewDate(lo), LoIncl: true,
+				HasHi: true, Hi: types.NewDate(hi), HiIncl: false,
+			}),
+		}),
+		Select: []storage.ColRef{
+			ref("l", "l_orderkey"),
+			ref("l", "l_extendedprice"),
+		},
+	}
+}

@@ -149,3 +149,47 @@ func TestLevelAndInteractionStrings(t *testing.T) {
 		t.Error("Overlap ordering")
 	}
 }
+
+func TestGenerateRangeShape(t *testing.T) {
+	db, err := tpch.Generate(tpch.Config{SF: 0.001, SkipIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	for _, tbl := range db.Tables() {
+		cat.Register(tbl)
+	}
+	steps := GenerateRange(RangeConfig{N: 24, Selectivity: 0.01, TopK: 10})
+	if len(steps) != 24 {
+		t.Fatalf("%d steps", len(steps))
+	}
+	topk := 0
+	for i, s := range steps {
+		if err := s.Query.Validate(cat); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if len(s.Query.Relations) != 1 {
+			t.Fatalf("step %d: %d relations", i, len(s.Query.Relations))
+		}
+		if s.Lo >= s.Hi {
+			t.Fatalf("step %d: window [%d, %d)", i, s.Lo, s.Hi)
+		}
+		if s.Query.OrderBy != nil {
+			topk++
+			if s.Query.Limit != 10 {
+				t.Fatalf("step %d: limit %d", i, s.Query.Limit)
+			}
+		}
+	}
+	if topk != 24/4 {
+		t.Errorf("top-k steps = %d, want %d", topk, 24/4)
+	}
+
+	a := GenerateRange(RangeConfig{N: 8})
+	b := GenerateRange(RangeConfig{N: 8})
+	for i := range a {
+		if a[i].Lo != b[i].Lo {
+			t.Fatal("not deterministic")
+		}
+	}
+}
