@@ -27,12 +27,20 @@ func main() {
 	var (
 		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
 		budget   = flag.Int64("cache", 0, "hash table cache budget in bytes (0 = unlimited)")
+		cold     = flag.Int64("cold", 0, "cold-tier budget in bytes for compact demoted artifacts (0 = disabled)")
+		lru      = flag.Bool("lru", false, "use LRU eviction instead of benefit-per-byte (ablation)")
 		maxRow   = flag.Int("rows", 20, "maximum result rows to print")
 		parallel = flag.Int("parallel", 0, "execution worker-pool size (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
 	opts := []hashstash.Option{hashstash.WithCacheBudget(*budget)}
+	if *cold > 0 {
+		opts = append(opts, hashstash.WithColdTierBudget(*cold))
+	}
+	if *lru {
+		opts = append(opts, hashstash.WithLRUEviction())
+	}
 	if *parallel > 0 {
 		opts = append(opts, hashstash.WithParallelism(*parallel))
 	}
@@ -66,6 +74,12 @@ func main() {
 			s := db.CacheStats()
 			fmt.Printf("entries=%d bytes=%d hits=%d evictions=%d hit-ratio=%.2f\n",
 				s.Entries, s.Bytes, s.Hits, s.Evictions, s.HitRatio)
+			tr := s.Tiering
+			fmt.Printf("tiering: demotions=%d spills=%d revivals=%d rebuilds=%d cold=%d/%dB "+
+				"bloom=%d/%d/%dFP evict[benefit=%d lru=%d cold=%d] saved=%.1fms\n",
+				tr.Demotions, tr.Spills, tr.Revivals, tr.ReviveRebuilds, tr.ColdEntries, tr.ColdBytes,
+				tr.BloomProbes, tr.BloomNegatives, tr.BloomFalsePositives,
+				tr.BenefitEvictions, tr.LRUEvictions, tr.ColdEvictions, tr.SavedNS/1e6)
 			continue
 		}
 		res, err := db.Exec(line)

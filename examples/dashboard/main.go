@@ -15,7 +15,10 @@ import (
 )
 
 func main() {
-	db := hashstash.Open()
+	// The cold tier is enabled up front so that when the budget tightens
+	// at the end of the demo, cold artifacts spill compactly instead of
+	// being dropped outright.
+	db := hashstash.Open(hashstash.WithColdTierBudget(64 << 20))
 	if err := db.LoadTPCH(0.01); err != nil {
 		log.Fatal(err)
 	}
@@ -96,4 +99,24 @@ func main() {
 	}
 	fmt.Printf("\n  index stats: builds=%d probes=%d rows=%d\n",
 		idx.Builds, idx.RangeProbes, idx.RowsGathered)
+
+	// Memory pressure: squeeze the cache to half of what the dashboard
+	// accumulated. The benefit-per-byte policy demotes the lowest
+	// benefit-density artifacts into compact cold-tier spills; the next
+	// refresh revives the ones still worth their bytes (per-artifact
+	// bloom filters veto revivals that provably cannot serve the probe).
+	ws := db.CacheStats().Bytes
+	db.SetCacheBudget(ws / 2)
+	if _, err := db.ExecBatch(batch); err != nil {
+		log.Fatal(err)
+	}
+	tier := db.CacheStats().Tiering
+	fmt.Printf("refresh under memory pressure (budget %d of %d KiB):\n", ws/2>>10, ws>>10)
+	fmt.Printf("  tiering: demotions=%d spills=%d revivals=%d (rebuilds=%d) cold=%d entries / %d KiB\n",
+		tier.Demotions, tier.Spills, tier.Revivals, tier.ReviveRebuilds,
+		tier.ColdEntries, tier.ColdBytes>>10)
+	fmt.Printf("  bloom: probes=%d negatives=%d false-positives=%d\n",
+		tier.BloomProbes, tier.BloomNegatives, tier.BloomFalsePositives)
+	fmt.Printf("  evictions: benefit=%d lru=%d cold=%d; modeled reuse savings %.1f ms\n",
+		tier.BenefitEvictions, tier.LRUEvictions, tier.ColdEvictions, tier.SavedNS/1e6)
 }

@@ -128,11 +128,27 @@ type config struct {
 	rehashBudget    int
 	noSecondaryIdx  bool
 	indexBudget     int64
+	lruEviction     bool
+	coldBudget      int64
 }
 
 // WithCacheBudget bounds the hash-table cache (bytes); the garbage
-// collector evicts least-recently-used tables beyond it. 0 = unlimited.
+// collector evicts the worst benefit-per-byte artifacts beyond it
+// (least-recently-used under WithLRUEviction). 0 = unlimited.
 func WithCacheBudget(bytes int64) Option { return func(c *config) { c.budget = bytes } }
+
+// WithLRUEviction replaces the default benefit-per-byte eviction policy
+// with plain least-recently-used and disables the cold tier. Ablation
+// knob for measuring what benefit accounting buys on skewed workloads.
+func WithLRUEviction() Option { return func(c *config) { c.lruEviction = true } }
+
+// WithColdTierBudget bounds the compact cold tier (bytes): artifacts
+// evicted from the hot cache are demoted to a pointer-free spill format
+// with a bloom filter over their key contents, and revived — instead of
+// rebuilt — when the cost model says revival is cheaper. 0 disables the
+// cold tier (evictions discard artifacts outright). Only meaningful
+// under the default benefit-per-byte policy.
+func WithColdTierBudget(bytes int64) Option { return func(c *config) { c.coldBudget = bytes } }
 
 // WithStrategy selects the reuse decision strategy.
 func WithStrategy(s Strategy) Option { return func(c *config) { c.strategy = s } }
@@ -258,6 +274,12 @@ func Open(opts ...Option) *DB {
 		IndexBuildBudget:   cfg.indexBudget,
 	})
 	cache.SetRehash(!cfg.noBucketRehash, cfg.rehashBudget)
+	if cfg.lruEviction {
+		cache.SetPolicy(htcache.PolicyLRU)
+	}
+	if cfg.coldBudget > 0 {
+		cache.SetColdBudget(cfg.coldBudget)
+	}
 	mat := matreuse.NewEngine(cat, cfg.budget)
 	mat.Par = exec.Parallelism{
 		Workers:         cfg.parallelism,

@@ -87,6 +87,15 @@ func Build(col *storage.Column) (*Tree, error) {
 		return nil, fmt.Errorf("btree: unsupported column kind %v", col.Kind)
 	}
 	t.perm = storage.SortedPerm(col)
+	t.gather(col)
+	return t, nil
+}
+
+// gather materializes the leaf keys (and internal levels) from the
+// column through the already-computed permutation. Shared by Build and
+// by cold-tier revival, where the permutation survives spilling and the
+// n·log n sort is skipped.
+func (t *Tree) gather(col *storage.Column) {
 	switch col.Kind {
 	case types.Int64, types.Date:
 		t.ints = make([]int64, len(t.perm))
@@ -110,7 +119,6 @@ func Build(col *storage.Column) (*Tree, error) {
 		}
 		t.strStarts = append(t.strStarts, int32(len(t.perm)))
 	}
-	return t, nil
 }
 
 // buildLevels constructs the internal separator levels: level k entry j

@@ -1,0 +1,71 @@
+package btree
+
+import (
+	"fmt"
+	"math"
+
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// Spill is the compact cold-tier representation of a tree: the sort
+// permutation alone. The leaf keys, separator levels and string
+// dictionary are all derivable from the base column by a linear gather,
+// so demotion keeps only the part that cost n·log n to compute. The
+// permutation slice is shared with the live tree (both are immutable).
+type Spill struct {
+	kind types.Kind
+	perm []int32
+}
+
+// Spill captures the tree's cold-tier form.
+func (t *Tree) Spill() *Spill { return &Spill{kind: t.kind, perm: t.perm} }
+
+// Rows reports the number of indexed rows.
+func (s *Spill) Rows() int { return len(s.perm) }
+
+// ByteSize approximates the spill's memory footprint.
+func (s *Spill) ByteSize() int64 { return int64(len(s.perm)) * 4 }
+
+// Revive rebuilds a full tree from the spill and the base column it was
+// built over: the saved permutation replaces the sort, leaving only the
+// linear key gather. The column must be unchanged since the original
+// Build (the cache invalidates cold entries on base-table mutation, so
+// a stale column indicates a lifecycle bug).
+func (s *Spill) Revive(col *storage.Column) (*Tree, error) {
+	if col.Kind != s.kind {
+		return nil, fmt.Errorf("btree: revive kind mismatch: spill %v, column %q %v", s.kind, col.Name, col.Kind)
+	}
+	if col.Len() != len(s.perm) {
+		return nil, fmt.Errorf("btree: revive length mismatch: spill %d rows, column %q %d", len(s.perm), col.Name, col.Len())
+	}
+	t := &Tree{kind: s.kind, perm: s.perm}
+	t.gather(col)
+	return t, nil
+}
+
+// DistinctHashes emits one content hash per distinct indexed value —
+// string bytes hashed for string trees, raw stored bits for numeric and
+// date trees. Cold-tier bloom filters are built from these; probe-side
+// membership tests must hash constraint constants the same way
+// (htcache.StableValueHash).
+func (t *Tree) DistinctHashes(emit func(uint64)) {
+	switch t.kind {
+	case types.String:
+		for _, s := range t.strVals {
+			emit(types.HashString(s))
+		}
+	case types.Int64, types.Date:
+		for i, v := range t.ints {
+			if i == 0 || v != t.ints[i-1] {
+				emit(types.Mix64(uint64(v)))
+			}
+		}
+	case types.Float64:
+		for i, v := range t.floats {
+			if i == 0 || v != t.floats[i-1] {
+				emit(types.Mix64(math.Float64bits(v)))
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package btree
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+func TestSpillReviveRoundTripInt(t *testing.T) {
+	col := storage.NewColumn("x", types.Int64)
+	for i := 0; i < 1000; i++ {
+		col.Append(types.NewInt(int64((i * 37) % 211)))
+	}
+	tree, err := Build(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tree.Spill()
+	if sp.Rows() != tree.Len() {
+		t.Fatalf("spill rows = %d, want %d", sp.Rows(), tree.Len())
+	}
+	revived, err := sp.Revive(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tree.Perm(), revived.Perm()) {
+		t.Fatal("permutation changed across revive")
+	}
+	for _, probe := range []int64{0, 7, 100, 210, 500} {
+		iv := expr.Interval{HasLo: true, Lo: types.NewInt(probe), LoIncl: true,
+			HasHi: true, Hi: types.NewInt(probe), HiIncl: true}
+		alo, ahi := tree.Range(iv)
+		blo, bhi := revived.Range(iv)
+		if alo != blo || ahi != bhi {
+			t.Fatalf("Range(%d) = [%d,%d) vs [%d,%d)", probe, alo, ahi, blo, bhi)
+		}
+	}
+}
+
+func TestSpillReviveRoundTripString(t *testing.T) {
+	col := storage.NewColumn("s", types.String)
+	for i := 0; i < 600; i++ {
+		col.Append(types.NewString(fmt.Sprintf("v%03d", i%47)))
+	}
+	tree, err := Build(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revived, err := tree.Spill().Revive(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"v000", "v023", "v046", "zzz"} {
+		alo, ahi := tree.ValueRun(s)
+		blo, bhi := revived.ValueRun(s)
+		if alo != blo || ahi != bhi {
+			t.Fatalf("ValueRun(%q) differs after revive", s)
+		}
+	}
+	// DistinctHashes (the bloom feed) must be identical.
+	counts := map[uint64]int{}
+	tree.DistinctHashes(func(h uint64) { counts[h]++ })
+	revived.DistinctHashes(func(h uint64) { counts[h]-- })
+	for h, n := range counts {
+		if n != 0 {
+			t.Fatalf("distinct hash %x unbalanced by %d", h, n)
+		}
+	}
+}
+
+func TestSpillReviveRejectsMismatchedColumn(t *testing.T) {
+	col := storage.NewColumn("x", types.Int64)
+	for i := 0; i < 10; i++ {
+		col.Append(types.NewInt(int64(i)))
+	}
+	tree, err := Build(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tree.Spill()
+
+	wrongKind := storage.NewColumn("y", types.Float64)
+	for i := 0; i < 10; i++ {
+		wrongKind.Append(types.NewFloat(float64(i)))
+	}
+	if _, err := sp.Revive(wrongKind); err == nil {
+		t.Fatal("revive against wrong-kind column succeeded")
+	}
+	shorter := storage.NewColumn("x", types.Int64)
+	shorter.Append(types.NewInt(1))
+	if _, err := sp.Revive(shorter); err == nil {
+		t.Fatal("revive against wrong-length column succeeded")
+	}
+}

@@ -171,6 +171,40 @@ func (m *Model) IndexRangeCost(totalRows, matchRows float64, width int) float64 
 	return 2*height*m.Cal.IndexDescent() + matchRows*perRow
 }
 
+// SpillCost estimates demoting a cached artifact to the cold tier: one
+// streaming write of its compact spill bytes (contiguous cell arrays,
+// no pointer graph — cheaper per byte than a materialized table, which
+// also pays tuple framing).
+func (m *Model) SpillCost(bytes float64) float64 {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return bytes * 0.25
+}
+
+// ReviveCost estimates rebuilding a hash table from its cold-tier
+// spill: the resize schedule plus one insert per row. Rows stream from
+// contiguous spill arrays, so — unlike a fresh build — there is no
+// input plan to run; comparing ReviveCost against the fresh build's
+// input cost + inserts is the revive-vs-rebuild decision.
+func (m *Model) ReviveCost(rows float64, width int) float64 {
+	if rows < 0 {
+		rows = 0
+	}
+	htBytes := EstimateHTBytes(rows, width)
+	return m.ResizeCost(0, rows) + rows*m.Cal.InsertCost(htBytes, width)
+}
+
+// IndexReviveCost estimates re-materializing a spilled secondary index:
+// the permutation survives demotion, so revival is IndexBuildCost minus
+// its n·log n sort — the linear key gather and level construction.
+func (m *Model) IndexReviveCost(rows float64) float64 {
+	if rows < 0 {
+		rows = 0
+	}
+	return rows * 2.5
+}
+
 // MaterializeCost estimates spilling rows of the given width to an
 // in-memory temporary table (the materialization-based reuse baseline's
 // extra cost: one streaming write of the tuple bytes).

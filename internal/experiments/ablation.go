@@ -50,6 +50,7 @@ func Ablation(env *Env, n int) (*AblationResult, error) {
 	}
 	out := &AblationResult{SF: env.SF, N: n}
 	var baseline time.Duration
+	var workingSet int64
 	for i, cfg := range configs {
 		opt := optimizer.New(env.Cat, htcache.New(0), nil, cfg.opts)
 		t, err := runTrace(opt.Run, steps)
@@ -60,8 +61,41 @@ func Ablation(env *Env, n int) (*AblationResult, error) {
 		if i == 0 {
 			baseline = t
 		}
+		if i == len(configs)-1 {
+			workingSet = opt.Cache.TotalBytes()
+		}
 		row.Speedup = speedupPct(baseline, t)
 		out.Rows = append(out.Rows, row)
+	}
+
+	// Eviction-policy rows: the full configuration again, but with the
+	// cache budget at half the trace's working set so the policy has to
+	// choose victims. The benefit row keeps the default policy plus a
+	// cold tier; the LRU row is the recency ablation.
+	full := configs[len(configs)-1].opts
+	for _, pc := range []struct {
+		name string
+		lru  bool
+	}{
+		{"benefit eviction, ½ budget", false},
+		{"LRU eviction, ½ budget", true},
+	} {
+		cache := htcache.New(workingSet / 2)
+		if pc.lru {
+			cache.SetPolicy(htcache.PolicyLRU)
+		} else {
+			cache.SetColdBudget(workingSet * 2)
+		}
+		opt := optimizer.New(env.Cat, cache, nil, full)
+		t, err := runTrace(opt.Run, steps)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %q: %w", pc.name, err)
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Name: pc.name, Time: t,
+			HitRatio: cache.Stats().HitRatio,
+			Speedup:  speedupPct(baseline, t),
+		})
 	}
 	return out, nil
 }

@@ -226,8 +226,18 @@ func TestAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 4 {
+	if len(res.Rows) != 6 {
 		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The last two rows are the eviction-policy ablation at half the
+	// working set; both still run the full configuration.
+	for _, row := range res.Rows[4:] {
+		if !strings.Contains(row.Name, "eviction") {
+			t.Errorf("unexpected policy row %q", row.Name)
+		}
+		if row.HitRatio <= 0 {
+			t.Errorf("policy row %q never reused", row.Name)
+		}
 	}
 	if res.Rows[0].Speedup != 0 {
 		t.Errorf("baseline speedup = %f", res.Rows[0].Speedup)

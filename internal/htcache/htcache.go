@@ -1,6 +1,14 @@
 // Package htcache implements the Hash Table Manager (HTM) of HashStash:
 // a cache of internal hash tables with lineage and statistics, plus the
-// coarse-grained LRU garbage collector of Section 5 of the paper.
+// garbage collector of Section 5 of the paper — upgraded from the
+// paper's coarse LRU to a benefit-per-byte policy with a tiered
+// lifecycle (see tiering.go): entries carry a decaying benefit
+// accumulator fed by reuse hits and the optimizer's modeled savings,
+// eviction removes the lowest benefit density first, and — when a cold
+// budget is configured — victims demote to a compact spill format with
+// a bloom filter over key contents instead of being dropped, revivable
+// for a fraction of a rebuild. The seed LRU policy survives as an
+// ablation (PolicyLRU).
 //
 // The cache is safe for concurrent queries and — since the epoch-based
 // copy-on-write lifecycle — safe for concurrent *widening*: every entry
@@ -132,11 +140,23 @@ type Snapshot struct {
 	// Version increments per publication (1 = registration).
 	Version int64
 
+	// spilled marks the placeholder installed while the entry's artifact
+	// lives in the cold tier's compact spill format (HT and Idx are both
+	// nil then). Epoch readers never observe one: a demoted entry is
+	// unlisted before the placeholder can be installed, and the physical
+	// spill waits until every reader that could have resolved the entry
+	// has exited.
+	spilled bool
+
 	// reclaimed flips when the epoch scheme frees this superseded
 	// snapshot (observability and test hook; Go's GC does the actual
 	// memory release once readers drop their references).
 	reclaimed atomic.Bool
 }
+
+// Spilled reports whether this snapshot is a cold-tier placeholder with
+// no live artifact.
+func (s *Snapshot) Spilled() bool { return s.spilled }
 
 // Reclaimed reports whether the epoch scheme has freed this superseded
 // snapshot (all readers that could observe it have drained).
@@ -159,6 +179,14 @@ type Entry struct {
 	Pins int
 	// Bytes is the footprint recorded at registration/publication time.
 	Bytes int64
+
+	// benefit is the decaying benefit accumulator (tiering.go): reuse
+	// hits add a bytes-proxy credit and the optimizer adds its modeled
+	// saving versus the fresh alternative (Cache.Credit). benefitAt is
+	// the clock tick of the last decay application. Both are guarded by
+	// the cache mutex.
+	benefit   float64
+	benefitAt int64
 
 	// ready marks the table as fully built and published: entries are
 	// registered unready (their build pipeline has not run yet) and
@@ -232,6 +260,10 @@ type Stats struct {
 
 	// Index is the secondary-index slice of the cache's lifecycle.
 	Index IndexStats
+
+	// Tiering is the benefit-accounting and hot/cold lifecycle slice
+	// (tiering.go).
+	Tiering TieringStats
 }
 
 // IndexStats summarizes the cached secondary indexes' lifecycle: how
@@ -289,6 +321,32 @@ type Cache struct {
 	idxBuilds int64
 	idxInval  int64
 	idxAcc    btree.Stats
+
+	// Eviction policy and cold tier (tiering.go). hotBytes and idxBytes
+	// are running totals over c.entries (all kinds / SecondaryIndex),
+	// maintained at register/release/publish/evict/demote/revive so the
+	// budget checks never sweep the registry under the lock.
+	policy       Policy
+	coldBudget   int64
+	cold         map[int64]*coldEntry
+	coldBytes    int64
+	pendingSpill int
+	hotBytes     int64
+	idxBytes     int64
+
+	// Tiering counters. The bloom counters are atomics: membership tests
+	// run on the planner's probe path without the cache lock.
+	demotions      int64
+	spills         int64
+	revivals       int64
+	reviveRebuilds int64
+	benefitEvict   int64
+	lruEvict       int64
+	coldEvict      int64
+	savedNS        float64
+	bloomProbes    atomic.Int64
+	bloomNeg       atomic.Int64
+	bloomFP        atomic.Int64
 }
 
 // retiredSnap is a superseded snapshot awaiting reader drain. The
@@ -317,6 +375,7 @@ func New(budget int64) *Cache {
 		entries:  make(map[int64]*Entry),
 		byStruct: make(map[string][]*Entry),
 		readers:  make(map[*Reader]struct{}),
+		cold:     make(map[int64]*coldEntry),
 	}
 }
 
@@ -366,14 +425,15 @@ func (c *Cache) retireLocked(s *Snapshot, e *Entry) {
 // readers too, but the stronger condition keeps "never reclaimed while
 // pinned" a structural guarantee rather than an ordering accident).
 func (c *Cache) reclaimLocked() {
-	if len(c.retired) == 0 {
+	if len(c.retired) == 0 && c.pendingSpill == 0 {
 		return
 	}
-	minEpoch := int64(math.MaxInt64)
-	for r := range c.readers {
-		if r.epoch < minEpoch {
-			minEpoch = r.epoch
-		}
+	minEpoch := c.minReaderEpochLocked()
+	if c.pendingSpill > 0 {
+		c.spillPendingLocked(minEpoch)
+	}
+	if len(c.retired) == 0 {
+		return
 	}
 	kept := c.retired[:0]
 	for _, rs := range c.retired {
@@ -389,6 +449,19 @@ func (c *Cache) reclaimLocked() {
 		c.retired[i] = retiredSnap{}
 	}
 	c.retired = kept
+}
+
+// minReaderEpochLocked returns the earliest epoch an active reader
+// entered at (MaxInt64 with no readers): anything published strictly
+// before it has no potential observers left.
+func (c *Cache) minReaderEpochLocked() int64 {
+	minEpoch := int64(math.MaxInt64)
+	for r := range c.readers {
+		if r.epoch < minEpoch {
+			minEpoch = r.epoch
+		}
+	}
+	return minEpoch
 }
 
 // Register admits a hash table with its lineage, triggering garbage
@@ -410,6 +483,7 @@ func (c *Cache) Register(ht *hashtable.Table, lin Lineage) *Entry {
 	c.entries[e.ID] = e
 	key := lin.StructKey()
 	c.byStruct[key] = append(c.byStruct[key], e)
+	c.hotBytes += e.Bytes
 	c.registered++
 	c.gcLocked()
 	return e
@@ -450,6 +524,8 @@ func (c *Cache) RegisterIndex(tree *btree.Tree, col storage.ColRef) *Entry {
 	c.entries[e.ID] = e
 	key := lin.StructKey()
 	c.byStruct[key] = append(c.byStruct[key], e)
+	c.hotBytes += e.Bytes
+	c.idxBytes += e.Bytes
 	c.registered++
 	c.idxBuilds++
 	c.gcLocked()
@@ -457,17 +533,12 @@ func (c *Cache) RegisterIndex(tree *btree.Tree, col storage.ColRef) *Entry {
 }
 
 // IndexBytes reports the live footprint of cached secondary-index
-// entries (the build-budget check compares against it).
+// entries (the build-budget check compares against it on every lazy
+// build decision — a running counter, not a registry sweep).
 func (c *Cache) IndexBytes() int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	var total int64
-	for _, e := range c.entries {
-		if e.Lineage.Kind == SecondaryIndex {
-			total += e.Bytes
-		}
-	}
-	return total
+	return c.idxBytes
 }
 
 // InvalidateTable drops every unpinned cached artifact whose lineage
@@ -489,6 +560,24 @@ func (c *Cache) InvalidateTable(table string) int {
 					c.idxInval++
 				}
 				c.evict(e)
+				dropped++
+				break
+			}
+		}
+	}
+	// Cold artifacts describe the same stale rows; their spills (a
+	// btree spill is just a permutation of the base column) must never
+	// be revived over changed data.
+	for _, ce := range c.cold {
+		if ce.e.Pins > 0 {
+			continue
+		}
+		for _, t := range ce.e.Lineage.Tables {
+			if t == table {
+				if ce.e.Lineage.Kind == SecondaryIndex {
+					c.idxInval++
+				}
+				c.dropColdLocked(ce)
 				dropped++
 				break
 			}
@@ -549,7 +638,15 @@ func (c *Cache) PublishWidened(e *Entry, prev *Snapshot, ht *hashtable.Table, fi
 	c.maint.ReclaimedTombstones += ms.ReclaimedTombstones
 	c.maint.CompactionsAvoided += ms.CompactionsAvoided
 	c.maint.Compactions += ms.Compactions
-	e.Bytes = ht.ByteSize()
+	if ce, ok := c.cold[e.ID]; ok {
+		// The entry was demoted between this query's classification and
+		// its publication (the publishing query is still an epoch
+		// reader, so the pending artifact was never spilled and the CAS
+		// above found prev intact). The widening proves the entry hot:
+		// relist it with the successor instead of letting it spill.
+		c.relistLocked(ce, e.cur.Load())
+	}
+	c.setEntryBytesLocked(e, ht.ByteSize())
 	e.LastUsed = c.tick()
 	c.retireLocked(prev, e)
 	c.gcLocked()
@@ -606,6 +703,11 @@ func (c *Cache) Pin(e *Entry) {
 	e.Hits++
 	c.hits++
 	e.LastUsed = c.tick()
+	// Bytes-proxy benefit credit: one hit contributes one unit of
+	// benefit density regardless of size, so with no modeled savings the
+	// policy degrades to eviction by decayed hit frequency.
+	e.decayTo(c.clock)
+	e.benefit += float64(e.Bytes)
 }
 
 // Release drops one pin, refreshes the entry's statistics and publishes
@@ -625,7 +727,7 @@ func (c *Cache) Release(e *Entry) {
 		}
 		e.ready = true
 	}
-	e.Bytes = snap.byteSize()
+	c.setEntryBytesLocked(e, snap.byteSize())
 	e.LastUsed = c.tick()
 	c.reclaimLocked()
 	c.gcLocked()
@@ -643,6 +745,8 @@ func (c *Cache) Abandon(e *Entry) {
 	}
 	if _, ok := c.entries[e.ID]; ok && e.Pins == 0 {
 		c.evict(e)
+	} else if ce, ok := c.cold[e.ID]; ok && e.Pins == 0 {
+		c.dropColdLocked(ce)
 	}
 	c.reclaimLocked()
 }
@@ -668,19 +772,26 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// TotalBytes reports the cache footprint.
+// TotalBytes reports the hot-tier cache footprint (cold spills are
+// accounted separately, against the cold budget).
 func (c *Cache) TotalBytes() int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.totalBytesLocked()
+	return c.hotBytes
 }
 
-func (c *Cache) totalBytesLocked() int64 {
-	var total int64
-	for _, e := range c.entries {
-		total += e.Bytes
+// setEntryBytesLocked records a new footprint for the entry, keeping
+// the running per-kind byte counters consistent. Entries outside the
+// hot registry (demoted, or already evicted) update only their own
+// field — the cold tier tracks its bytes through coldEntry.bytes.
+func (c *Cache) setEntryBytesLocked(e *Entry, bytes int64) {
+	if _, ok := c.entries[e.ID]; ok {
+		c.hotBytes += bytes - e.Bytes
+		if e.Lineage.Kind == SecondaryIndex {
+			c.idxBytes += bytes - e.Bytes
+		}
 	}
-	return total
+	e.Bytes = bytes
 }
 
 // SetBudget adjusts the memory budget and collects immediately.
@@ -691,9 +802,16 @@ func (c *Cache) SetBudget(bytes int64) {
 	c.gcLocked()
 }
 
-// GC evicts least-recently-used unpinned tables until the cache fits
-// its budget. It returns the number of evicted tables. With Budget==0
-// it never evicts.
+// GC collects unpinned tables until the cache fits its budget and
+// returns the number of entries removed from the cache (demotions to
+// the cold tier are not removals). With Budget==0 it never collects.
+//
+// Victim order is the configured policy's: lowest benefit density
+// first (decayed benefit / bytes, ties broken by recency — entries
+// that have never been reused carry zero benefit, so one-shot
+// artifacts always leave before anything with a hit), or pure LRU
+// under the PolicyLRU ablation. With a cold budget configured, benefit
+// victims demote to the compact spill tier instead of being dropped.
 func (c *Cache) GC() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -701,27 +819,58 @@ func (c *Cache) GC() int {
 }
 
 func (c *Cache) gcLocked() int {
-	if c.Budget <= 0 {
-		return 0
-	}
 	evicted := 0
-	for c.totalBytesLocked() > c.Budget {
-		var victim *Entry
-		for _, e := range c.entries {
-			if e.Pins > 0 {
+	if c.Budget > 0 {
+		for c.hotBytes > c.Budget {
+			victim := c.victimLocked()
+			if victim == nil {
+				break // everything pinned; cannot evict further
+			}
+			if c.policy == PolicyBenefit && c.coldBudget > 0 && victim.ready {
+				c.demoteLocked(victim)
 				continue
 			}
-			if victim == nil || e.LastUsed < victim.LastUsed {
-				victim = e
+			c.evict(victim)
+			if c.policy == PolicyLRU {
+				c.lruEvict++
+			} else {
+				c.benefitEvict++
 			}
+			evicted++
 		}
-		if victim == nil {
-			break // everything pinned; cannot evict further
+	}
+	for c.coldBytes > c.coldBudget {
+		ce := c.coldVictimLocked()
+		if ce == nil {
+			break
 		}
-		c.evict(victim)
+		c.dropColdLocked(ce)
 		evicted++
 	}
 	return evicted
+}
+
+// victimLocked picks the next eviction victim under the configured
+// policy, or nil when everything is pinned.
+func (c *Cache) victimLocked() *Entry {
+	var victim *Entry
+	var vScore float64
+	for _, e := range c.entries {
+		if e.Pins > 0 {
+			continue
+		}
+		if c.policy == PolicyLRU {
+			if victim == nil || e.LastUsed < victim.LastUsed {
+				victim = e
+			}
+			continue
+		}
+		s := c.scoreLocked(e)
+		if victim == nil || s < vScore || (s == vScore && e.LastUsed < victim.LastUsed) {
+			victim, vScore = e, s
+		}
+	}
+	return victim
 }
 
 // foldLocked folds a snapshot's access counters into the cumulative
@@ -744,8 +893,21 @@ func (c *Cache) foldLocked(s *Snapshot) {
 }
 
 func (c *Cache) evict(e *Entry) {
-	delete(c.entries, e.ID)
+	c.unlistLocked(e)
 	c.foldLocked(e.cur.Load())
+	c.evictions++
+	c.evictedB += e.Bytes
+}
+
+// unlistLocked removes the entry from the hot registry (entries map,
+// structural index, byte counters) without touching its artifact —
+// shared by eviction and by demotion to the cold tier.
+func (c *Cache) unlistLocked(e *Entry) {
+	delete(c.entries, e.ID)
+	c.hotBytes -= e.Bytes
+	if e.Lineage.Kind == SecondaryIndex {
+		c.idxBytes -= e.Bytes
+	}
 	key := e.Lineage.StructKey()
 	list := c.byStruct[key]
 	for i, x := range list {
@@ -757,8 +919,6 @@ func (c *Cache) evict(e *Entry) {
 	if len(c.byStruct[key]) == 0 {
 		delete(c.byStruct, key)
 	}
-	c.evictions++
-	c.evictedB += e.Bytes
 }
 
 // Evict removes a specific entry (used by tests and administrative
@@ -776,13 +936,18 @@ func (c *Cache) Evict(e *Entry) error {
 	return nil
 }
 
-// Clear drops every unpinned entry.
+// Clear drops every unpinned entry, hot and cold.
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, e := range c.entries {
 		if e.Pins == 0 {
 			c.evict(e)
+		}
+	}
+	for _, ce := range c.cold {
+		if ce.e.Pins == 0 {
+			c.dropColdLocked(ce)
 		}
 	}
 }
@@ -793,7 +958,7 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.RUnlock()
 	s := Stats{
 		Entries:             len(c.entries),
-		Bytes:               c.totalBytesLocked(),
+		Bytes:               c.hotBytes,
 		Hits:                c.hits,
 		Evictions:           c.evictions,
 		Registered:          c.registered,
@@ -815,6 +980,21 @@ func (c *Cache) Stats() Stats {
 	s.Index.Invalidations = c.idxInval
 	s.Index.RangeProbes = c.idxAcc.RangeProbes
 	s.Index.RowsGathered = c.idxAcc.RowsGathered
+	s.Tiering = TieringStats{
+		Demotions:           c.demotions,
+		Spills:              c.spills,
+		Revivals:            c.revivals,
+		ReviveRebuilds:      c.reviveRebuilds,
+		ColdEntries:         len(c.cold),
+		ColdBytes:           c.coldBytes,
+		BloomProbes:         c.bloomProbes.Load(),
+		BloomNegatives:      c.bloomNeg.Load(),
+		BloomFalsePositives: c.bloomFP.Load(),
+		BenefitEvictions:    c.benefitEvict,
+		LRUEvictions:        c.lruEvict,
+		ColdEvictions:       c.coldEvict,
+		SavedNS:             c.savedNS,
+	}
 	add := func(sn *Snapshot) {
 		if sn.HT != nil {
 			ps := sn.HT.ProbeStats()
@@ -834,6 +1014,11 @@ func (c *Cache) Stats() Stats {
 	}
 	for _, e := range c.entries {
 		add(e.cur.Load())
+	}
+	for _, ce := range c.cold {
+		if ce.hot != nil {
+			add(ce.hot) // pending demotion: counters not yet folded
+		}
 	}
 	if c.registered > 0 {
 		s.HitRatio = float64(c.hits) / float64(c.registered)

@@ -1,0 +1,449 @@
+package htcache
+
+import (
+	"math"
+	"sort"
+
+	"hashstash/internal/btree"
+	"hashstash/internal/expr"
+	"hashstash/internal/hashtable"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// Benefit accounting and the tiered lifecycle (hot → cold → evicted).
+//
+// Every entry carries a decaying benefit accumulator: a reuse hit adds
+// a bytes-proxy credit (Pin), the optimizer adds its modeled saving
+// versus the fresh alternative (Credit), and both decay with a
+// half-life of benefitHalfLife clock ticks. Eviction removes the
+// lowest benefit *density* (decayed benefit per byte) first; an entry
+// that was registered but never reused has zero benefit, which is the
+// admission filter — one-shot artifacts can never displace an entry
+// with even a single hit.
+//
+// With a cold budget configured, a benefit victim is demoted instead
+// of dropped. Demotion is two-phase to keep the epoch guarantee
+// ("readers never observe a spilled snapshot") structural rather than
+// probabilistic:
+//
+//  1. demoteLocked unlists the entry from the hot registry and records
+//     the demotion epoch. The artifact stays intact ("pending"): any
+//     reader that could still discover the entry — necessarily one
+//     that entered before the demotion, since Candidates no longer
+//     returns it — keeps resolving a live snapshot.
+//  2. Once every reader from before the demotion has exited (the same
+//     condition retired snapshots wait on), spillColdLocked captures
+//     the compact spill + bloom filter, swaps the entry's snapshot for
+//     a spilled placeholder and drops the artifact.
+//
+// Revival is the reverse: a pending entry relists for free; a spilled
+// one rebuilds from its spill outside the lock and republishes through
+// the entry's snapshot pointer. The bloom filter (built over stable
+// value hashes, not heap ids) lets point/IN probes skip revival of
+// artifacts that cannot contain their key.
+
+// Policy selects the eviction victim order.
+type Policy uint8
+
+const (
+	// PolicyBenefit evicts the lowest benefit density first (default).
+	PolicyBenefit Policy = iota
+	// PolicyLRU is the seed behavior — evict the least recently used —
+	// kept as the ablation baseline (WithLRUEviction). The cold tier is
+	// disabled under it.
+	PolicyLRU
+)
+
+// benefitHalfLife is the decay half-life of the benefit accumulator in
+// cache clock ticks (the clock advances on registrations, pins,
+// releases and publications — roughly "cache events", not wall time,
+// so the decay rate tracks workload activity).
+const benefitHalfLife = 64.0
+
+// TieringStats is the benefit-accounting and hot/cold lifecycle slice
+// of Stats.
+type TieringStats struct {
+	Demotions      int64 // hot entries moved to the cold tier
+	Spills         int64 // demoted artifacts compacted to spill form
+	Revivals       int64 // cold entries returned to the hot tier
+	ReviveRebuilds int64 // revivals that had to rebuild from a spill
+	ColdEntries    int   // current cold-tier population
+	ColdBytes      int64 // its footprint (compact once spilled)
+
+	BloomProbes         int64 // membership tests against cold artifacts
+	BloomNegatives      int64 // tests that skipped a revival
+	BloomFalsePositives int64 // revivals (or probes) that found nothing
+
+	BenefitEvictions int64 // hot evictions under PolicyBenefit
+	LRUEvictions     int64 // hot evictions under the PolicyLRU ablation
+	ColdEvictions    int64 // cold-tier drops (budget, invalidation, clear)
+
+	// SavedNS totals the optimizer's modeled savings from every reuse
+	// decision (Credit) — the policy-independent "total reuse savings"
+	// metric eviction policies are compared on.
+	SavedNS float64
+}
+
+// SetPolicy selects the eviction policy. Configure once at startup,
+// before queries run.
+func (c *Cache) SetPolicy(p Policy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy = p
+}
+
+// SetColdBudget sets the cold tier's byte budget; 0 (the default)
+// disables demotion entirely — victims are dropped, preserving the
+// seed's budget semantics. Shrinking the budget collects immediately.
+func (c *Cache) SetColdBudget(bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.coldBudget = bytes
+	c.gcLocked()
+}
+
+// Credit adds the optimizer's modeled saving (ns versus the fresh
+// alternative) to the entry's benefit accumulator and to the cache's
+// cumulative SavedNS. Called at pin time by every reuse decision.
+func (c *Cache) Credit(e *Entry, savedNS float64) {
+	if savedNS <= 0 || math.IsNaN(savedNS) || math.IsInf(savedNS, 0) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.decayTo(c.clock)
+	e.benefit += savedNS
+	c.savedNS += savedNS
+}
+
+// decayTo applies the exponential decay accrued since the last credit.
+// Caller holds the cache mutex.
+func (e *Entry) decayTo(now int64) {
+	if now <= e.benefitAt {
+		return
+	}
+	if e.benefit != 0 {
+		e.benefit *= math.Exp2(-float64(now-e.benefitAt) / benefitHalfLife)
+	}
+	e.benefitAt = now
+}
+
+// scoreLocked is the eviction score: decayed benefit density. Lower is
+// evicted sooner.
+func (c *Cache) scoreLocked(e *Entry) float64 {
+	e.decayTo(c.clock)
+	bytes := e.Bytes
+	if bytes < 1 {
+		bytes = 1
+	}
+	score := e.benefit / float64(bytes)
+	if e.Hits == 0 {
+		// Never reused: benefit is normally zero already; the penalty
+		// keeps the admission filter intact even if a future credit
+		// source lands before the first hit.
+		score *= 0.25
+	}
+	return score
+}
+
+// coldEntry is a demoted entry's cold-tier record. While hot is
+// non-nil the demotion is pending (phase 1) and the artifact is
+// intact; after the spill, exactly one of htSpill/idxSpill holds the
+// compact form.
+type coldEntry struct {
+	e     *Entry
+	epoch int64 // demotion epoch; spill waits for readers before it
+	bytes int64 // what the cold tier currently accounts for this entry
+
+	hot      *Snapshot
+	htSpill  *hashtable.Spill
+	idxSpill *btree.Spill
+	bloom    *bloomFilter
+
+	// Classification metadata captured at demotion so the optimizer can
+	// cost a cold candidate without touching (or reviving) the artifact.
+	filter expr.Box
+	layout hashtable.Layout
+	rows   int
+	isIdx  bool
+}
+
+// demoteLocked moves a GC victim to the cold tier: unlist, capture
+// classification metadata + bloom filter, record the demotion epoch.
+// The artifact itself is spilled later, once pre-demotion readers have
+// drained (spillPendingLocked).
+func (c *Cache) demoteLocked(e *Entry) {
+	snap := e.cur.Load()
+	c.unlistLocked(e)
+	ce := &coldEntry{e: e, epoch: c.epoch, bytes: e.Bytes, hot: snap, filter: snap.Filter}
+	switch {
+	case snap.HT != nil:
+		ce.layout = snap.HT.Layout()
+		ce.rows = snap.HT.Len()
+		ce.bloom = bloomFromTable(snap.HT)
+	case snap.Idx != nil:
+		ce.isIdx = true
+		ce.rows = snap.Idx.Len()
+		ce.bloom = bloomFromTree(snap.Idx)
+	}
+	c.cold[e.ID] = ce
+	c.coldBytes += ce.bytes
+	c.pendingSpill++
+	c.epoch++
+	c.demotions++
+	c.spillPendingLocked(c.minReaderEpochLocked())
+}
+
+// spillPendingLocked runs phase 2 for every pending demotion whose
+// pre-demotion readers have all exited: capture the compact spill,
+// install the spilled placeholder, drop the artifact.
+func (c *Cache) spillPendingLocked(minEpoch int64) {
+	for _, ce := range c.cold {
+		if ce.hot == nil || ce.epoch >= minEpoch || ce.e.Pins > 0 {
+			continue
+		}
+		hot := ce.hot
+		c.foldLocked(hot) // final: no reader can probe it anymore
+		var compact int64
+		switch {
+		case hot.HT != nil:
+			ce.htSpill = hot.HT.Spill()
+			compact = ce.htSpill.ByteSize()
+		case hot.Idx != nil:
+			ce.idxSpill = hot.Idx.Spill()
+			compact = ce.idxSpill.ByteSize()
+		}
+		ce.e.cur.Store(&Snapshot{Filter: hot.Filter, Version: hot.Version + 1, spilled: true})
+		ce.e.Bytes = compact
+		c.coldBytes += compact - ce.bytes
+		ce.bytes = compact
+		ce.hot = nil
+		c.pendingSpill--
+		c.spills++
+	}
+}
+
+// relistLocked returns a cold entry to the hot registry under the
+// given snapshot. Caller updates lifecycle counters.
+func (c *Cache) relistLocked(ce *coldEntry, snap *Snapshot) {
+	e := ce.e
+	delete(c.cold, e.ID)
+	c.coldBytes -= ce.bytes
+	if ce.hot != nil {
+		c.pendingSpill--
+	}
+	e.Bytes = snap.byteSize()
+	c.entries[e.ID] = e
+	key := e.Lineage.StructKey()
+	c.byStruct[key] = append(c.byStruct[key], e)
+	c.hotBytes += e.Bytes
+	if e.Lineage.Kind == SecondaryIndex {
+		c.idxBytes += e.Bytes
+	}
+	e.LastUsed = c.tick()
+}
+
+// dropColdLocked removes a cold entry outright (cold-budget pressure,
+// invalidation, Clear, Abandon).
+func (c *Cache) dropColdLocked(ce *coldEntry) {
+	delete(c.cold, ce.e.ID)
+	c.coldBytes -= ce.bytes
+	if ce.hot != nil {
+		c.pendingSpill--
+		c.foldLocked(ce.hot)
+	}
+	c.evictions++
+	c.evictedB += ce.bytes
+	c.coldEvict++
+}
+
+// coldVictimLocked picks the cold entry with the lowest benefit
+// density (same score as the hot tier; the accumulator keeps decaying
+// while cold), or nil if everything cold is pinned.
+func (c *Cache) coldVictimLocked() *coldEntry {
+	var victim *coldEntry
+	var vScore float64
+	for _, ce := range c.cold {
+		if ce.e.Pins > 0 {
+			continue
+		}
+		s := c.scoreLocked(ce.e)
+		if victim == nil || s < vScore || (s == vScore && ce.e.LastUsed < victim.e.LastUsed) {
+			victim, vScore = ce, s
+		}
+	}
+	return victim
+}
+
+// Revive returns a demoted entry to the hot tier and returns its live
+// snapshot. A pending demotion relists for free; a spilled one
+// rebuilds from the compact spill outside the lock. col is the base
+// column for secondary-index entries (their spill keeps only the sort
+// permutation; revival re-gathers the keys) and ignored for hash
+// tables. Returns nil if the entry is gone from the cold tier and not
+// hot either (evicted meanwhile), or if an index revival lacks its
+// column — callers fall back to a fresh build.
+func (c *Cache) Revive(e *Entry, col *storage.Column) *Snapshot {
+	c.mu.Lock()
+	ce, ok := c.cold[e.ID]
+	if !ok {
+		var snap *Snapshot
+		if _, hot := c.entries[e.ID]; hot {
+			snap = e.cur.Load() // a competitor revived it first
+		}
+		c.mu.Unlock()
+		return snap
+	}
+	if ce.hot != nil {
+		snap := ce.hot
+		c.relistLocked(ce, snap)
+		c.revivals++
+		c.mu.Unlock()
+		return snap
+	}
+	htSpill, idxSpill := ce.htSpill, ce.idxSpill
+	prev := e.cur.Load()
+	c.mu.Unlock()
+
+	var next *Snapshot
+	switch {
+	case htSpill != nil:
+		next = &Snapshot{HT: htSpill.Restore(), Filter: prev.Filter, Version: prev.Version + 1}
+	case idxSpill != nil:
+		if col == nil {
+			return nil
+		}
+		tree, err := idxSpill.Revive(col)
+		if err != nil {
+			return nil
+		}
+		next = &Snapshot{Idx: tree, Filter: prev.Filter, Version: prev.Version + 1}
+	default:
+		return nil
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.cold[e.ID]; !ok || cur != ce {
+		// Lost the race: a competitor revived the entry (use its
+		// snapshot) or the cold entry was dropped meanwhile.
+		if _, hot := c.entries[e.ID]; hot {
+			return e.cur.Load()
+		}
+		return nil
+	}
+	e.cur.Store(next)
+	c.relistLocked(ce, next)
+	c.revivals++
+	c.reviveRebuilds++
+	c.gcLocked()
+	return next
+}
+
+// ColdArtifact describes a demoted entry to the optimizer: enough
+// metadata to classify and cost revive-vs-rebuild without touching the
+// artifact, plus the bloom membership test.
+type ColdArtifact struct {
+	Entry  *Entry
+	Filter expr.Box
+	Rows   int
+	Bytes  int64
+	// Layout is the hash-table column layout (zero value for indexes).
+	Layout hashtable.Layout
+	// IsIndex marks secondary-index entries.
+	IsIndex bool
+	// Pending means the artifact is still intact: revival is a relist,
+	// not a rebuild, and costs ~nothing.
+	Pending bool
+
+	bloom *bloomFilter
+	c     *Cache
+}
+
+// MayContain tests the artifact's bloom filter against a stable value
+// hash (StableValueHash / hashtable.StableKeyHashes scheme). False
+// proves the key absent — the probe can skip revival entirely. Filters
+// are built at demotion; an artifact without one answers true.
+func (ca *ColdArtifact) MayContain(h uint64) bool {
+	ca.c.bloomProbes.Add(1)
+	if ca.bloom == nil {
+		return true
+	}
+	if ca.bloom.mayContain(h) {
+		return true
+	}
+	ca.c.bloomNeg.Add(1)
+	return false
+}
+
+// NoteFalsePositive records that a bloom-approved probe found nothing
+// (the false-positive rate benchmarks track).
+func (ca *ColdArtifact) NoteFalsePositive() { ca.c.bloomFP.Add(1) }
+
+// ColdCandidates returns cold-tier entries whose structure matches the
+// lineage probe, most recently used first. The cold counterpart of
+// Candidates; classification against Filter is the caller's job.
+func (c *Cache) ColdCandidates(probe Lineage) []*ColdArtifact {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	key := probe.StructKey()
+	var out []*ColdArtifact
+	for _, ce := range c.cold {
+		if ce.e.Lineage.StructKey() != key {
+			continue
+		}
+		out = append(out, &ColdArtifact{
+			Entry:   ce.e,
+			Filter:  ce.filter,
+			Rows:    ce.rows,
+			Bytes:   ce.bytes,
+			Layout:  ce.layout,
+			IsIndex: ce.isIdx,
+			Pending: ce.hot != nil,
+			bloom:   ce.bloom,
+			c:       c,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Entry.LastUsed != out[j].Entry.LastUsed {
+			return out[i].Entry.LastUsed > out[j].Entry.LastUsed
+		}
+		return out[i].Entry.ID < out[j].Entry.ID
+	})
+	return out
+}
+
+// ColdCandidate returns the most recently used cold match, or nil.
+func (c *Cache) ColdCandidate(probe Lineage) *ColdArtifact {
+	if list := c.ColdCandidates(probe); len(list) > 0 {
+		return list[0]
+	}
+	return nil
+}
+
+// StableValueHash hashes a constant the way cold-tier bloom filters
+// hash artifact contents: string bytes for strings, stored bits for
+// numerics — stable across spill/restore cycles, unlike heap ids.
+func StableValueHash(v types.Value) uint64 {
+	if v.Kind == types.String {
+		return types.HashString(v.S)
+	}
+	return types.Mix64(v.Bits())
+}
+
+// bloomFromTable builds the demotion-time filter over a hash table's
+// key contents.
+func bloomFromTable(t *hashtable.Table) *bloomFilter {
+	b := newBloom(t.Len())
+	t.StableKeyHashes(b.add)
+	return b
+}
+
+// bloomFromTree builds the demotion-time filter over an index's
+// distinct values.
+func bloomFromTree(t *btree.Tree) *bloomFilter {
+	b := newBloom(t.Len())
+	t.DistinctHashes(b.add)
+	return b
+}

@@ -9,6 +9,7 @@ import (
 	"hashstash/internal/htcache"
 	"hashstash/internal/plan"
 	"hashstash/internal/storage"
+	"hashstash/internal/types"
 )
 
 // Access-path selection: scan vs. cached-index range per predicate box.
@@ -120,6 +121,73 @@ func (o *Optimizer) resetIndexBenefit(colBase storage.ColRef) {
 	delete(o.idxBenefit, colBase.String())
 }
 
+// constraintValueHashes enumerates the content hashes of a membership
+// constraint — a string IN-set or a single-point interval — using the
+// same stable value hashing the cold tier's bloom filters are built
+// over. exact=false for range predicates, which blooms cannot decide.
+func constraintValueHashes(con expr.Constraint) ([]uint64, bool) {
+	if con.Kind == types.String {
+		hs := make([]uint64, len(con.Set))
+		for i, s := range con.Set {
+			hs[i] = types.HashString(s)
+		}
+		return hs, true
+	}
+	iv := con.Iv
+	if iv.HasLo && iv.HasHi && iv.LoIncl && iv.HiIncl && iv.Lo == iv.Hi {
+		return []uint64{htcache.StableValueHash(iv.Lo)}, true
+	}
+	return nil, false
+}
+
+// reviveColdIndex attempts to bring a demoted secondary index back from
+// the cold tier for this scan. The demotion-time bloom filter vetoes
+// revival outright when a membership predicate matches none of the
+// indexed values — a definite empty result is not worth paying revival
+// for — and the revive-vs-scan decision runs through the cost model.
+// The caller pins the returned entry.
+func (c *compiler) reviveColdIndex(cand *indexCandidate, con expr.Constraint, tbl *storage.Table, scanCost float64) (*htcache.Entry, *btree.Tree) {
+	o := c.o
+	ca := o.Cache.ColdCandidate(htcache.IndexLineage(cand.colBase))
+	if ca == nil {
+		return nil, nil
+	}
+	hashes, exact := constraintValueHashes(con)
+	if exact {
+		hit := false
+		for _, h := range hashes {
+			if ca.MayContain(h) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return nil, nil // bloom-negative: never revive for a provably empty range
+		}
+	}
+	var reviveCost float64
+	if !ca.Pending {
+		reviveCost = o.Model.IndexReviveCost(float64(ca.Rows))
+	}
+	if reviveCost+cand.rangeCost >= scanCost {
+		return nil, nil
+	}
+	col := tbl.Column(cand.colBase.Column)
+	if col == nil {
+		return nil, nil
+	}
+	snap := o.Cache.Revive(ca.Entry, col)
+	if snap == nil || snap.Idx == nil {
+		return nil, nil
+	}
+	if exact && len(snap.Idx.ConstraintRuns(con)) == 0 {
+		// The bloom said maybe, the revived tree says no: account the
+		// false positive so the filter's effectiveness is observable.
+		ca.NoteFalsePositive()
+	}
+	return ca.Entry, snap.Idx
+}
+
 // tryIndexScan attempts to lower a scan node to an index-driven range
 // scan. It returns nil when the scan path wins: multiple boxes (residual
 // unions stay on the battle-tested scan path), no indexable predicate,
@@ -158,6 +226,9 @@ func (c *compiler) tryIndexScan(n *Node, rel plan.Rel, boxes []expr.Box) exec.So
 		if !c.register {
 			return nil // detached compiles must not mutate the cache
 		}
+		entry, tree = c.reviveColdIndex(cand, box[cand.predIdx].Con, tbl, scanCost)
+	}
+	if tree == nil {
 		buildCost := o.Model.IndexBuildCost(float64(ts.Rows))
 		if !o.noteIndexBenefit(cand.colBase, scanCost-cand.rangeCost, buildCost) {
 			return nil
@@ -180,6 +251,7 @@ func (c *compiler) tryIndexScan(n *Node, rel plan.Rel, boxes []expr.Box) exec.So
 		tree = built
 	} else if c.register {
 		o.Cache.Pin(entry)
+		o.Cache.Credit(entry, scanCost-cand.rangeCost)
 		c.out.pinned = append(c.out.pinned, entry)
 	}
 

@@ -227,6 +227,28 @@ func (o *Optimizer) planAggregate(q *plan.Query) (*Planned, error) {
 			}
 			options = append(options, aggOption{agg: opt.agg, root: nil, totalCost: opt.cost})
 		}
+		// Cold-tier candidates (exact/subsuming only): costed from their
+		// demotion-time metadata plus the modeled revival cost; the fresh
+		// SPJ plan rides along as the fallback if the entry vanishes
+		// before compile.
+		for _, ca := range o.Cache.ColdCandidates(probeLin) {
+			if ca.IsIndex {
+				continue
+			}
+			opt, ok := o.classifyColdAggCandidate(q, ca, reqFilter, groupBase, specsBase, srcIdx, root, inputRows, distinct)
+			if !ok {
+				continue
+			}
+			options = append(options, aggOption{agg: opt.agg, root: nil, totalCost: opt.cost})
+		}
+	}
+
+	// Stamp each reuse option's modeled saving versus building fresh —
+	// credited to the entry's benefit accumulator when compile pins it.
+	for i := 1; i < len(options); i++ {
+		if d := options[0].totalCost - options[i].totalCost; d > 0 {
+			options[i].agg.Choice.SavedCost = d
+		}
 	}
 
 	// Pick per strategy.
@@ -302,6 +324,10 @@ func (o *Optimizer) classifyAggCandidate(q *plan.Query, cand *htcache.Entry, req
 		return aggOptionResult{}, false
 	}
 	snap := cand.Current()
+	if snap == nil || snap.HT == nil {
+		// Demoted to the cold tier since Candidates listed it.
+		return aggOptionResult{}, false
+	}
 	layout := snap.HT.Layout()
 	rel := expr.Classify(snap.Filter, reqFilter)
 	width := layout.RowWidthBytes()
@@ -422,6 +448,9 @@ func (o *Optimizer) classifyRollupCandidate(q *plan.Query, cand *htcache.Entry, 
 		return aggOptionResult{}, false
 	}
 	snap := cand.Current()
+	if snap == nil || snap.HT == nil {
+		return aggOptionResult{}, false
+	}
 	rel := expr.Classify(snap.Filter, reqFilter)
 	choice := ReuseChoice{Entry: cand, Snap: snap}
 	switch rel {
@@ -458,6 +487,57 @@ func (o *Optimizer) classifyRollupCandidate(q *plan.Query, cand *htcache.Entry, 
 		InputRows: candRows, DistinctKeys: distinct,
 	}
 	return aggOptionResult{agg: agg, cost: opCost}, true
+}
+
+// classifyColdAggCandidate costs a cold-tier aggregate candidate from
+// its demotion-time metadata (filter, layout, row count) plus the
+// modeled revival cost. Only exact/subsuming classifications apply:
+// widening a cold artifact would pay revival just to copy it, at which
+// point building fresh is never worse under the model.
+func (o *Optimizer) classifyColdAggCandidate(q *plan.Query, ca *htcache.ColdArtifact, reqFilter expr.Box,
+	groupBase []storage.ColRef, specsBase []expr.AggSpec, srcIdx [][2]int,
+	freshRoot *Node, inputRows, distinct float64) (aggOptionResult, bool) {
+
+	specIdx, ok := specsSubsetIdx(specsBase, ca.Entry.Lineage.Aggs)
+	if !ok {
+		return aggOptionResult{}, false
+	}
+	choice := ReuseChoice{Entry: ca.Entry, Cold: ca}
+	width := ca.Layout.RowWidthBytes()
+	fullMask := (1 << uint(len(q.Relations))) - 1
+
+	switch expr.Classify(ca.Filter, reqFilter) {
+	case expr.RelEqual:
+		choice.Mode = ModeExact
+		choice.Contr = 1
+	case expr.RelSubsuming:
+		if !boxColsInLayout(ca.Layout, reqFilter) {
+			return aggOptionResult{}, false
+		}
+		choice.Mode = ModeSubsuming
+		choice.Contr = 1
+		choice.PostFilter = reqFilter
+		choice.Overh = o.overheadRatioRows(q, fullMask, ca.Filter, float64(ca.Rows), reqFilter)
+	default:
+		return aggOptionResult{}, false
+	}
+
+	opCost := o.Model.RHA(costmodel.RHAInput{
+		Contr: choice.Contr, Overh: choice.Overh,
+		CandRows: float64(ca.Rows), TupleWidth: width,
+	})
+	var reviveCost float64
+	if !ca.Pending {
+		reviveCost = o.Model.ReviveCost(float64(ca.Rows), width)
+	}
+	choice.OperatorCost = opCost
+	agg := &AggChoice{
+		Choice:    choice,
+		GroupBase: groupBase, Specs: specsBase, SrcIdx: srcIdx,
+		CachedSpecIdx: specIdx, FreshRoot: freshRoot,
+		InputRows: inputRows, DistinctKeys: distinct,
+	}
+	return aggOptionResult{agg: agg, cost: reviveCost + opCost}, true
 }
 
 // Decisions derives the per-operator decision log (the paper's Table 8b

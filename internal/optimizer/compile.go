@@ -178,6 +178,43 @@ func (c *compiler) joinLayout(n *Node) (hashtable.Layout, error) {
 	return hashtable.Layout{Cols: cols, KeyCols: nKeys}, nil
 }
 
+// freshBuildHT compiles the build-side sub-plan of a join into a new
+// hash table and registers it (the ModeNew path, also the fallback when
+// a cold candidate loses its entry between planning and compilation).
+func (c *compiler) freshBuildHT(n *Node) (*hashtable.Table, error) {
+	q := c.q
+	layout, err := c.joinLayout(n)
+	if err != nil {
+		return nil, err
+	}
+	ht := hashtable.New(layout)
+	bsrc, btfs, bschema, err := c.compileStream(n.Build)
+	if err != nil {
+		return nil, err
+	}
+	feed := make([]storage.ColRef, len(layout.Cols))
+	for i, m := range layout.Cols {
+		feed[i] = storage.ColRef{Table: aliasForTable(q, m.Ref.Table), Column: m.Ref.Column}
+	}
+	sink, err := exec.NewBuildHT(ht, bschema, feed)
+	if err != nil {
+		return nil, err
+	}
+	c.out.Pipelines = append(c.out.Pipelines, &exec.Pipeline{Source: bsrc, Transforms: btfs, Sink: sink})
+	if c.register {
+		lin := htcache.Lineage{
+			Kind:    htcache.JoinBuild,
+			Tables:  maskTables(q, n.BuildMask),
+			JoinSig: q.SubgraphSignature(n.BuildMask),
+			Filter:  q.BaseQualify(n.BuildFilter),
+			KeyCols: baseQualifyRefs(q, n.BuildKeys),
+			QidCol:  -1,
+		}
+		c.out.created = append(c.out.created, c.o.Cache.Register(ht, lin))
+	}
+	return ht, nil
+}
+
 // obtainBuildHT prepares the hash table for a join node per its reuse
 // decision and returns (table, probe emit layout positions, emit refs).
 func (c *compiler) obtainBuildHT(n *Node) (*hashtable.Table, []int, []storage.ColRef, error) {
@@ -187,43 +224,39 @@ func (c *compiler) obtainBuildHT(n *Node) (*hashtable.Table, []int, []storage.Co
 
 	switch choice.Mode {
 	case ModeNew:
-		layout, err := c.joinLayout(n)
-		if err != nil {
+		var err error
+		if ht, err = c.freshBuildHT(n); err != nil {
 			return nil, nil, nil, err
-		}
-		ht = hashtable.New(layout)
-		bsrc, btfs, bschema, err := c.compileStream(n.Build)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		feed := make([]storage.ColRef, len(layout.Cols))
-		for i, m := range layout.Cols {
-			feed[i] = storage.ColRef{Table: aliasForTable(q, m.Ref.Table), Column: m.Ref.Column}
-		}
-		sink, err := exec.NewBuildHT(ht, bschema, feed)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		c.out.Pipelines = append(c.out.Pipelines, &exec.Pipeline{Source: bsrc, Transforms: btfs, Sink: sink})
-		if c.register {
-			lin := htcache.Lineage{
-				Kind:    htcache.JoinBuild,
-				Tables:  maskTables(q, n.BuildMask),
-				JoinSig: q.SubgraphSignature(n.BuildMask),
-				Filter:  q.BaseQualify(n.BuildFilter),
-				KeyCols: baseQualifyRefs(q, n.BuildKeys),
-				QidCol:  -1,
-			}
-			c.out.created = append(c.out.created, c.o.Cache.Register(ht, lin))
 		}
 
 	case ModeExact, ModeSubsuming:
 		// Probe the snapshot the plan was classified against: frozen,
 		// immutable, safe for lock-free probes however many queries widen
-		// the entry concurrently.
-		ht = choice.Snap.HT
+		// the entry concurrently. A cold choice has no snapshot yet —
+		// revive the entry (relist, or rebuild from its compact spill);
+		// if the cold entry was dropped between plan and compile, or the
+		// compile is detached (no cache mutations), degrade to the fresh
+		// build plan the option carries.
+		snap := choice.Snap
+		if choice.Cold != nil && snap == nil && c.register {
+			if s := c.o.Cache.Revive(choice.Entry, nil); s != nil && s.HT != nil {
+				snap = s
+			}
+		}
+		if snap == nil || snap.HT == nil {
+			if n.Build == nil {
+				return nil, nil, nil, fmt.Errorf("optimizer: cold entry %d unrevivable and no fresh fallback", choice.Entry.ID)
+			}
+			var err error
+			if ht, err = c.freshBuildHT(n); err != nil {
+				return nil, nil, nil, err
+			}
+			break
+		}
+		ht = snap.HT
 		if c.register {
 			c.o.Cache.Pin(choice.Entry)
+			c.o.Cache.Credit(choice.Entry, choice.SavedCost)
 			c.out.pinned = append(c.out.pinned, choice.Entry)
 		}
 
@@ -234,6 +267,7 @@ func (c *compiler) obtainBuildHT(n *Node) (*hashtable.Table, []int, []storage.Co
 		ht = choice.Snap.HT.WidenWith(c.o.WidenOptions())
 		if c.register {
 			c.o.Cache.Pin(choice.Entry)
+			c.o.Cache.Credit(choice.Entry, choice.SavedCost)
 			c.out.pinned = append(c.out.pinned, choice.Entry)
 		}
 		relIdx, ok := singleRelation(n.BuildMask)
@@ -449,36 +483,43 @@ func (c *compiler) attachAggInput(root *Node, ht *hashtable.Table, groupBase []s
 
 // compileAggRoot handles SPJA queries for every aggregation reuse mode.
 func (c *compiler) compileAggRoot(p *Planned) error {
-	q := c.q
 	agg := p.Agg
 	choice := agg.Choice
 
 	switch choice.Mode {
 	case ModeNew:
-		layout, err := c.aggLayout(agg)
-		if err != nil {
-			return err
-		}
-		ht := hashtable.New(layout)
-		if err := c.attachAggInput(p.Root, ht, agg.GroupBase, agg.Specs); err != nil {
-			return err
-		}
-		if c.register {
-			c.out.created = append(c.out.created, c.o.Cache.Register(ht, c.aggLineage(agg, q.BaseQualify(q.Filter))))
-		}
-		idx := identitySpecIdx(len(agg.Specs))
-		return c.compileReadout(ht, agg, idx, nil, false)
+		return c.compileFreshAgg(p.Root, agg)
 
 	case ModeExact, ModeSubsuming:
+		// A cold choice carries no snapshot: revive it here (relist the
+		// pending artifact, or rebuild from its compact spill). If the
+		// cold entry was dropped meanwhile, or the compile is detached,
+		// degrade to the fresh SPJ plan the option carries as fallback.
+		snap := choice.Snap
+		if choice.Cold != nil && snap == nil && c.register {
+			if s := c.o.Cache.Revive(choice.Entry, nil); s != nil && s.HT != nil {
+				snap = s
+			}
+		}
+		if snap == nil || snap.HT == nil {
+			if agg.FreshRoot == nil {
+				return fmt.Errorf("optimizer: cold aggregate entry %d unrevivable and no fresh fallback", choice.Entry.ID)
+			}
+			fresh := *agg
+			fresh.Choice = ReuseChoice{Mode: ModeNew}
+			return c.compileFreshAgg(agg.FreshRoot, &fresh)
+		}
 		if c.register {
 			c.o.Cache.Pin(choice.Entry)
+			c.o.Cache.Credit(choice.Entry, choice.SavedCost)
 			c.out.pinned = append(c.out.pinned, choice.Entry)
 		}
-		return c.compileReadout(choice.Snap.HT, agg, agg.CachedSpecIdx, choice.PostFilter, agg.PostAgg)
+		return c.compileReadout(snap.HT, agg, agg.CachedSpecIdx, choice.PostFilter, agg.PostAgg)
 
 	case ModePartial, ModeOverlapping:
 		if c.register {
 			c.o.Cache.Pin(choice.Entry)
+			c.o.Cache.Credit(choice.Entry, choice.SavedCost)
 			c.out.pinned = append(c.out.pinned, choice.Entry)
 		}
 		// Widen the snapshot and fold every residual input into the
@@ -500,6 +541,24 @@ func (c *compiler) compileAggRoot(p *Planned) error {
 		return c.compileReadout(widened, agg, agg.CachedSpecIdx, choice.PostFilter, false)
 	}
 	return fmt.Errorf("optimizer: unknown aggregation mode %v", choice.Mode)
+}
+
+// compileFreshAgg builds a fresh aggregation table from the SPJ plan
+// root (the ModeNew path, also the fallback when a cold aggregate loses
+// its entry between planning and compilation).
+func (c *compiler) compileFreshAgg(root *Node, agg *AggChoice) error {
+	layout, err := c.aggLayout(agg)
+	if err != nil {
+		return err
+	}
+	ht := hashtable.New(layout)
+	if err := c.attachAggInput(root, ht, agg.GroupBase, agg.Specs); err != nil {
+		return err
+	}
+	if c.register {
+		c.out.created = append(c.out.created, c.o.Cache.Register(ht, c.aggLineage(agg, c.q.BaseQualify(c.q.Filter))))
+	}
+	return c.compileReadout(ht, agg, identitySpecIdx(len(agg.Specs)), nil, false)
 }
 
 func identitySpecIdx(n int) []int {

@@ -110,6 +110,9 @@ func (o *Optimizer) classifyJoinCandidate(q *plan.Query, mask int, e *htcache.En
 	reqFilter expr.Box, reqCols []storage.ColRef) (ReuseChoice, bool) {
 
 	snap := e.Current()
+	if snap == nil || snap.HT == nil {
+		return ReuseChoice{}, false // demoted/spilled since retrieval
+	}
 	layout := snap.HT.Layout()
 	if !layoutHasCols(layout, reqCols) {
 		return ReuseChoice{}, false
@@ -206,11 +209,17 @@ func (o *Optimizer) contributionRatio(q *plan.Query, mask int, snap *htcache.Sna
 // overheadRatio estimates |cand \ req| / |cand| using the candidate
 // snapshot's actual entry count.
 func (o *Optimizer) overheadRatio(q *plan.Query, mask int, snap *htcache.Snapshot, reqFilter expr.Box) float64 {
-	candRows := float64(snap.HT.Len())
+	return o.overheadRatioRows(q, mask, snap.Filter, float64(snap.HT.Len()), reqFilter)
+}
+
+// overheadRatioRows is overheadRatio over explicit candidate content
+// (filter + row count) — cold candidates are costed from their
+// demotion-time metadata without touching the artifact.
+func (o *Optimizer) overheadRatioRows(q *plan.Query, mask int, candFilter expr.Box, candRows float64, reqFilter expr.Box) float64 {
 	if candRows <= 0 {
 		return 0
 	}
-	interAlias := q.AliasQualify(reqFilter.Intersect(snap.Filter))
+	interAlias := q.AliasQualify(reqFilter.Intersect(candFilter))
 	interRows := o.maskRows(q, mask, interAlias)
 	ov := 1 - interRows/candRows
 	if ov < 0 {
@@ -284,6 +293,58 @@ func (o *Optimizer) joinBuildOptions(q *plan.Query, mask int, buildKeys []storag
 			inputCost: inputCost,
 			totalCost: inputCost + opCost,
 		})
+	}
+
+	// Cold-tier candidates: classified from demotion-time metadata,
+	// charged ReviveCost on top of the operator estimate. Only exact and
+	// subsuming qualify (widening a cold artifact would revive it just
+	// to copy it). The fresh build plan rides along as the fallback for
+	// a revival that loses the entry (evicted between plan and compile).
+	for _, ca := range o.Cache.ColdCandidates(probeLin) {
+		if ca.IsIndex || !layoutHasCols(ca.Layout, reqCols) {
+			continue
+		}
+		choice := ReuseChoice{Entry: ca.Entry, Cold: ca}
+		switch expr.Classify(ca.Filter, reqFilter) {
+		case expr.RelEqual:
+			choice.Mode = ModeExact
+			choice.Contr, choice.Overh = 1, 0
+		case expr.RelSubsuming:
+			if !boxColsInLayout(ca.Layout, reqFilter) {
+				continue
+			}
+			choice.Mode = ModeSubsuming
+			choice.PostFilter = reqFilter
+			choice.Contr = 1
+			choice.Overh = o.overheadRatioRows(q, mask, ca.Filter, float64(ca.Rows), reqFilter)
+		default:
+			continue
+		}
+		candWidth := ca.Layout.RowWidthBytes()
+		opCost := o.Model.RHJ(costmodel.RHJInput{
+			BuilderRows: builderRows, ProberRows: proberRows,
+			Contr: choice.Contr, Overh: choice.Overh,
+			CandRows: float64(ca.Rows), TupleWidth: candWidth,
+		})
+		choice.OperatorCost = opCost
+		var reviveCost float64
+		if !ca.Pending {
+			reviveCost = o.Model.ReviveCost(float64(ca.Rows), candWidth)
+		}
+		opts = append(opts, buildOption{
+			choice:    choice,
+			buildPlan: bp,
+			inputCost: reviveCost,
+			totalCost: reviveCost + opCost,
+		})
+	}
+
+	// Stamp each reuse option's modeled saving versus the fresh build;
+	// compile feeds it to the cache's benefit accumulator at pin time.
+	for i := 1; i < len(opts); i++ {
+		if d := opts[0].totalCost - opts[i].totalCost; d > 0 {
+			opts[i].choice.SavedCost = d
+		}
 	}
 	return opts
 }

@@ -221,6 +221,15 @@ type ReuseChoice struct {
 	NewFilter expr.Box
 	// OperatorCost is the estimated reuse-aware operator cost (ns).
 	OperatorCost float64
+	// Cold is set when the chosen candidate lives in the cache's cold
+	// tier: Snap stays nil until compile revives the entry
+	// (Cache.Revive). Only exact/subsuming classifications reuse cold
+	// artifacts — widening one would revive it just to copy it.
+	Cold *htcache.ColdArtifact
+	// SavedCost is the modeled saving (ns) of this choice versus the
+	// fresh alternative for the same operator; compile credits it to the
+	// entry's benefit accumulator when the plan pins the entry.
+	SavedCost float64
 }
 
 type nodeKind uint8
@@ -294,6 +303,11 @@ type AggChoice struct {
 	PostAgg bool
 	// ResidualRoots are SPJ plans feeding missing tuples (partial).
 	ResidualRoots []*Node
+	// FreshRoot is the fresh SPJ plan a cold-tier choice carries as its
+	// fallback: if the cold entry is dropped between planning and
+	// compilation the compiler builds fresh instead of failing. Nil for
+	// every other mode (Planned.Root serves ModeNew).
+	FreshRoot *Node
 	// InputRows and DistinctKeys are the estimates used for costing.
 	InputRows, DistinctKeys float64
 }

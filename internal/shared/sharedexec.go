@@ -389,7 +389,7 @@ func (g *groupExec) obtainSharedJoinHT(n *optimizer.Node) (*hashtable.Table, []i
 // superset of every query's needed rows, store every needed payload
 // column, and store every predicate column (for re-tagging).
 func (g *groupExec) sharedCandidateUsable(snap *htcache.Snapshot, qidCol int, n *optimizer.Node, relBoxes []expr.Box) bool {
-	if qidCol < 0 {
+	if qidCol < 0 || snap == nil || snap.HT == nil {
 		return false
 	}
 	layout := snap.HT.Layout()

@@ -236,6 +236,9 @@ func (g *groupExec) tryReuseGrouping(ag *aggGroup) bool {
 			continue
 		}
 		snap := cand.Current()
+		if snap == nil || snap.HT == nil {
+			continue // demoted to the cold tier since Candidates listed it
+		}
 		layout := snap.HT.Layout()
 		usable := true
 		for _, b := range boxes {

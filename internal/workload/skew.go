@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math"
+
+	"hashstash/internal/storage"
+	"hashstash/internal/tpch"
+)
+
+// Skewed workloads: instead of a session of correlated interactions,
+// GenerateSkewed models a dashboard-style population of recurring
+// queries — a fixed set of query shapes drawn with Zipfian frequency —
+// polluted by a stream of one-shot queries that never repeat. Hot
+// shapes repay their cached hash tables many times over while one-shot
+// artifacts never do, which is exactly the regime where
+// benefit-per-byte eviction separates from LRU: every one-shot is the
+// most-recently-used entry the moment it registers.
+
+// SkewConfig controls skewed workload generation.
+type SkewConfig struct {
+	// N is the number of queries (default 256).
+	N int
+	// Shapes is the number of distinct recurring query shapes
+	// (default 16). Shape r is drawn proportionally to 1/(r+1)^S.
+	Shapes int
+	// S is the Zipf exponent (default 1.1; larger = more skew).
+	S float64
+	// OneShotFrac is the fraction of queries that are one-shot
+	// pollution — unique filters, never repeated (default 0.25).
+	OneShotFrac float64
+	// Seed makes generation deterministic; 0 selects a default.
+	Seed uint64
+}
+
+func (cfg *SkewConfig) defaults() {
+	if cfg.N <= 0 {
+		cfg.N = 256
+	}
+	if cfg.Shapes <= 0 {
+		cfg.Shapes = 16
+	}
+	if cfg.S <= 0 {
+		cfg.S = 1.1
+	}
+	if cfg.OneShotFrac < 0 || cfg.OneShotFrac >= 1 {
+		cfg.OneShotFrac = 0.25
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x534b4557 // "SKEW"
+	}
+}
+
+// ZipfWeights returns the normalized draw probabilities of n ranks
+// under exponent s (rank 0 hottest). Exported for tests and benchmark
+// reporting.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for r := range w {
+		w[r] = 1 / math.Pow(float64(r+1), s)
+		sum += w[r]
+	}
+	for r := range w {
+		w[r] /= sum
+	}
+	return w
+}
+
+// GenerateSkewed produces a workload of cfg.N queries: recurring shapes
+// drawn by Zipf rank (Step.Shape = rank), interleaved with one-shot
+// queries (Step.Shape = -1). Steps sharing a Shape are byte-identical
+// queries, so the second occurrence of a shape is an exact-reuse hit.
+func GenerateSkewed(cfg SkewConfig) []Step {
+	cfg.defaults()
+	r := &rng{state: cfg.Seed}
+
+	dlo, dhi := orderShipRange()
+	span := dhi - dlo
+
+	// Fix the recurring shapes up front. Widths vary by rank so hot and
+	// cold shapes alike come in different sizes (the benefit-per-byte
+	// score has to weigh them, not just count hits), and every fourth
+	// shape drills into PART for join-graph diversity.
+	shapes := make([]*state, cfg.Shapes)
+	for i := range shapes {
+		st := &state{
+			baseLo:  dlo,
+			baseHi:  dhi,
+			groupBy: []storage.ColRef{ref("c", "c_age")},
+		}
+		width := span/32 + r.intn(span/8)
+		st.lo = dlo + r.intn(span-width)
+		st.hi = st.lo + width
+		st.ageLo = 18 + r.intn(50)
+		st.ageHi = st.ageLo + 10 + r.intn(20)
+		if i%4 == 3 {
+			st.hasPart = true
+			st.groupBy = append(st.groupBy, ref("p", "p_mfgr"))
+		}
+		shapes[i] = st
+	}
+
+	// Inverse-CDF table over the Zipf weights.
+	cum := ZipfWeights(cfg.Shapes, cfg.S)
+	for i := 1; i < len(cum); i++ {
+		cum[i] += cum[i-1]
+	}
+
+	steps := make([]Step, 0, cfg.N)
+	for len(steps) < cfg.N {
+		if r.float() < cfg.OneShotFrac {
+			// One-shot pollution: a unique narrow window that will never
+			// be asked again — its cached artifacts can only cost memory.
+			st := &state{
+				baseLo:  dlo,
+				baseHi:  dhi,
+				groupBy: []storage.ColRef{ref("c", "c_age")},
+			}
+			width := span/64 + r.intn(span/16)
+			st.lo = dlo + r.intn(span-width)
+			st.hi = st.lo + width
+			st.ageLo = 18 + r.intn(60)
+			st.ageHi = st.ageLo + 1 + r.intn(8)
+			steps = append(steps, Step{Query: st.query(), Kind: ShiftMuch, Lo: st.lo, Hi: st.hi, Shape: -1})
+			continue
+		}
+		p := r.float()
+		rank := 0
+		for rank < len(cum)-1 && p >= cum[rank] {
+			rank++
+		}
+		st := shapes[rank]
+		steps = append(steps, Step{Query: st.query(), Kind: Seed, Lo: st.lo, Hi: st.hi, Shape: rank})
+	}
+	return steps
+}
+
+// orderShipRange returns the l_shipdate domain the generators draw
+// windows from.
+func orderShipRange() (int64, int64) {
+	dlo, dhi := tpch.OrderDateRange()
+	return dlo + 1, dhi + 121
+}

@@ -1,0 +1,88 @@
+package workload
+
+import "testing"
+
+func TestGenerateSkewedDeterministic(t *testing.T) {
+	cfg := SkewConfig{N: 128, Shapes: 8, Seed: 7}
+	a := GenerateSkewed(cfg)
+	b := GenerateSkewed(cfg)
+	if len(a) != len(b) || len(a) != 128 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Shape != b[i].Shape || a[i].SQL() != b[i].SQL() {
+			t.Fatalf("step %d differs between identical configs", i)
+		}
+	}
+}
+
+func TestGenerateSkewedShapesRepeatExactly(t *testing.T) {
+	steps := GenerateSkewed(SkewConfig{N: 200, Shapes: 6, Seed: 3})
+	bySQL := map[int]string{}
+	for i, s := range steps {
+		if s.Shape < 0 {
+			continue
+		}
+		if s.Shape >= 6 {
+			t.Fatalf("step %d: shape %d out of range", i, s.Shape)
+		}
+		sql := s.SQL()
+		if prev, ok := bySQL[s.Shape]; ok && prev != sql {
+			t.Fatalf("shape %d rendered two different queries", s.Shape)
+		}
+		bySQL[s.Shape] = sql
+	}
+	if len(bySQL) < 3 {
+		t.Fatalf("only %d distinct shapes drawn from 6", len(bySQL))
+	}
+}
+
+// TestGenerateSkewedDistribution checks the draw frequencies follow the
+// configured Zipf weights: monotone-ish by rank, head far above tail,
+// and close to the analytic distribution in aggregate.
+func TestGenerateSkewedDistribution(t *testing.T) {
+	const n, shapes = 4000, 10
+	cfg := SkewConfig{N: n, Shapes: shapes, S: 1.2, OneShotFrac: 0.25, Seed: 11}
+	steps := GenerateSkewed(cfg)
+
+	counts := make([]int, shapes)
+	oneShots := 0
+	for _, s := range steps {
+		if s.Shape < 0 {
+			oneShots++
+			continue
+		}
+		counts[s.Shape]++
+	}
+
+	frac := float64(oneShots) / n
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("one-shot fraction %.3f far from configured 0.25", frac)
+	}
+
+	recurring := n - oneShots
+	if counts[0] <= counts[shapes-1]*2 {
+		t.Fatalf("head rank not dominant: counts[0]=%d counts[%d]=%d", counts[0], shapes-1, counts[shapes-1])
+	}
+	w := ZipfWeights(shapes, cfg.S)
+	totalDev := 0.0
+	for r := range counts {
+		emp := float64(counts[r]) / float64(recurring)
+		if d := emp - w[r]; d < 0 {
+			totalDev -= d
+		} else {
+			totalDev += d
+		}
+	}
+	if totalDev > 0.15 {
+		t.Fatalf("empirical distribution deviates %.3f (L1) from Zipf weights", totalDev)
+	}
+	// The head half must account for more than its uniform share.
+	head := 0
+	for r := 0; r < shapes/2; r++ {
+		head += counts[r]
+	}
+	if float64(head)/float64(recurring) < 0.75 {
+		t.Fatalf("head half drew only %.2f of recurring queries; want Zipf-heavy head", float64(head)/float64(recurring))
+	}
+}

@@ -95,6 +95,10 @@ type Step struct {
 	Kind  Interaction
 	// Window is the l_shipdate predicate window [Lo, Hi).
 	Lo, Hi int64
+	// Shape identifies the recurring query shape a skewed workload drew
+	// (see GenerateSkewed); -1 for one-shot queries and for every step of
+	// the classic interaction-driven Generate.
+	Shape int
 }
 
 // Config controls workload generation.
@@ -169,11 +173,11 @@ func Generate(cfg Config) []Step {
 	st.ageHi = st.ageLo + 20
 
 	steps := make([]Step, 0, cfg.N)
-	steps = append(steps, Step{Query: st.query(), Kind: Seed, Lo: st.lo, Hi: st.hi})
+	steps = append(steps, Step{Query: st.query(), Kind: Seed, Lo: st.lo, Hi: st.hi, Shape: -1})
 	for len(steps) < cfg.N {
 		kind := pickInteraction(r, st, cfg.Level)
 		st.apply(r, kind, cfg.Level.Overlap())
-		steps = append(steps, Step{Query: st.query(), Kind: kind, Lo: st.lo, Hi: st.hi})
+		steps = append(steps, Step{Query: st.query(), Kind: kind, Lo: st.lo, Hi: st.hi, Shape: -1})
 	}
 	return steps
 }
