@@ -9,7 +9,8 @@
 //	           WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
 //	             AND l.l_shipdate >= DATE '1995-03-15' GROUP BY c.c_age
 //
-// Meta commands: \cache (cache statistics), \tables, \q.
+// Meta commands: \cache (cache statistics), \shards (per-shard query
+// and cache breakdown under -shards N), \tables, \q.
 package main
 
 import (
@@ -31,10 +32,18 @@ func main() {
 		lru      = flag.Bool("lru", false, "use LRU eviction instead of benefit-per-byte (ablation)")
 		maxRow   = flag.Int("rows", 20, "maximum result rows to print")
 		parallel = flag.Int("parallel", 0, "execution worker-pool size (0 = all CPUs, 1 = serial)")
+		shards   = flag.Int("shards", 1, "shard count; >1 partitions customer/orders/lineitem on their keys")
 	)
 	flag.Parse()
 
 	opts := []hashstash.Option{hashstash.WithCacheBudget(*budget)}
+	if *shards > 1 {
+		opts = append(opts,
+			hashstash.WithShards(*shards),
+			hashstash.WithPartitionKey("customer", "c_custkey"),
+			hashstash.WithPartitionKey("orders", "o_custkey"),
+			hashstash.WithPartitionKey("lineitem", "l_orderkey"))
+	}
 	if *cold > 0 {
 		opts = append(opts, hashstash.WithColdTierBudget(*cold))
 	}
@@ -69,6 +78,17 @@ func main() {
 			return
 		case line == `\tables`:
 			fmt.Println(strings.Join(db.Tables(), ", "))
+			continue
+		case line == `\shards`:
+			counts := db.ShardQueryCounts()
+			if counts == nil {
+				fmt.Println("unsharded (run with -shards N)")
+				continue
+			}
+			for s, cs := range db.ShardCacheStats() {
+				fmt.Printf("shard %d: queries=%d cache entries=%d bytes=%d hits=%d\n",
+					s, counts[s], cs.Entries, cs.Bytes, cs.Hits)
+			}
 			continue
 		case line == `\cache`:
 			s := db.CacheStats()

@@ -61,6 +61,7 @@ import (
 	"hashstash/internal/matreuse"
 	"hashstash/internal/optimizer"
 	"hashstash/internal/plan"
+	"hashstash/internal/shard"
 	"hashstash/internal/shared"
 	"hashstash/internal/sqlparser"
 	"hashstash/internal/storage"
@@ -130,6 +131,9 @@ type config struct {
 	indexBudget     int64
 	lruEviction     bool
 	coldBudget      int64
+	shards          int
+	partKeys        map[string]string
+	partOrder       []string
 }
 
 // WithCacheBudget bounds the hash-table cache (bytes); the garbage
@@ -217,6 +221,35 @@ func WithRehashBudget(nodes int) Option { return func(c *config) { c.rehashBudge
 // storage-index-assisted) table scan. Ablation knob.
 func WithoutSecondaryIndexes() Option { return func(c *config) { c.noSecondaryIdx = true } }
 
+// WithShards partitions the engine into n locality domains. Each shard
+// owns a catalog fragment, its own hash-table/index cache (benefit
+// accounting, eviction and index budgets are per shard) and its own
+// worker deques in the scheduler. Tables with a declared partition key
+// (WithPartitionKey / PartitionTable) split into per-shard fragments by
+// key hash; undeclared tables replicate. Queries whose partition-key
+// equality constraints pin every partitioned relation to one shard run
+// on that shard alone; everything else executes scatter-gather with
+// co-partitioned joins probing shard-locally and mismatched joins
+// repartitioned through a batched exchange. n <= 1 (the default) keeps
+// the single-domain engine. Sharding applies to EngineHashStash; the
+// baseline engines ignore it.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithPartitionKey declares, before data loads, that table is
+// hash-partitioned by column under WithShards. Tables without a
+// declared key are replicated to every shard.
+func WithPartitionKey(table, column string) Option {
+	return func(c *config) {
+		if c.partKeys == nil {
+			c.partKeys = make(map[string]string)
+		}
+		if _, dup := c.partKeys[table]; !dup {
+			c.partOrder = append(c.partOrder, table)
+		}
+		c.partKeys[table] = column
+	}
+}
+
 // WithIndexBuildBudget caps the total bytes of lazily built secondary
 // indexes kept live in the cache; a build that would exceed the budget
 // is skipped and the query scans instead. 0 = unlimited.
@@ -238,6 +271,11 @@ type DB struct {
 	// on either engine.
 	matMu  sync.RWMutex
 	engine Engine
+	// router is the sharding layer (nil for the default single-domain
+	// engine). When set, cat/cache/opt alias shard 0 — the catalog view
+	// used for parsing — and every data/query path goes through the
+	// router.
+	router *shard.Engine
 }
 
 // Open creates an empty database.
@@ -252,33 +290,82 @@ func Open(opts ...Option) *DB {
 	for _, o := range opts {
 		o(cfg)
 	}
-	cat := catalog.New()
-	cache := htcache.New(cfg.budget)
 	model := costmodel.NewModel(cfg.calibration)
 	strategy := cfg.strategy
 	if cfg.engine == EngineNoReuse {
 		strategy = NeverReuse
 	}
-	opt := optimizer.New(cat, cache, model, optimizer.Options{
-		Strategy:           strategy,
-		BenefitOriented:    cfg.benefit,
-		EnablePartial:      cfg.partial,
-		EnableOverlapping:  cfg.overlapping,
-		Parallelism:        cfg.parallelism,
-		MorselRows:         cfg.morselRows,
-		SerialPipelines:    cfg.serialPipelines,
-		NoSteal:            cfg.noSteal,
-		NoBucketRehash:     cfg.noBucketRehash,
-		RehashBudget:       cfg.rehashBudget,
-		NoSecondaryIndexes: cfg.noSecondaryIdx,
-		IndexBuildBudget:   cfg.indexBudget,
-	})
-	cache.SetRehash(!cfg.noBucketRehash, cfg.rehashBudget)
-	if cfg.lruEviction {
-		cache.SetPolicy(htcache.PolicyLRU)
+
+	// newDomain builds one locality domain: a catalog plus a cache and
+	// optimizer configured for `workers` of the execution budget and
+	// `share` of the byte budgets.
+	newDomain := func(workers, share int) (*catalog.Catalog, *htcache.Cache, *optimizer.Optimizer) {
+		split := func(b int64) int64 {
+			if b <= 0 || share <= 1 {
+				return b
+			}
+			per := b / int64(share)
+			if per < 1 {
+				per = 1
+			}
+			return per
+		}
+		cat := catalog.New()
+		cache := htcache.New(split(cfg.budget))
+		opt := optimizer.New(cat, cache, model, optimizer.Options{
+			Strategy:           strategy,
+			BenefitOriented:    cfg.benefit,
+			EnablePartial:      cfg.partial,
+			EnableOverlapping:  cfg.overlapping,
+			Parallelism:        workers,
+			MorselRows:         cfg.morselRows,
+			SerialPipelines:    cfg.serialPipelines,
+			NoSteal:            cfg.noSteal,
+			NoBucketRehash:     cfg.noBucketRehash,
+			RehashBudget:       cfg.rehashBudget,
+			NoSecondaryIndexes: cfg.noSecondaryIdx,
+			IndexBuildBudget:   split(cfg.indexBudget),
+		})
+		cache.SetRehash(!cfg.noBucketRehash, cfg.rehashBudget)
+		if cfg.lruEviction {
+			cache.SetPolicy(htcache.PolicyLRU)
+		}
+		if cfg.coldBudget > 0 {
+			cache.SetColdBudget(split(cfg.coldBudget))
+		}
+		return cat, cache, opt
 	}
-	if cfg.coldBudget > 0 {
-		cache.SetColdBudget(cfg.coldBudget)
+
+	var router *shard.Engine
+	if cfg.shards > 1 && cfg.engine == EngineHashStash {
+		perShard := cfg.parallelism / cfg.shards
+		if perShard < 1 {
+			perShard = 1
+		}
+		shards := make([]*shard.Shard, cfg.shards)
+		for s := range shards {
+			cat, cache, opt := newDomain(perShard, cfg.shards)
+			shards[s] = &shard.Shard{ID: s, Cat: cat, Cache: cache, Opt: opt}
+		}
+		router = shard.New(shards, model, exec.Parallelism{
+			Workers:         cfg.parallelism,
+			MorselRows:      cfg.morselRows,
+			SerialPipelines: cfg.serialPipelines,
+			NoSteal:         cfg.noSteal,
+		})
+		for _, table := range cfg.partOrder {
+			router.DeclarePartitionKey(table, cfg.partKeys[table])
+		}
+	}
+
+	var cat *catalog.Catalog
+	var cache *htcache.Cache
+	var opt *optimizer.Optimizer
+	if router != nil {
+		s0 := router.Shard(0)
+		cat, cache, opt = s0.Cat, s0.Cache, s0.Opt
+	} else {
+		cat, cache, opt = newDomain(cfg.parallelism, 1)
 	}
 	mat := matreuse.NewEngine(cat, cfg.budget)
 	mat.Par = exec.Parallelism{
@@ -294,7 +381,46 @@ func Open(opts ...Option) *DB {
 		batch:  shared.New(opt),
 		mat:    mat,
 		engine: cfg.engine,
+		router: router,
 	}
+}
+
+// Shards reports the number of shards (1 for the default engine).
+func (db *DB) Shards() int {
+	if db.router == nil {
+		return 1
+	}
+	return db.router.Shards()
+}
+
+// PartitionTable hash-partitions (or re-keys) an already-loaded table
+// by column across the shards, invalidating cached artifacts over it.
+// Requires WithShards.
+func (db *DB) PartitionTable(table, column string) error {
+	if db.router == nil {
+		return fmt.Errorf("hashstash: PartitionTable requires WithShards")
+	}
+	return db.router.Repartition(table, column)
+}
+
+// ShardCacheStats reports each shard's cache statistics (one entry for
+// the default single-domain engine).
+func (db *DB) ShardCacheStats() []CacheStats {
+	if db.router == nil {
+		return []CacheStats{db.CacheStats()}
+	}
+	_, per := db.router.Stats()
+	return per
+}
+
+// ShardQueryCounts reports how many queries (or scatter legs) each
+// shard has executed — single-partition routing is observable here: a
+// partition-key point query increments exactly one shard's counter.
+func (db *DB) ShardQueryCounts() []int64 {
+	if db.router == nil {
+		return nil
+	}
+	return db.router.QueryCounts()
 }
 
 // LoadTPCH generates and registers a TPC-H-style database at the given
@@ -306,6 +432,12 @@ func (db *DB) LoadTPCH(sf float64) error {
 		return err
 	}
 	for _, t := range data.Tables() {
+		if db.router != nil {
+			if err := db.router.LoadTable(t); err != nil {
+				return err
+			}
+			continue
+		}
 		db.cat.Register(t)
 	}
 	return nil
@@ -324,6 +456,9 @@ func (db *DB) CreateTable(name string, cols map[string]Kind, order []string) err
 		}
 		t.AddColumn(storage.NewColumn(cn, kind))
 	}
+	if db.router != nil {
+		return db.router.LoadTable(t)
+	}
 	db.cat.Register(t)
 	return nil
 }
@@ -331,6 +466,12 @@ func (db *DB) CreateTable(name string, cols map[string]Kind, order []string) err
 // InsertRows appends rows (values in column order) and refreshes
 // statistics.
 func (db *DB) InsertRows(table string, rows [][]Value) error {
+	if db.router != nil {
+		// Rows route to their hash shards; only the shards that actually
+		// received rows refresh statistics and invalidate cached
+		// artifacts over the table.
+		return db.router.InsertRows(table, rows)
+	}
 	t := db.cat.Table(table)
 	if t == nil {
 		return fmt.Errorf("hashstash: unknown table %q", table)
@@ -348,6 +489,9 @@ func (db *DB) InsertRows(table string, rows [][]Value) error {
 // BuildIndex creates a sorted secondary index on a column (selection
 // attributes benefit from one).
 func (db *DB) BuildIndex(table, column string) error {
+	if db.router != nil {
+		return db.router.BuildIndex(table, column)
+	}
 	t := db.cat.Table(table)
 	if t == nil {
 		return fmt.Errorf("hashstash: unknown table %q", table)
@@ -377,6 +521,9 @@ func (db *DB) run(q *plan.Query) (*Result, error) {
 		defer db.matMu.RUnlock()
 		return db.mat.Run(q)
 	}
+	if db.router != nil {
+		return db.router.Run(q)
+	}
 	return db.opt.Run(q)
 }
 
@@ -384,8 +531,10 @@ func (db *DB) run(q *plan.Query) (*Result, error) {
 // mergeable queries share reuse-aware plans (Section 4 of the paper).
 // Results are returned in input order.
 func (db *DB) ExecBatch(sqls []string) ([]*Result, error) {
-	if db.engine != EngineHashStash {
-		// Baselines have no shared plans; run queries individually.
+	if db.engine != EngineHashStash || db.router != nil {
+		// Baselines have no shared plans, and sharded batches run
+		// query-at-a-time through the router (each query still routes or
+		// scatters individually); run queries individually.
 		out := make([]*Result, len(sqls))
 		for i, sql := range sqls {
 			r, err := db.Exec(sql)
@@ -417,14 +566,29 @@ func (db *DB) CacheStats() CacheStats {
 	if db.engine == EngineMaterialized {
 		return db.mat.Cache.Stats()
 	}
+	if db.router != nil {
+		total, _ := db.router.Stats()
+		return total
+	}
 	return db.cache.Stats()
 }
 
 // ClearCache evicts every unpinned cached hash table.
-func (db *DB) ClearCache() { db.cache.Clear() }
+func (db *DB) ClearCache() {
+	if db.router != nil {
+		db.router.Clear()
+		return
+	}
+	db.cache.Clear()
+}
 
 // SetCacheBudget adjusts the garbage collector's memory budget at
-// runtime and triggers collection immediately.
+// runtime and triggers collection immediately (split evenly across
+// shard caches under WithShards).
 func (db *DB) SetCacheBudget(bytes int64) {
+	if db.router != nil {
+		db.router.SetBudget(bytes)
+		return
+	}
 	db.cache.SetBudget(bytes)
 }

@@ -7,6 +7,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hashstash/internal/expr"
 	"hashstash/internal/storage"
@@ -27,46 +28,97 @@ type TableStats struct {
 	Cols map[string]*ColumnStats
 }
 
-// Catalog is the schema registry: base tables plus their statistics.
+// Catalog is the schema registry: base tables plus their statistics
+// and, in a sharded engine, the partition-key declaration per table.
+// Methods are safe for concurrent use: steady-state schema never
+// changes while queries run, but the sharded exchange operator
+// registers (and later unregisters) query-lifetime temporary tables
+// concurrently with planning, so the registry takes a read-write lock.
 type Catalog struct {
-	tables map[string]*storage.Table
-	stats  map[string]*TableStats
+	mu       sync.RWMutex
+	tables   map[string]*storage.Table
+	stats    map[string]*TableStats
+	partKeys map[string]string
 }
 
 // New returns an empty catalog.
 func New() *Catalog {
 	return &Catalog{
-		tables: make(map[string]*storage.Table),
-		stats:  make(map[string]*TableStats),
+		tables:   make(map[string]*storage.Table),
+		stats:    make(map[string]*TableStats),
+		partKeys: make(map[string]string),
 	}
 }
 
 // Register adds a table and computes its statistics. Re-registering a
 // table recomputes statistics (e.g. after loading data).
 func (c *Catalog) Register(t *storage.Table) {
+	stats := ComputeStats(t)
+	c.mu.Lock()
 	c.tables[t.Name] = t
-	c.stats[t.Name] = ComputeStats(t)
+	c.stats[t.Name] = stats
+	c.mu.Unlock()
+}
+
+// Unregister removes a table (the teardown of exchange temporaries).
+func (c *Catalog) Unregister(name string) {
+	c.mu.Lock()
+	delete(c.tables, name)
+	delete(c.stats, name)
+	delete(c.partKeys, name)
+	c.mu.Unlock()
+}
+
+// DeclarePartitionKey records that the named table is hash-partitioned
+// by the given column in this catalog's shard layout. Declaration is
+// metadata only; the sharding layer performs the physical split.
+func (c *Catalog) DeclarePartitionKey(table, column string) {
+	c.mu.Lock()
+	c.partKeys[table] = column
+	c.mu.Unlock()
+}
+
+// PartitionKey returns the declared partition-key column of a table and
+// whether the table is partitioned at all (undeclared tables are
+// replicated across shards).
+func (c *Catalog) PartitionKey(table string) (string, bool) {
+	c.mu.RLock()
+	col, ok := c.partKeys[table]
+	c.mu.RUnlock()
+	return col, ok
 }
 
 // Table returns the named base table, or nil.
-func (c *Catalog) Table(name string) *storage.Table { return c.tables[name] }
+func (c *Catalog) Table(name string) *storage.Table {
+	c.mu.RLock()
+	t := c.tables[name]
+	c.mu.RUnlock()
+	return t
+}
 
 // Stats returns statistics for the named table, or nil.
-func (c *Catalog) Stats(name string) *TableStats { return c.stats[name] }
+func (c *Catalog) Stats(name string) *TableStats {
+	c.mu.RLock()
+	s := c.stats[name]
+	c.mu.RUnlock()
+	return s
+}
 
 // TableNames lists registered tables in sorted order.
 func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
 	names := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		names = append(names, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // Resolve finds the kind of a column in the named table.
 func (c *Catalog) Resolve(table, column string) (types.Kind, error) {
-	t := c.tables[table]
+	t := c.Table(table)
 	if t == nil {
 		return 0, fmt.Errorf("catalog: unknown table %q", table)
 	}

@@ -212,6 +212,63 @@ func (m *Model) MaterializeCost(rows float64, width int) float64 {
 	return rows * (2 + 0.25*float64(width))
 }
 
+// Sharded execution costs. Per-shard operator costs need no dedicated
+// scaling terms: each shard's optimizer estimates against that shard's
+// own catalog statistics (≈ rows/N for a hash-partitioned table), so
+// every equation above scales down automatically. What the router has
+// to price itself is the work between shards: moving a join side
+// through the exchange, fanning a plan out, and merging the gathered
+// partials.
+
+// ExchangeCost estimates repartitioning rows of the given tuple width
+// through the batched exchange: one hash+scatter pass over the rows
+// plus a streaming write of the tuple bytes into the destination
+// fragments. A broadcast writes the tuple bytes once per shard.
+func (m *Model) ExchangeCost(rows float64, width, shards int, broadcast bool) float64 {
+	if rows < 0 {
+		rows = 0
+	}
+	copies := 1.0
+	if broadcast {
+		copies = float64(shards)
+	}
+	const nsPerHash = 1.0   // partition-hash + scatter bookkeeping per row
+	const nsPerByte = 0.25  // streaming column append
+	const nsPerStats = 0.75 // fragment re-registration (stats pass) per row-copy
+	return rows*nsPerHash + rows*copies*float64(width)*nsPerByte + rows*copies*nsPerStats
+}
+
+// GatherCost estimates the router's merge of per-shard results: every
+// gathered row pays one hash-map fold (aggregates) or heap step
+// (ordered merge) — both land in the same few-tens-of-ns regime — plus
+// a constant fan-out/collection overhead per shard leg.
+func (m *Model) GatherCost(rows float64, shards int) float64 {
+	if rows < 0 {
+		rows = 0
+	}
+	const nsPerRow = 60
+	const nsPerShard = 20000 // plan fan-out + goroutine + result splice
+	return rows*nsPerRow + float64(shards)*nsPerShard
+}
+
+// RouteSingleShard is the routing crossover: should a query whose
+// partition-key constraints pin every matching row to one shard run on
+// that shard alone, or scatter anyway? The scatter alternative performs
+// the same fragment scan on the target shard, adds one provably-empty
+// fragment scan per non-target shard, and pays the gather — so routing
+// wins whenever that overhead is positive. The comparison lives in the
+// model (rather than being hard-coded in the router) so a future
+// placement-aware calibration — NUMA distance, warm per-shard caches —
+// can tip it. fragmentRows is the routed shard's estimated fragment
+// size.
+func (m *Model) RouteSingleShard(fragmentRows float64, shards int) bool {
+	if shards <= 1 {
+		return true
+	}
+	wasted := m.ScanCost(fragmentRows*float64(shards-1), 16) + m.GatherCost(0, shards)
+	return wasted > 0
+}
+
 func clamp01(v float64) float64 {
 	if v < 0 || math.IsNaN(v) {
 		return 0

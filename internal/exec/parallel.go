@@ -79,6 +79,71 @@ func RunParallel(pipelines []*Pipeline, par Parallelism) error {
 	return sched.Run(jobs, sched.Options{Workers: par.Workers, NoSteal: par.NoSteal})
 }
 
+// RunSharded executes several shards' pipeline sets as one scheduler
+// run: shard s's jobs form their own dependency DAG (offset into the
+// combined job list) and are seeded into worker group s, so every
+// shard's morsels execute on the shard's own workers — its locality
+// domain — and an idle worker steals shard-local victims before
+// crossing into another shard. par.Workers is the total pool budget,
+// split evenly across shards (minimum one worker per shard; a budget
+// of <= 1 runs the shards serially in order).
+func RunSharded(shards [][]*Pipeline, par Parallelism) error {
+	n := 0
+	for _, ps := range shards {
+		n += len(ps)
+	}
+	if n == 0 {
+		return nil
+	}
+	if par.Workers <= 1 || len(shards) == 1 {
+		if len(shards) == 1 {
+			return RunParallel(shards[0], par)
+		}
+		for _, ps := range shards {
+			if err := Run(ps); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	wps := par.Workers / len(shards)
+	if wps < 1 {
+		wps = 1
+	}
+	total := wps * len(shards)
+	groups := make([]int, 0, total)
+	for s := range shards {
+		for w := 0; w < wps; w++ {
+			groups = append(groups, s)
+		}
+	}
+	// Per-worker sink partials index by the global worker id, so jobs
+	// are lowered against the combined pool size.
+	spar := par
+	spar.Workers = total
+	jobs := make([]*sched.Job, 0, n)
+	base := 0
+	for s, ps := range shards {
+		deps := pipelineDeps(ps)
+		for i, p := range ps {
+			j := p.job(spar)
+			j.Group = s
+			if par.SerialPipelines && i > 0 {
+				// Strict compile order within the shard (cross-shard
+				// legs still run concurrently).
+				j.Deps = []int{base + i - 1}
+			} else {
+				for _, d := range deps[i] {
+					j.Deps = append(j.Deps, base+d)
+				}
+			}
+			jobs = append(jobs, j)
+		}
+		base += len(ps)
+	}
+	return sched.Run(jobs, sched.Options{Workers: total, NoSteal: par.NoSteal, WorkerGroup: groups})
+}
+
 // job lowers one pipeline into a scheduler job. The split decision is
 // deferred to the job's Prepare hook — it runs when every dependency
 // has finished, which is the earliest moment a source over

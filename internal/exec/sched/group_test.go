@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWorkerGroupsNoSteal: with stealing off, a job's tasks run only on
+// its own group's workers — the shard-affinity invariant the sharded
+// executor relies on for locality.
+func TestWorkerGroupsNoSteal(t *testing.T) {
+	const workers = 4
+	groups := []int{0, 0, 1, 1}
+	var onWrongWorker [2]atomic.Int64
+	var ran [2]atomic.Int64
+	mkJob := func(g int) *Job {
+		return &Job{
+			Label:  fmt.Sprintf("group%d", g),
+			NTasks: 64,
+			Group:  g,
+			Run: func(w, i int) error {
+				ran[g].Add(1)
+				if groups[w] != g {
+					onWrongWorker[g].Add(1)
+				}
+				return nil
+			},
+		}
+	}
+	jobs := []*Job{mkJob(0), mkJob(1)}
+	if err := Run(jobs, Options{Workers: workers, WorkerGroup: groups, NoSteal: true}); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 2; g++ {
+		if got := ran[g].Load(); got != 64 {
+			t.Fatalf("group %d ran %d/64 tasks", g, got)
+		}
+		if n := onWrongWorker[g].Load(); n != 0 {
+			t.Fatalf("group %d: %d tasks ran outside the group with stealing disabled", g, n)
+		}
+	}
+}
+
+// TestWorkerGroupsStealCompletes: a lopsided DAG — all tasks in one
+// group — still completes with stealing on: the other group's idle
+// workers cross over once their own group is dry.
+func TestWorkerGroupsStealCompletes(t *testing.T) {
+	const workers = 4
+	groups := []int{0, 0, 1, 1}
+	var ran atomic.Int64
+	crossRan := atomic.Int64{}
+	job := &Job{
+		NTasks: 256,
+		Group:  1,
+		Run: func(w, i int) error {
+			ran.Add(1)
+			if groups[w] != 1 {
+				crossRan.Add(1)
+			}
+			return nil
+		},
+	}
+	if err := Run([]*Job{job}, Options{Workers: workers, WorkerGroup: groups}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 256 {
+		t.Fatalf("ran %d/256 tasks", ran.Load())
+	}
+	// Cross-group stealing is permitted (and usually observed) but not
+	// guaranteed on any particular run; completion is the invariant.
+}
+
+// TestWorkerGroupOutOfRange: jobs whose Group has no workers (or is
+// negative) fall back to group 0 rather than stranding tasks, and a
+// WorkerGroup slice of the wrong length is ignored.
+func TestWorkerGroupOutOfRange(t *testing.T) {
+	var ran atomic.Int64
+	jobs := []*Job{
+		{NTasks: 16, Group: 7, Run: func(w, i int) error { ran.Add(1); return nil }},
+		{NTasks: 16, Group: -3, Run: func(w, i int) error { ran.Add(1); return nil }},
+	}
+	if err := Run(jobs, Options{Workers: 3, WorkerGroup: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d/32 tasks", ran.Load())
+	}
+}
+
+// TestWorkerGroupSparse: a group index with no members (group 1 when
+// only 0 and 2 are populated) seeds into group 0's deques.
+func TestWorkerGroupSparse(t *testing.T) {
+	var ran atomic.Int64
+	job := &Job{NTasks: 8, Group: 1, Run: func(w, i int) error { ran.Add(1); return nil }}
+	if err := Run([]*Job{job}, Options{Workers: 2, WorkerGroup: []int{0, 2}, NoSteal: true}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d/8 tasks", ran.Load())
+	}
+}

@@ -50,6 +50,10 @@ type Job struct {
 	// Deps lists job indexes that must finish before this job's tasks
 	// become runnable.
 	Deps []int
+	// Group is the worker group the job's tasks are seeded into (a
+	// shard's locality domain under Options.WorkerGroup). Jobs of an
+	// unsharded run leave it 0.
+	Group int
 }
 
 // Options configures a scheduler run.
@@ -60,6 +64,13 @@ type Options struct {
 	// NoSteal disables stealing (workers consume only their own seeded
 	// partitions; an ablation knob, not a fast path).
 	NoSteal bool
+	// WorkerGroup assigns worker w to locality group WorkerGroup[w]
+	// (len must be Workers). A job's tasks are seeded only into its
+	// group's deques, and an idle worker steals from victims of its own
+	// group before crossing into another — a shard's morsels stay on
+	// the shard's workers until the whole shard drains. Nil puts every
+	// worker in group 0 (the unsharded behaviour).
+	WorkerGroup []int
 }
 
 // task addresses one unit of work.
@@ -121,6 +132,15 @@ type scheduler struct {
 	deques  []deque
 	workers int
 	steal   bool
+	// groupOf[w] is worker w's locality group; groupWorkers[g] lists
+	// group g's workers in pool order. One group spanning the whole
+	// pool reproduces the ungrouped behaviour exactly.
+	groupOf      []int
+	groupWorkers [][]int
+	// stealOrder[w] is worker w's precomputed victim preference: the
+	// rest of its own group first (rotated so victims differ between
+	// group members), then every other worker.
+	stealOrder [][]int
 
 	// mu guards gen/doneJobs/done/err; cond parks idle workers.
 	mu       sync.Mutex
@@ -154,6 +174,7 @@ func Run(jobs []*Job, opts Options) error {
 		steal:   !opts.NoSteal,
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.buildGroups(opts)
 	for i, j := range jobs {
 		s.jobs[i] = &jobState{job: j}
 		s.jobs[i].pending.Store(int64(len(j.Deps)))
@@ -249,6 +270,53 @@ func topoOrder(jobs []*Job) ([]int, error) {
 	return order, nil
 }
 
+// buildGroups derives the locality-domain structure from the options:
+// worker→group, group→workers and each worker's steal preference
+// (group-local victims before cross-group ones).
+func (s *scheduler) buildGroups(opts Options) {
+	s.groupOf = make([]int, s.workers)
+	ng := 1
+	if len(opts.WorkerGroup) == s.workers {
+		for w, g := range opts.WorkerGroup {
+			if g < 0 {
+				g = 0
+			}
+			s.groupOf[w] = g
+			if g+1 > ng {
+				ng = g + 1
+			}
+		}
+	}
+	s.groupWorkers = make([][]int, ng)
+	for w, g := range s.groupOf {
+		s.groupWorkers[g] = append(s.groupWorkers[g], w)
+	}
+	s.stealOrder = make([][]int, s.workers)
+	for w := 0; w < s.workers; w++ {
+		order := make([]int, 0, s.workers-1)
+		own := s.groupWorkers[s.groupOf[w]]
+		// Rotate the group-local victims around w so siblings do not
+		// all hammer the same first victim.
+		pos := 0
+		for i, v := range own {
+			if v == w {
+				pos = i
+				break
+			}
+		}
+		for i := 1; i < len(own); i++ {
+			order = append(order, own[(pos+i)%len(own)])
+		}
+		for i := 1; i < s.workers; i++ {
+			v := (w + i) % s.workers
+			if s.groupOf[v] != s.groupOf[w] {
+				order = append(order, v)
+			}
+		}
+		s.stealOrder[w] = order
+	}
+}
+
 // spread seeds a ready job: Prepare finalizes its task list (every
 // dependency has finished, so dependency-produced state — a built hash
 // table's entry count — is now visible), then the tasks are
@@ -278,10 +346,18 @@ func (s *scheduler) spread(ji int) {
 		s.finishJob(ji)
 		return
 	}
-	// Start the chunk placement at a job-dependent deque so a wave of
-	// small jobs (single-task serial fallbacks) spreads across the
-	// pool instead of piling onto worker 0.
-	chunk := (n + s.workers - 1) / s.workers
+	// Seed the tasks into the job's locality group only (the whole
+	// pool when ungrouped): the group's workers get one contiguous
+	// chunk each, and other groups see the work only by stealing after
+	// their own deques drain. Start the chunk placement at a
+	// job-dependent deque so a wave of small jobs (single-task serial
+	// fallbacks) spreads across the group instead of piling onto its
+	// first worker.
+	gw := s.groupWorkers[0]
+	if g := js.job.Group; g >= 0 && g < len(s.groupWorkers) && len(s.groupWorkers[g]) > 0 {
+		gw = s.groupWorkers[g]
+	}
+	chunk := (n + len(gw) - 1) / len(gw)
 	for k, lo := 0, 0; lo < n; k, lo = k+1, lo+chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -291,7 +367,7 @@ func (s *scheduler) spread(ji int) {
 		for i := lo; i < hi; i++ {
 			ts = append(ts, task{job: ji, idx: i})
 		}
-		s.deques[(ji+k)%s.workers].push(ts...)
+		s.deques[gw[(ji+k)%len(gw)]].push(ts...)
 	}
 	s.mu.Lock()
 	s.gen++
@@ -343,7 +419,9 @@ func (s *scheduler) next(w int) (task, bool) {
 	}
 }
 
-// poll tries the local deque (LIFO) then every victim (FIFO steal).
+// poll tries the local deque (LIFO) then every victim (FIFO steal) in
+// the worker's precomputed preference order: group-local victims
+// first, cross-group victims only after the whole group ran dry.
 func (s *scheduler) poll(w int) (task, bool) {
 	if t, ok := s.deques[w].pop(); ok {
 		return t, true
@@ -351,8 +429,8 @@ func (s *scheduler) poll(w int) (task, bool) {
 	if !s.steal {
 		return task{}, false
 	}
-	for i := 1; i < s.workers; i++ {
-		if t, ok := s.deques[(w+i)%s.workers].steal(); ok {
+	for _, v := range s.stealOrder[w] {
+		if t, ok := s.deques[v].steal(); ok {
 			return t, true
 		}
 	}

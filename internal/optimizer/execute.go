@@ -1,10 +1,12 @@
 package optimizer
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"hashstash/internal/exec"
+	"hashstash/internal/htcache"
 	"hashstash/internal/plan"
 	"hashstash/internal/types"
 )
@@ -40,29 +42,79 @@ type Result struct {
 // which keeps every snapshot it resolved at plan time alive until its
 // probes finish.
 func (o *Optimizer) Run(q *plan.Query) (*Result, error) {
-	reader := o.Cache.EnterReader()
-	defer reader.Exit()
+	p, err := o.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	runErr := exec.RunParallel(p.Pipelines(), p.Parallelism())
+	return p.Finish(runErr, time.Since(t1))
+}
 
+// Prepared is a planned and compiled query whose pipelines have not run
+// yet. The sharded scatter-gather executor uses the split form: it
+// Prepares one sub-query per shard, fans every shard's pipelines into a
+// single scheduler run (shard-grouped worker deques), then Finishes
+// each to publish snapshots and collect results. The prepared query
+// holds an epoch reader on its optimizer's cache until Finish or Abort.
+type Prepared struct {
+	o        *Optimizer
+	q        *plan.Query
+	planned  *Planned
+	compiled *Compiled
+	reader   *htcache.Reader
+	planTime time.Duration
+	done     bool
+}
+
+// Prepare plans and compiles a query, entering the cache as an epoch
+// reader. Every Prepare must be paired with exactly one Finish or
+// Abort.
+func (o *Optimizer) Prepare(q *plan.Query) (*Prepared, error) {
+	reader := o.Cache.EnterReader()
 	t0 := time.Now()
 	planned, err := o.PlanQuery(q)
 	if err != nil {
+		reader.Exit()
 		return nil, err
 	}
 	compiled, err := o.Compile(planned)
 	if err != nil {
+		reader.Exit()
 		return nil, err
 	}
-	planTime := time.Since(t0)
+	return &Prepared{
+		o: o, q: q, planned: planned, compiled: compiled,
+		reader: reader, planTime: time.Since(t0),
+	}, nil
+}
 
-	t1 := time.Now()
-	runErr := exec.RunParallel(compiled.Pipelines, exec.Parallelism{
-		Workers:         o.Opts.Parallelism,
-		MorselRows:      o.Opts.MorselRows,
-		SerialPipelines: o.Opts.SerialPipelines,
-		NoSteal:         o.Opts.NoSteal,
-	})
-	execTime := time.Since(t1)
+// Pipelines exposes the compiled pipelines for an external runner.
+func (p *Prepared) Pipelines() []*exec.Pipeline { return p.compiled.Pipelines }
 
+// Parallelism is the execution configuration the optimizer would run
+// the pipelines under.
+func (p *Prepared) Parallelism() exec.Parallelism {
+	return exec.Parallelism{
+		Workers:         p.o.Opts.Parallelism,
+		MorselRows:      p.o.Opts.MorselRows,
+		SerialPipelines: p.o.Opts.SerialPipelines,
+		NoSteal:         p.o.Opts.NoSteal,
+	}
+}
+
+// Finish completes a prepared query after its pipelines ran (runErr is
+// the runner's verdict): on success it publishes widened snapshots,
+// releases pins and assembles the Result; on failure it unwinds the
+// compiled state. The epoch reader exits either way.
+func (p *Prepared) Finish(runErr error, execTime time.Duration) (*Result, error) {
+	if p.done {
+		return nil, fmt.Errorf("optimizer: Finish on completed query")
+	}
+	p.done = true
+	defer p.reader.Exit()
+
+	o, compiled := p.o, p.compiled
 	if runErr != nil {
 		o.discard(compiled)
 		return nil, runErr
@@ -84,25 +136,36 @@ func (o *Optimizer) Run(q *plan.Query) (*Result, error) {
 	}
 
 	var rowsIn, rowsOut int64
-	for _, p := range compiled.Pipelines {
-		in, out := p.Stats()
+	for _, pl := range compiled.Pipelines {
+		in, out := pl.Stats()
 		rowsIn += in
 		rowsOut += out
 	}
 	rows := compiled.Out.Rows
 	if !compiled.ordered {
-		rows = OrderAndLimit(rows, compiled.Columns, q)
+		rows = OrderAndLimit(rows, compiled.Columns, p.q)
 	}
 	return &Result{
 		Columns:       compiled.Columns,
 		Rows:          rows,
-		PlanTime:      planTime,
+		PlanTime:      p.planTime,
 		ExecTime:      execTime,
 		RowsIn:        rowsIn,
 		RowsOut:       rowsOut,
-		EstimatedCost: planned.EstimatedCost,
-		Decisions:     planned.Decisions(),
+		EstimatedCost: p.planned.EstimatedCost,
+		Decisions:     p.planned.Decisions(),
 	}, nil
+}
+
+// Abort unwinds a prepared query whose pipelines never ran (a sibling
+// shard failed before the scatter launched).
+func (p *Prepared) Abort() {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.o.discard(p.compiled)
+	p.reader.Exit()
 }
 
 // OrderAndLimit is the fallback for ORDER BY / LIMIT queries whose plan

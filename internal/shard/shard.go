@@ -1,0 +1,272 @@
+// Package shard scales the engine out across N hash-partitioned
+// shards. Each shard is a self-contained slice of the system — its own
+// catalog fragment, its own hash-table/index cache with benefit
+// accounting, its own optimizer (reuse history, ski-rental index
+// accumulator) and its own worker deques in the scheduler — so the
+// paper's reuse machinery composes per locality domain instead of
+// contending on one global pool.
+//
+// Tables declare at most one partition key. Declared tables are split
+// into per-shard fragments by partition-key hash (storage.Partitioner);
+// undeclared tables are replicated to every shard, which keeps them
+// join-compatible with any fragment. The router sends a query whose
+// partition-key equality constraints pin every partitioned relation to
+// one shard straight to that shard's optimizer; everything else
+// compiles to a scatter-gather plan — one per-shard sub-plan, fanned
+// out as shard-grouped jobs of a single scheduler run, gathered by a
+// merge matched to the query shape (partial-aggregate fold, sorted
+// k-way merge for ORDER BY ... LIMIT, plain concatenation). Joins
+// whose sides are co-partitioned on the join columns probe shard-
+// locally; mismatched joins move the cheaper side through a batched
+// exchange (repartition when that aligns the join, broadcast
+// otherwise), priced by the cost model.
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hashstash/internal/catalog"
+	"hashstash/internal/costmodel"
+	"hashstash/internal/exec"
+	"hashstash/internal/htcache"
+	"hashstash/internal/optimizer"
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// Shard is one locality domain: a catalog fragment plus the shard's
+// private cache and optimizer.
+type Shard struct {
+	ID    int
+	Cat   *catalog.Catalog
+	Cache *htcache.Cache
+	Opt   *optimizer.Optimizer
+
+	// Queries counts the queries (or scatter legs) this shard planned
+	// and executed — the per-shard scan counter routing tests assert
+	// on.
+	Queries atomic.Int64
+}
+
+// Engine is the sharding router above the per-shard optimizers.
+type Engine struct {
+	shards []*Shard
+	model  *costmodel.Model
+	// par is the total execution budget of one scatter-gather run,
+	// split into per-shard worker groups by exec.RunSharded.
+	par exec.Parallelism
+	// keys maps table name → declared partition-key column. Undeclared
+	// tables are replicated.
+	keys map[string]string
+	// seq names exchange temporaries uniquely across concurrent
+	// queries.
+	seq atomic.Int64
+}
+
+// New assembles an engine over pre-built shards. All shards must share
+// the hash layout (they do, by construction: storage.PartitionHash).
+func New(shards []*Shard, model *costmodel.Model, par exec.Parallelism) *Engine {
+	if model == nil {
+		model = costmodel.NewModel(nil)
+	}
+	return &Engine{shards: shards, model: model, par: par, keys: make(map[string]string)}
+}
+
+// Shards returns the number of shards.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Shard returns shard s.
+func (e *Engine) Shard(s int) *Shard { return e.shards[s] }
+
+// DeclarePartitionKey records that table is hash-partitioned by column.
+// Declare before loading the table; declaring after load requires
+// Repartition.
+func (e *Engine) DeclarePartitionKey(table, column string) {
+	e.keys[table] = column
+	for _, s := range e.shards {
+		s.Cat.DeclarePartitionKey(table, column)
+	}
+}
+
+// PartitionKey returns the declared partition key of a table.
+func (e *Engine) PartitionKey(table string) (string, bool) {
+	col, ok := e.keys[table]
+	return col, ok
+}
+
+// LoadTable places a table across the shards: declared tables split
+// into hash fragments, undeclared ones replicate (every shard catalog
+// registers the same underlying table).
+func (e *Engine) LoadTable(t *storage.Table) error {
+	if key, ok := e.keys[t.Name]; ok {
+		frags, err := storage.PartitionTable(t, key, len(e.shards))
+		if err != nil {
+			return err
+		}
+		for s, sh := range e.shards {
+			sh.Cat.Register(frags[s])
+			sh.Cat.DeclarePartitionKey(t.Name, key)
+		}
+		return nil
+	}
+	for _, sh := range e.shards {
+		sh.Cat.Register(t)
+	}
+	return nil
+}
+
+// Repartition converts an already-loaded table to hash-partitioned
+// form (or re-keys it): the current row set — replica or fragments —
+// is gathered, split by the new key, and re-registered; every shard's
+// cached artifacts over the table are dropped.
+func (e *Engine) Repartition(table, column string) error {
+	full, err := e.GatherTable(table)
+	if err != nil {
+		return err
+	}
+	if full.Column(column) == nil {
+		return fmt.Errorf("shard: table %q has no partition-key column %q", table, column)
+	}
+	e.DeclarePartitionKey(table, column)
+	if err := e.LoadTable(full); err != nil {
+		return err
+	}
+	for _, sh := range e.shards {
+		sh.Cache.InvalidateTable(table)
+	}
+	return nil
+}
+
+// GatherTable reassembles the full row set of a table from its
+// placement (the replica, or the concatenation of every fragment).
+func (e *Engine) GatherTable(table string) (*storage.Table, error) {
+	t0 := e.shards[0].Cat.Table(table)
+	if t0 == nil {
+		return nil, fmt.Errorf("shard: unknown table %q", table)
+	}
+	if _, ok := e.keys[table]; !ok {
+		return t0, nil
+	}
+	full := t0.CloneSchema(table)
+	for _, sh := range e.shards {
+		frag := sh.Cat.Table(table)
+		for ci, col := range frag.Cols {
+			full.Cols[ci].AppendColumn(col)
+		}
+	}
+	return full, nil
+}
+
+// InsertRows appends rows to a table, routing each row to its hash
+// shard for partitioned tables. Only the shards whose fragments
+// actually received rows have their statistics refreshed and their
+// cached artifacts over the table invalidated — an insert that lands
+// on two shards leaves the other shards' hash tables and indexes warm.
+func (e *Engine) InsertRows(table string, rows [][]types.Value) error {
+	key, partitioned := e.keys[table]
+	if !partitioned {
+		t := e.shards[0].Cat.Table(table)
+		if t == nil {
+			return fmt.Errorf("shard: unknown table %q", table)
+		}
+		for _, row := range rows {
+			t.AppendRow(row...)
+		}
+		for _, sh := range e.shards {
+			sh.Cat.Register(t) // recompute statistics
+			sh.Cache.InvalidateTable(table)
+		}
+		return nil
+	}
+	t0 := e.shards[0].Cat.Table(table)
+	if t0 == nil {
+		return fmt.Errorf("shard: unknown table %q", table)
+	}
+	ki := t0.ColumnIndex(key)
+	if ki < 0 {
+		return fmt.Errorf("shard: table %q lost its partition-key column %q", table, key)
+	}
+	touched := make([]bool, len(e.shards))
+	for _, row := range rows {
+		s := storage.ShardOf(row[ki], len(e.shards))
+		e.shards[s].Cat.Table(table).AppendRow(row...)
+		touched[s] = true
+	}
+	for s, sh := range e.shards {
+		if !touched[s] {
+			continue
+		}
+		sh.Cat.Register(sh.Cat.Table(table))
+		sh.Cache.InvalidateTable(table)
+	}
+	return nil
+}
+
+// BuildIndex builds a sorted storage index on every placement of the
+// column (each fragment indexes its own rows; a replica indexes once).
+func (e *Engine) BuildIndex(table, column string) error {
+	if _, partitioned := e.keys[table]; !partitioned {
+		t := e.shards[0].Cat.Table(table)
+		if t == nil {
+			return fmt.Errorf("shard: unknown table %q", table)
+		}
+		return t.BuildIndexOn(column)
+	}
+	for _, sh := range e.shards {
+		t := sh.Cat.Table(table)
+		if t == nil {
+			return fmt.Errorf("shard: unknown table %q", table)
+		}
+		if err := t.BuildIndexOn(column); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableNames lists the tables (shard 0 sees every placement).
+func (e *Engine) TableNames() []string { return e.shards[0].Cat.TableNames() }
+
+// QueryCounts snapshots the per-shard query counters.
+func (e *Engine) QueryCounts() []int64 {
+	out := make([]int64, len(e.shards))
+	for s, sh := range e.shards {
+		out[s] = sh.Queries.Load()
+	}
+	return out
+}
+
+// Stats folds every shard's cache statistics into one aggregate and
+// returns the per-shard breakdown alongside.
+func (e *Engine) Stats() (htcache.Stats, []htcache.Stats) {
+	per := make([]htcache.Stats, len(e.shards))
+	var total htcache.Stats
+	for s, sh := range e.shards {
+		per[s] = sh.Cache.Stats()
+		total = total.Add(per[s])
+	}
+	return total, per
+}
+
+// Clear evicts every shard cache.
+func (e *Engine) Clear() {
+	for _, sh := range e.shards {
+		sh.Cache.Clear()
+	}
+}
+
+// SetBudget splits a global cache budget evenly across the shard
+// caches (0 = unlimited everywhere).
+func (e *Engine) SetBudget(bytes int64) {
+	per := bytes
+	if per > 0 {
+		per = bytes / int64(len(e.shards))
+		if per < 1 {
+			per = 1
+		}
+	}
+	for _, sh := range e.shards {
+		sh.Cache.SetBudget(per)
+	}
+}

@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"testing"
+
+	"hashstash/internal/types"
+)
+
+// TestPartitionerMatchesShardOf: the vectorized kernel must agree with
+// the scalar ShardOf on every row and kind — the router's equality
+// resolution and the bulk split must never disagree.
+func TestPartitionerMatchesShardOf(t *testing.T) {
+	const n, shards = 10_000, 4
+	cols := map[string]*Column{
+		"int": NewColumn("int", types.Int64),
+		"flt": NewColumn("flt", types.Float64),
+		"str": NewColumn("str", types.String),
+		"dat": NewColumn("dat", types.Date),
+	}
+	for i := 0; i < n; i++ {
+		cols["int"].Append(types.NewInt(int64(i * 37)))
+		cols["flt"].Append(types.NewFloat(float64(i) * 0.25))
+		cols["str"].Append(types.NewString(string(rune('a'+i%26)) + "key"))
+		cols["dat"].Append(types.NewDate(int64(9000 + i)))
+	}
+	p := NewPartitioner(shards)
+	for name, col := range cols {
+		p.Partition(col, -1)
+		dest := p.Dest()
+		for i := 0; i < n; i++ {
+			want := ShardOf(col.Value(i), shards)
+			if int(dest[i]) != want {
+				t.Fatalf("%s row %d: kernel says shard %d, ShardOf says %d", name, i, dest[i], want)
+			}
+		}
+		// Rows(s) must be a stable (ascending) permutation covering
+		// every row exactly once.
+		seen := make([]bool, n)
+		total := 0
+		for s := 0; s < shards; s++ {
+			rows := p.Rows(s)
+			for j, r := range rows {
+				if j > 0 && rows[j-1] >= r {
+					t.Fatalf("%s shard %d: rows not ascending at %d", name, s, j)
+				}
+				if seen[r] {
+					t.Fatalf("%s: row %d assigned twice", name, r)
+				}
+				seen[r] = true
+				total++
+			}
+		}
+		if total != n {
+			t.Fatalf("%s: %d rows scattered, want %d", name, total, n)
+		}
+	}
+}
+
+// TestPartitionSel: the selection-aware kernel hashes only the selected
+// rows and reports original row ids.
+func TestPartitionSel(t *testing.T) {
+	col := intCol("k", 10, 11, 12, 13, 14, 15, 16, 17)
+	sel := []int32{1, 3, 5, 7}
+	p := NewPartitioner(3)
+	p.PartitionSel(col, sel)
+	total := 0
+	for s := 0; s < 3; s++ {
+		for _, r := range p.Rows(s) {
+			if r%2 == 0 {
+				t.Fatalf("unselected row %d scattered", r)
+			}
+			if got := ShardOf(col.Value(int(r)), 3); got != s {
+				t.Fatalf("row %d in shard %d, ShardOf says %d", r, s, got)
+			}
+			total++
+		}
+	}
+	if total != len(sel) {
+		t.Fatalf("%d rows scattered, want %d", total, len(sel))
+	}
+}
+
+// TestPartitionerZeroAlloc: steady-state partitioning — both kernels,
+// after the first warm-up call — allocates nothing.
+func TestPartitionerZeroAlloc(t *testing.T) {
+	col := NewColumn("k", types.Int64)
+	for i := 0; i < 4096; i++ {
+		col.Append(types.NewInt(int64(i) * 7919))
+	}
+	sel := make([]int32, 2048)
+	for i := range sel {
+		sel[i] = int32(i * 2)
+	}
+	p := NewPartitioner(4)
+	p.Partition(col, -1) // warm up scratch
+	p.PartitionSel(col, sel)
+	if allocs := testing.AllocsPerRun(20, func() { p.Partition(col, -1) }); allocs != 0 {
+		t.Errorf("Partition: %v allocs/run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { p.PartitionSel(col, sel) }); allocs != 0 {
+		t.Errorf("PartitionSel: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestPartitionTable: fragments preserve every row exactly once, in
+// original order, and route by the key hash.
+func TestPartitionTable(t *testing.T) {
+	tab := NewTable("t")
+	tab.AddColumn(NewColumn("k", types.Int64))
+	tab.AddColumn(NewColumn("v", types.String))
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tab.AppendRow(types.NewInt(int64(i)), types.NewString(string(rune('A'+i%26))))
+	}
+	frags, err := PartitionTable(tab, "k", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, n)
+	total := 0
+	for s, f := range frags {
+		if f.Name != "t" {
+			t.Fatalf("fragment %d named %q", s, f.Name)
+		}
+		kc, vc := f.Column("k"), f.Column("v")
+		prev := int64(-1)
+		for i := 0; i < f.NumRows(); i++ {
+			k := kc.Value(i).I
+			if ShardOf(types.NewInt(k), 4) != s {
+				t.Fatalf("key %d landed on shard %d", k, s)
+			}
+			if k <= prev {
+				t.Fatalf("shard %d: rows out of original order (%d after %d)", s, k, prev)
+			}
+			prev = k
+			if vc.Value(i).S != string(rune('A'+k%26)) {
+				t.Fatalf("key %d: payload column desynced", k)
+			}
+			if seen[k] {
+				t.Fatalf("key %d appears twice", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("fragments hold %d rows, want %d", total, n)
+	}
+
+	if _, err := PartitionTable(tab, "nope", 4); err == nil {
+		t.Fatal("partitioning by a missing column must fail")
+	}
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"testing"
+
+	"hashstash/internal/expr"
+	"hashstash/internal/storage"
+)
+
+func TestGeneratePartitionedMix(t *testing.T) {
+	steps := GeneratePartitioned(PartitionedConfig{N: 400, CrossShardFrac: 0.25})
+	if len(steps) != 400 {
+		t.Fatalf("got %d steps", len(steps))
+	}
+	cross := 0
+	for _, s := range steps {
+		switch s.Shape {
+		case 1:
+			cross++
+			if _, ok := s.Query.Filter.Constraint(storage.ColRef{Table: "c", Column: "c_custkey"}); ok {
+				t.Fatal("cross-shard step constrains the partition key")
+			}
+		case 0:
+			con, ok := s.Query.Filter.Constraint(storage.ColRef{Table: "c", Column: "c_custkey"})
+			if !ok {
+				t.Fatal("point step lacks the partition-key constraint")
+			}
+			iv := con.Iv
+			if !iv.HasLo || !iv.HasHi || iv.Lo.Compare(iv.Hi) != 0 {
+				t.Fatalf("point step constraint %v is not a point", con)
+			}
+			if iv.Lo.I != s.Lo {
+				t.Fatalf("Step.Lo = %d, constraint key = %d", s.Lo, iv.Lo.I)
+			}
+		default:
+			t.Fatalf("unexpected shape %d", s.Shape)
+		}
+		if len(s.Query.Aggs) != 1 || s.Query.Aggs[0].Func != expr.AggSum {
+			t.Fatalf("unexpected aggregate list %v", s.Query.Aggs)
+		}
+	}
+	if frac := float64(cross) / 400; frac < 0.15 || frac > 0.35 {
+		t.Fatalf("cross-shard fraction %.2f, want ~0.25", frac)
+	}
+
+	// Deterministic for a fixed seed.
+	again := GeneratePartitioned(PartitionedConfig{N: 400, CrossShardFrac: 0.25})
+	for i := range steps {
+		if steps[i].Shape != again[i].Shape || steps[i].Lo != again[i].Lo || steps[i].Hi != again[i].Hi {
+			t.Fatalf("step %d not deterministic", i)
+		}
+	}
+}
+
+func TestGeneratePartitionedAllCross(t *testing.T) {
+	steps := GeneratePartitioned(PartitionedConfig{N: 16, CrossShardFrac: 1})
+	for i, s := range steps {
+		if s.Shape != 1 {
+			t.Fatalf("step %d: shape %d under CrossShardFrac=1", i, s.Shape)
+		}
+	}
+}

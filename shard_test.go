@@ -1,0 +1,407 @@
+package hashstash
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	"hashstash/internal/storage"
+	"hashstash/internal/types"
+)
+
+// tpchPartitionKeys is the placement the sharded tests run under:
+// customer and orders co-partitioned on the customer key, lineitem
+// partitioned on its own join key (so ORDERS ⋈ LINEITEM joins are
+// deliberately mismatched and exercise the exchange); part and
+// supplier stay replicated.
+func tpchPartitionKeys() []Option {
+	return []Option{
+		WithPartitionKey("customer", "c_custkey"),
+		WithPartitionKey("orders", "o_custkey"),
+		WithPartitionKey("lineitem", "l_orderkey"),
+	}
+}
+
+func openShardedTPCH(t *testing.T, shards int, opts ...Option) *DB {
+	t.Helper()
+	all := append([]Option{WithShards(shards)}, tpchPartitionKeys()...)
+	all = append(all, opts...)
+	return openTPCH(t, all...)
+}
+
+// testShardCounts returns the shard counts the equivalence suite runs
+// at: 1 (degenerate layout) and 4, and HASHSTASH_TEST_SHARDS adds an
+// extra count — the CI race matrix uses it for its dedicated shards leg.
+func testShardCounts(t *testing.T) []int {
+	counts := []int{1, 4}
+	if env := os.Getenv("HASHSTASH_TEST_SHARDS"); env != "" && env != "0" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n < 1 {
+			t.Fatalf("HASHSTASH_TEST_SHARDS=%q", env)
+		}
+		if n != 1 && n != 4 {
+			counts = append(counts, n)
+		}
+	}
+	return counts
+}
+
+// shardGoldenQueries covers every scatter-gather merge shape plus both
+// exchange modes and single-shard routing.
+var shardGoldenQueries = []struct {
+	name string
+	sql  string
+}{
+	{"filter-scan", `SELECT c.c_name, c.c_age FROM customer c WHERE c.c_age BETWEEN 25 AND 40`},
+	{"string-in-set", `SELECT c.c_mktsegment, COUNT(*) AS n FROM customer c
+		WHERE c.c_mktsegment IN ('BUILDING', 'AUTOMOBILE') GROUP BY c.c_mktsegment`},
+	{"copartitioned-join", `SELECT c.c_age, SUM(o.o_totalprice) AS spend
+		FROM customer c, orders o WHERE c.c_custkey = o.o_custkey GROUP BY c.c_age`},
+	{"exchange-join", `SELECT o.o_orderstatus, COUNT(*) AS n, SUM(l.l_extendedprice) AS rev
+		FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey
+		  AND l.l_shipdate >= DATE '1995-01-01' GROUP BY o.o_orderstatus`},
+	{"replicated-dim-join", `SELECT s.s_nationkey, COUNT(*) AS n
+		FROM supplier s, lineitem l WHERE s.s_suppkey = l.l_suppkey GROUP BY s.s_nationkey`},
+	{"avg-superset-groupby", `SELECT c.c_age, AVG(o.o_totalprice) AS avgspend
+		FROM customer c, orders o WHERE c.c_custkey = o.o_custkey
+		GROUP BY c.c_age, c.c_nationkey`},
+	{"order-by-limit", `SELECT o.o_orderkey, o.o_totalprice FROM orders o
+		WHERE o.o_totalprice >= 1000 ORDER BY o.o_orderkey LIMIT 25`},
+	{"agg-order-by-limit", `SELECT c.c_age, COUNT(*) AS n FROM customer c
+		GROUP BY c.c_age ORDER BY c.c_age DESC LIMIT 10`},
+	{"q3", q3SQL},
+	{"single-shard-point", `SELECT c.c_age, SUM(o.o_totalprice) AS spend
+		FROM customer c, orders o WHERE c.c_custkey = o.o_custkey
+		  AND c.c_custkey = 42 GROUP BY c.c_age`},
+}
+
+// sortRows orders rows by their full canonical rendering so two row
+// multisets can be compared pairwise.
+func sortRows(rows [][]Value) [][]Value {
+	out := append([][]Value(nil), rows...)
+	key := func(r []Value) string {
+		s := ""
+		for _, v := range r {
+			if v.Kind == types.Float64 {
+				s += fmt.Sprintf("|%.6g", v.F)
+			} else {
+				s += "|" + v.String()
+			}
+		}
+		return s
+	}
+	sort.SliceStable(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return out
+}
+
+// assertSameRows compares result row multisets with a relative float
+// tolerance: scatter legs sum partial aggregates in a different order
+// than one global aggregation, so float sums may differ in the last
+// few bits.
+func assertSameRows(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Rows), len(want.Rows))
+	}
+	g, w := sortRows(got.Rows), sortRows(want.Rows)
+	for i := range g {
+		if len(g[i]) != len(w[i]) {
+			t.Fatalf("%s row %d: %d cells, want %d", label, i, len(g[i]), len(w[i]))
+		}
+		for j := range g[i] {
+			a, b := g[i][j], w[i][j]
+			if a.Kind == types.Float64 || b.Kind == types.Float64 {
+				af, bf := a.AsFloat(), b.AsFloat()
+				scale := math.Max(1, math.Max(math.Abs(af), math.Abs(bf)))
+				if math.Abs(af-bf) > 1e-6*scale {
+					t.Fatalf("%s row %d col %d: %v vs %v", label, i, j, af, bf)
+				}
+				continue
+			}
+			if a.Compare(b) != 0 {
+				t.Fatalf("%s row %d col %d: %v vs %v", label, i, j, a, b)
+			}
+		}
+	}
+}
+
+// TestShardedGoldenEquivalence: the sharded engine must return exactly
+// the rows of the unsharded reference for every merge shape, at one
+// shard (degenerate layout) and four. Each query runs twice so the
+// second run exercises per-shard reuse of the cached artifacts.
+func TestShardedGoldenEquivalence(t *testing.T) {
+	ref := openTPCH(t, WithEngine(EngineNoReuse))
+	for _, shards := range testShardCounts(t) {
+		db := openShardedTPCH(t, shards)
+		if got := db.Shards(); got != shards {
+			t.Fatalf("Shards() = %d, want %d", got, shards)
+		}
+		for _, tc := range shardGoldenQueries {
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, tc.name), func(t *testing.T) {
+				want, err := ref.Exec(tc.sql)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := db.Exec(tc.sql); err != nil {
+					t.Fatal(err)
+				}
+				got, err := db.Exec(tc.sql) // reuse pass
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Columns) != len(want.Columns) {
+					t.Fatalf("columns %v, want %v", got.Columns, want.Columns)
+				}
+				for i := range got.Columns {
+					if got.Columns[i] != want.Columns[i] {
+						t.Fatalf("columns %v, want %v", got.Columns, want.Columns)
+					}
+				}
+				// Ordered queries must agree row-for-row before the
+				// canonical multiset comparison.
+				if tc.name == "order-by-limit" || tc.name == "agg-order-by-limit" {
+					for i := range got.Rows {
+						if got.Rows[i][0].Compare(want.Rows[i][0]) != 0 {
+							t.Fatalf("row %d out of order: %v vs %v", i, got.Rows[i][0], want.Rows[i][0])
+						}
+					}
+				}
+				assertSameRows(t, tc.name, got, want)
+			})
+		}
+	}
+}
+
+// TestShardedRouting: partition-key point queries execute on exactly
+// one shard — observed through the per-shard query counters — and the
+// key space spreads across shards; unconstrained queries scatter to
+// all of them.
+func TestShardedRouting(t *testing.T) {
+	const shards = 4
+	db := openShardedTPCH(t, shards)
+	hit := map[int]bool{}
+	for key := int64(1); key <= 24; key++ {
+		before := db.ShardQueryCounts()
+		sql := fmt.Sprintf(`SELECT c.c_age, SUM(o.o_totalprice) AS spend
+			FROM customer c, orders o
+			WHERE c.c_custkey = o.o_custkey AND c.c_custkey = %d
+			GROUP BY c.c_age`, key)
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+		after := db.ShardQueryCounts()
+		touched := -1
+		for s := range after {
+			switch after[s] - before[s] {
+			case 0:
+			case 1:
+				if touched >= 0 {
+					t.Fatalf("key %d touched shards %d and %d", key, touched, s)
+				}
+				touched = s
+			default:
+				t.Fatalf("key %d: shard %d ran %d legs", key, s, after[s]-before[s])
+			}
+		}
+		if touched < 0 {
+			t.Fatalf("key %d touched no shard", key)
+		}
+		if want := storage.ShardOf(types.NewInt(key), shards); touched != want {
+			t.Fatalf("key %d routed to shard %d, hash says %d", key, touched, want)
+		}
+		hit[touched] = true
+	}
+	if len(hit) < 2 {
+		t.Fatalf("24 keys all routed to %d shard(s)", len(hit))
+	}
+
+	// An unconstrained aggregate must scatter: every shard runs a leg.
+	before := db.ShardQueryCounts()
+	if _, err := db.Exec(`SELECT c.c_age, COUNT(*) AS n FROM customer c GROUP BY c.c_age`); err != nil {
+		t.Fatal(err)
+	}
+	after := db.ShardQueryCounts()
+	for s := range after {
+		if after[s]-before[s] != 1 {
+			t.Fatalf("scatter: shard %d ran %d legs, want 1", s, after[s]-before[s])
+		}
+	}
+}
+
+// TestShardedInsertInvalidation: inserting rows into a partitioned
+// table invalidates cached artifacts only on the shards whose
+// fragments received rows — the other shards' caches stay warm.
+func TestShardedInsertInvalidation(t *testing.T) {
+	const shards = 4
+	db := Open(WithShards(shards), WithPartitionKey("pt", "k"))
+	if err := db.CreateTable("pt", map[string]Kind{"k": types.Int64, "g": types.Int64, "v": types.Float64}, []string{"k", "g", "v"}); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]Value, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		rows = append(rows, []Value{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 8)),
+			types.NewFloat(float64(i) * 0.5),
+		})
+	}
+	if err := db.InsertRows("pt", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := `SELECT p.g, SUM(p.v) AS total FROM pt p GROUP BY p.g`
+	for i := 0; i < 2; i++ {
+		if _, err := db.Exec(warm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := db.ShardCacheStats()
+	for s, st := range before {
+		if st.Entries == 0 {
+			t.Fatalf("shard %d has no cached artifacts after warmup", s)
+		}
+	}
+
+	// One new row lands on exactly one shard.
+	key := int64(999_983)
+	target := storage.ShardOf(types.NewInt(key), shards)
+	err := db.InsertRows("pt", [][]Value{{types.NewInt(key), types.NewInt(3), types.NewFloat(1.5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := db.ShardCacheStats()
+	for s := range after {
+		if s == target {
+			if after[s].Entries != 0 {
+				t.Fatalf("target shard %d still caches %d artifacts after insert", s, after[s].Entries)
+			}
+			continue
+		}
+		if after[s].Entries != before[s].Entries {
+			t.Fatalf("untouched shard %d went from %d to %d cached artifacts", s, before[s].Entries, after[s].Entries)
+		}
+	}
+
+	// And the post-insert result is correct (the stale shard rebuilt).
+	res, err := db.Exec(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, row := range res.Rows {
+		total += row[1].AsFloat()
+	}
+	want := 0.0
+	for i := 0; i < 4000; i++ {
+		want += float64(i) * 0.5
+	}
+	want += 1.5
+	if math.Abs(total-want) > 1e-6*want {
+		t.Fatalf("post-insert total %v, want %v", total, want)
+	}
+
+	// Aggregated stats fold the per-shard caches.
+	agg := db.CacheStats()
+	var sum int
+	for _, st := range db.ShardCacheStats() {
+		sum += st.Entries
+	}
+	if agg.Entries != sum {
+		t.Fatalf("aggregate Entries %d != per-shard sum %d", agg.Entries, sum)
+	}
+}
+
+// TestShardedConcurrentStorm drives point, scatter and exchange
+// queries from many goroutines at once — the race-detector workout for
+// the router, the shared scheduler run, exchange temp registration and
+// per-shard cache lifecycles.
+func TestShardedConcurrentStorm(t *testing.T) {
+	db := openShardedTPCH(t, 4)
+	queries := []string{
+		`SELECT c.c_age, SUM(o.o_totalprice) AS spend FROM customer c, orders o
+		   WHERE c.c_custkey = o.o_custkey AND c.c_custkey = 7 GROUP BY c.c_age`,
+		`SELECT c.c_age, SUM(o.o_totalprice) AS spend FROM customer c, orders o
+		   WHERE c.c_custkey = o.o_custkey GROUP BY c.c_age`,
+		`SELECT o.o_orderstatus, COUNT(*) AS n FROM orders o, lineitem l
+		   WHERE o.o_orderkey = l.l_orderkey GROUP BY o.o_orderstatus`,
+		`SELECT c.c_name, c.c_age FROM customer c WHERE c.c_age BETWEEN 30 AND 50`,
+		`SELECT c.c_age, COUNT(*) AS n FROM customer c GROUP BY c.c_age ORDER BY c.c_age LIMIT 5`,
+	}
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*len(queries))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < len(queries); i++ {
+				sql := queries[(w+i)%len(queries)]
+				if _, err := db.Exec(sql); err != nil {
+					errs <- fmt.Errorf("worker %d query %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedPostHocPartition: PartitionTable re-keys a loaded table;
+// queries still answer correctly and a point query routes afterwards.
+func TestShardedPostHocPartition(t *testing.T) {
+	db := Open(WithShards(4)) // no declared keys: everything replicated
+	if err := db.LoadTPCH(0.002); err != nil {
+		t.Fatal(err)
+	}
+	ref := openTPCH(t, WithEngine(EngineNoReuse))
+	sql := `SELECT c.c_age, COUNT(*) AS n FROM customer c WHERE c.c_custkey = 11 GROUP BY c.c_age`
+
+	// Replicated-only queries run on shard 0.
+	before := db.ShardQueryCounts()
+	if _, err := db.Exec(sql); err != nil {
+		t.Fatal(err)
+	}
+	after := db.ShardQueryCounts()
+	if after[0]-before[0] != 1 {
+		t.Fatalf("replicated-only query ran %d legs on shard 0", after[0]-before[0])
+	}
+
+	if err := db.PartitionTable("customer", "c_custkey"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = db.ShardQueryCounts()
+	got, err := db.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after = db.ShardQueryCounts()
+	legs := 0
+	for s := range after {
+		legs += int(after[s] - before[s])
+	}
+	if legs != 1 {
+		t.Fatalf("point query after PartitionTable ran %d legs, want 1", legs)
+	}
+	assertSameRows(t, "post-hoc", got, want)
+
+	// Unsharded DBs answer the shard observability calls harmlessly.
+	un := openTPCH(t)
+	if un.Shards() != 1 || un.ShardQueryCounts() != nil || len(un.ShardCacheStats()) != 1 {
+		t.Fatal("unsharded shard-observability defaults wrong")
+	}
+	if err := un.PartitionTable("customer", "c_custkey"); err == nil {
+		t.Fatal("PartitionTable must require WithShards")
+	}
+}
