@@ -36,22 +36,20 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := []hashstash.Option{hashstash.WithCacheBudget(*budget)}
+	opts := []hashstash.Option{
+		hashstash.WithTuning(hashstash.Tuning{
+			CacheBudget:    *budget,
+			ColdTierBudget: *cold,
+			Parallelism:    *parallel,
+		}),
+		hashstash.WithAblations(hashstash.Ablations{LRUEviction: *lru}),
+	}
 	if *shards > 1 {
 		opts = append(opts,
-			hashstash.WithShards(*shards),
+			hashstash.WithTuning(hashstash.Tuning{Shards: *shards}),
 			hashstash.WithPartitionKey("customer", "c_custkey"),
 			hashstash.WithPartitionKey("orders", "o_custkey"),
 			hashstash.WithPartitionKey("lineitem", "l_orderkey"))
-	}
-	if *cold > 0 {
-		opts = append(opts, hashstash.WithColdTierBudget(*cold))
-	}
-	if *lru {
-		opts = append(opts, hashstash.WithLRUEviction())
-	}
-	if *parallel > 0 {
-		opts = append(opts, hashstash.WithParallelism(*parallel))
 	}
 	db := hashstash.Open(opts...)
 	fmt.Printf("loading TPC-H SF=%.3f... ", *sf)

@@ -1,0 +1,125 @@
+// Command hashstashd is the HashStash server: it loads a TPC-H
+// instance and serves SQL over HTTP/JSON and a keep-alive line
+// protocol, batching concurrently arriving queries of one shape
+// through shared plans (see internal/server).
+//
+//	$ hashstashd -sf 0.01 -listen :8080 -line-listen :8081
+//	$ curl -s localhost:8080/query -d '{"sql":"SELECT ... "}'
+//	$ curl -s localhost:8080/stats
+//
+// Flags:
+//
+//	-listen        HTTP address (default :8080)
+//	-line-listen   line-protocol address (empty = disabled)
+//	-batch-window  shared-plan batch window (default 2ms)
+//	-max-queue     admission-queue bound (default 256)
+//	-max-batch     queries per dispatched group (default 32)
+//	-timeout       default per-query timeout (default 10s)
+//	-tenant-share  fraction of the queue one tenant may hold (default 0.5)
+//	-no-batching   serve every query solo (ablation)
+//	-sf, -cache, -parallel, -shards  engine knobs as in cmd/hashstash
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hashstash"
+	"hashstash/internal/server"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":8080", "HTTP listen address")
+		lineListen  = flag.String("line-listen", "", "line-protocol listen address (empty = disabled)")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "shared-plan batch window")
+		maxQueue    = flag.Int("max-queue", 256, "admission queue bound")
+		maxBatch    = flag.Int("max-batch", 32, "maximum queries per dispatched group")
+		timeout     = flag.Duration("timeout", 10*time.Second, "default per-query timeout")
+		tenantShare = flag.Float64("tenant-share", 0.5, "fraction of the queue one tenant may hold")
+		noBatching  = flag.Bool("no-batching", false, "serve every query solo (ablation)")
+		sf          = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		budget      = flag.Int64("cache", 0, "hash table cache budget in bytes (0 = unlimited)")
+		parallel    = flag.Int("parallel", 0, "execution worker-pool size (0 = all CPUs, 1 = serial)")
+		shards      = flag.Int("shards", 1, "shard count (>1 disables shared-plan batching)")
+	)
+	flag.Parse()
+
+	opts := []hashstash.Option{
+		hashstash.WithTuning(hashstash.Tuning{
+			CacheBudget: *budget,
+			Parallelism: *parallel,
+		}),
+	}
+	if *shards > 1 {
+		opts = append(opts,
+			hashstash.WithTuning(hashstash.Tuning{Shards: *shards}),
+			hashstash.WithPartitionKey("customer", "c_custkey"),
+			hashstash.WithPartitionKey("orders", "o_custkey"),
+			hashstash.WithPartitionKey("lineitem", "l_orderkey"))
+	}
+	db := hashstash.Open(opts...)
+	fmt.Printf("loading TPC-H SF=%.3f... ", *sf)
+	start := time.Now()
+	if err := db.LoadTPCH(*sf); err != nil {
+		fmt.Fprintln(os.Stderr, "load:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	srv := server.New(db, server.Config{
+		BatchWindow:     *batchWindow,
+		MaxQueue:        *maxQueue,
+		MaxBatch:        *maxBatch,
+		DefaultTimeout:  *timeout,
+		TenantShare:     *tenantShare,
+		DisableBatching: *noBatching,
+	})
+
+	httpLn, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if serveErr := httpSrv.Serve(httpLn); serveErr != nil && serveErr != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "http:", serveErr)
+		}
+	}()
+	fmt.Printf("http listening on %s\n", httpLn.Addr())
+
+	var lineLn net.Listener
+	if *lineListen != "" {
+		lineLn, err = net.Listen("tcp", *lineListen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "line listen:", err)
+			os.Exit(1)
+		}
+		go func() {
+			if serveErr := srv.ServeLine(lineLn); serveErr != nil {
+				fmt.Fprintln(os.Stderr, "line:", serveErr)
+			}
+		}()
+		fmt.Printf("line protocol listening on %s\n", lineLn.Addr())
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	fmt.Println("\nshutting down")
+	_ = httpSrv.Close()
+	if lineLn != nil {
+		_ = lineLn.Close()
+	}
+	srv.Close()
+	st := srv.Stats()
+	fmt.Printf("served %d queries: %d batched in %d shared plans, %d solo, %d plans total\n",
+		st.TotalQueries, st.BatchedQueries, st.SharedPlans, st.SoloQueries, st.PlansExecuted)
+}

@@ -1,0 +1,229 @@
+package hashstash
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hashstash/hashstasherr"
+)
+
+// TestExecContextPreCanceled: a canceled context aborts before any
+// execution, with an error satisfying both sentinel checks.
+func TestExecContextPreCanceled(t *testing.T) {
+	db := openTPCH(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.ExecContext(ctx, q3SQL)
+	if !errors.Is(err, hashstasherr.ErrCanceled) {
+		t.Fatalf("error %v does not wrap ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestExecContextCancelInFlight: canceling while queries run either
+// lands a typed cancellation or the query finishes first — never a
+// different error, never a corrupt result.
+func TestExecContextCancelInFlight(t *testing.T) {
+	db := openTPCH(t, WithTuning(Tuning{Parallelism: 2}))
+	want := canonical(mustExec(t, db, q3SQL))
+
+	var canceled, completed int
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(i%4) * 200 * time.Microsecond)
+			cancel()
+		}()
+		res, err := db.ExecContext(ctx, q3SQL)
+		wg.Wait()
+		switch {
+		case err == nil:
+			completed++
+			if got := canonical(res); fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("completed run diverged: %v != %v", got, want)
+			}
+		case errors.Is(err, hashstasherr.ErrCanceled):
+			canceled++
+		default:
+			t.Fatalf("unexpected error kind: %v", err)
+		}
+	}
+	t.Logf("canceled=%d completed=%d", canceled, completed)
+}
+
+// TestExecBatchContextEquivalence: the batch path returns byte-
+// equivalent results to solo execution, and merges the similar shapes.
+func TestExecBatchContextEquivalence(t *testing.T) {
+	db := openTPCH(t)
+	sqls := []string{
+		q3SQL,
+		`SELECT c.c_age, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+		 FROM customer c, orders o, lineitem l
+		 WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+		   AND l.l_shipdate >= DATE '1995-06-15'
+		 GROUP BY c.c_age`,
+		`SELECT c.c_age, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+		 FROM customer c, orders o, lineitem l
+		 WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+		   AND l.l_shipdate >= DATE '1996-01-01'
+		 GROUP BY c.c_age`,
+	}
+	batched, err := db.ExecBatchContext(context.Background(), sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := openTPCH(t)
+	for i, sql := range sqls {
+		want := canonical(mustExec(t, solo, sql))
+		got := canonical(batched[i])
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("query %d diverged from solo execution", i)
+		}
+	}
+}
+
+// TestExecParsedBatchGroups: the shared classifier merges same-spine
+// queries into one group and reports it.
+func TestExecParsedBatchGroups(t *testing.T) {
+	db := openTPCH(t)
+	q1, err := db.Parse(q3SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := db.Parse(`SELECT c.c_age, SUM(l.l_extendedprice) AS revenue
+		FROM customer c, orders o, lineitem l
+		WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+		  AND l.l_shipdate >= DATE '1995-09-01'
+		GROUP BY c.c_age`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := db.ExecParsedBatch(context.Background(), []*Query{q1, q2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 2 {
+		t.Fatalf("got %d results", len(br.Results))
+	}
+	var sharedGroups int
+	for _, g := range br.Groups {
+		if len(g) > 1 {
+			sharedGroups++
+		}
+	}
+	if sharedGroups == 0 {
+		t.Fatalf("same-spine queries were not merged: groups %v", br.Groups)
+	}
+}
+
+// TestBatchShapeAndGain: shape keys agree for batchable pairs, ORDER
+// BY disqualifies, and the cost model prices sharing of a heavy join
+// shape as profitable.
+func TestBatchShapeAndGain(t *testing.T) {
+	db := openTPCH(t)
+	q1, _ := db.Parse(q3SQL)
+	q2, _ := db.Parse(`SELECT c.c_age, SUM(l.l_quantity) AS qty
+		FROM customer c, orders o, lineitem l
+		WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+		  AND l.l_shipdate >= DATE '1997-01-01'
+		GROUP BY c.c_age`)
+	s1, ok1 := BatchShape(q1)
+	s2, ok2 := BatchShape(q2)
+	if !ok1 || !ok2 || s1 != s2 {
+		t.Fatalf("same-spine shapes differ: %q/%v vs %q/%v", s1, ok1, s2, ok2)
+	}
+	qOrd, err := db.Parse(q3SQL + " ORDER BY c.c_age DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := BatchShape(qOrd); ok {
+		t.Fatal("ORDER BY query reported batchable")
+	}
+	if gain := db.EstimateSharingGain(q1, 2); gain <= 0 {
+		t.Fatalf("sharing gain for q3 pair = %v, want > 0", gain)
+	}
+	if gain := db.EstimateSharingGain(q1, 1); gain != 0 {
+		t.Fatalf("sharing gain for k=1 = %v, want 0", gain)
+	}
+}
+
+// TestTypedErrors: the error taxonomy is programmatically
+// distinguishable via errors.Is / errors.As.
+func TestTypedErrors(t *testing.T) {
+	db := openTPCH(t)
+	if _, err := db.Exec("SELECT n.x FROM nope n"); !errors.Is(err, hashstasherr.ErrUnknownTable) {
+		t.Fatalf("unknown table error %v lacks ErrUnknownTable", err)
+	}
+	if _, err := db.Exec("SELECT c.c_missing FROM customer c"); !errors.Is(err, hashstasherr.ErrUnknownColumn) {
+		t.Fatalf("unknown column error %v lacks ErrUnknownColumn", err)
+	}
+	_, err := db.Exec("SELECT FROM WHERE")
+	var pe *hashstasherr.ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("syntax error %v is not a *ParseError", err)
+	}
+	if pe.Pos < 0 || pe.Msg == "" {
+		t.Fatalf("ParseError missing position/message: %+v", pe)
+	}
+}
+
+// TestSessionPreparedCache: a session memoizes Parse by text and
+// counts queries.
+func TestSessionPreparedCache(t *testing.T) {
+	db := openTPCH(t)
+	sess := db.NewSession(WithTenant("acme"))
+	if sess.Tenant() != "acme" {
+		t.Fatalf("tenant = %q", sess.Tenant())
+	}
+	want := canonical(mustExec(t, db, q3SQL))
+	for i := 0; i < 3; i++ {
+		res, err := sess.Exec(q3SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := canonical(res); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatal("session result diverged")
+		}
+	}
+	st := sess.Stats()
+	if st.Queries != 3 {
+		t.Fatalf("Queries = %d, want 3", st.Queries)
+	}
+	if st.PreparedHits != 2 {
+		t.Fatalf("PreparedHits = %d, want 2", st.PreparedHits)
+	}
+}
+
+// TestTuningMatchesDeprecatedOptions: the grouped options configure
+// the engine identically to the per-knob wrappers they replace.
+func TestTuningMatchesDeprecatedOptions(t *testing.T) {
+	grouped := openTPCH(t,
+		WithTuning(Tuning{CacheBudget: 1 << 20, Parallelism: 1, MorselRows: 512}),
+		WithAblations(Ablations{NoPartialReuse: true, NoWorkStealing: true}))
+	legacy := openTPCH(t,
+		WithCacheBudget(1<<20), WithParallelism(1), WithMorselRows(512),
+		WithoutPartialReuse(), WithoutWorkStealing())
+	wantG := canonical(mustExec(t, grouped, q3SQL))
+	wantL := canonical(mustExec(t, legacy, q3SQL))
+	if fmt.Sprint(wantG) != fmt.Sprint(wantL) {
+		t.Fatal("grouped vs legacy options diverged")
+	}
+}
+
+func mustExec(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

@@ -50,20 +50,20 @@
 package hashstash
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"hashstash/hashstasherr"
 	"hashstash/internal/catalog"
 	"hashstash/internal/costmodel"
 	"hashstash/internal/exec"
 	"hashstash/internal/htcache"
 	"hashstash/internal/matreuse"
 	"hashstash/internal/optimizer"
-	"hashstash/internal/plan"
 	"hashstash/internal/shard"
 	"hashstash/internal/shared"
-	"hashstash/internal/sqlparser"
 	"hashstash/internal/storage"
 	"hashstash/internal/tpch"
 	"hashstash/internal/types"
@@ -139,11 +139,15 @@ type config struct {
 // WithCacheBudget bounds the hash-table cache (bytes); the garbage
 // collector evicts the worst benefit-per-byte artifacts beyond it
 // (least-recently-used under WithLRUEviction). 0 = unlimited.
+//
+// Deprecated: use WithTuning(Tuning{CacheBudget: bytes}).
 func WithCacheBudget(bytes int64) Option { return func(c *config) { c.budget = bytes } }
 
 // WithLRUEviction replaces the default benefit-per-byte eviction policy
 // with plain least-recently-used and disables the cold tier. Ablation
 // knob for measuring what benefit accounting buys on skewed workloads.
+//
+// Deprecated: use WithAblations(Ablations{LRUEviction: true}).
 func WithLRUEviction() Option { return func(c *config) { c.lruEviction = true } }
 
 // WithColdTierBudget bounds the compact cold tier (bytes): artifacts
@@ -152,6 +156,8 @@ func WithLRUEviction() Option { return func(c *config) { c.lruEviction = true } 
 // rebuilt — when the cost model says revival is cheaper. 0 disables the
 // cold tier (evictions discard artifacts outright). Only meaningful
 // under the default benefit-per-byte policy.
+//
+// Deprecated: use WithTuning(Tuning{ColdTierBudget: bytes}).
 func WithColdTierBudget(bytes int64) Option { return func(c *config) { c.coldBudget = bytes } }
 
 // WithStrategy selects the reuse decision strategy.
@@ -168,23 +174,33 @@ func WithCalibration(cal *costmodel.Calibration) Option {
 
 // WithoutBenefitOptimizations disables the Section 3.4 benefit-oriented
 // optimizations (for ablation studies).
+//
+// Deprecated: use WithAblations(Ablations{NoBenefitOptimizations: true}).
 func WithoutBenefitOptimizations() Option { return func(c *config) { c.benefit = false } }
 
 // WithoutPartialReuse disables partial reuse (ablation).
+//
+// Deprecated: use WithAblations(Ablations{NoPartialReuse: true}).
 func WithoutPartialReuse() Option { return func(c *config) { c.partial = false } }
 
 // WithoutOverlappingReuse disables overlapping reuse (ablation).
+//
+// Deprecated: use WithAblations(Ablations{NoOverlappingReuse: true}).
 func WithoutOverlappingReuse() Option { return func(c *config) { c.overlapping = false } }
 
 // WithParallelism sets the morsel-driven execution worker-pool size.
 // n <= 1 executes pipelines serially; the default is
 // runtime.GOMAXPROCS(0).
+//
+// Deprecated: use WithTuning(Tuning{Parallelism: n}).
 func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
 // WithMorselRows overrides the morsel granularity (rows per scan unit);
 // 0 uses the storage default (~64K rows, rebalanced per source so short
 // scans still split into stealable units). Mostly useful in tests and
 // benchmarks.
+//
+// Deprecated: use WithTuning(Tuning{MorselRows: rows}).
 func WithMorselRows(rows int) Option { return func(c *config) { c.morselRows = rows } }
 
 // WithoutInterPipelineParallelism restricts the scheduler to one
@@ -192,6 +208,8 @@ func WithMorselRows(rows int) Option { return func(c *config) { c.morselRows = r
 // run across the whole pool). The default lets independent pipelines —
 // build sides of different joins, per-query readouts of a shared batch
 // — execute concurrently under the dependency DAG. Ablation knob.
+//
+// Deprecated: use WithAblations(Ablations{NoInterPipelineParallelism: true}).
 func WithoutInterPipelineParallelism() Option {
 	return func(c *config) { c.serialPipelines = true }
 }
@@ -199,6 +217,8 @@ func WithoutInterPipelineParallelism() Option {
 // WithoutWorkStealing pins each worker to its seeded morsel partition
 // instead of stealing from drained victims' deques. Ablation knob for
 // measuring what stealing buys on skewed partitions.
+//
+// Deprecated: use WithAblations(Ablations{NoWorkStealing: true}).
 func WithoutWorkStealing() Option { return func(c *config) { c.noSteal = true } }
 
 // WithoutBucketRehash disables incremental bucket maintenance of
@@ -207,18 +227,24 @@ func WithoutWorkStealing() Option { return func(c *config) { c.noSteal = true } 
 // publication, and deep segment chains fall back to the all-or-nothing
 // compaction clone. Ablation knob for measuring what incremental
 // rehash buys on reuse-heavy workloads.
+//
+// Deprecated: use WithAblations(Ablations{NoBucketRehash: true}).
 func WithoutBucketRehash() Option { return func(c *config) { c.noBucketRehash = true } }
 
 // WithRehashBudget caps the chain nodes each bucket-maintenance pass
 // may walk (the amortization grain of incremental rehash); 0 uses the
 // default (hashtable.DefaultRehashBudget). Mostly useful in tests and
 // benchmarks.
+//
+// Deprecated: use WithTuning(Tuning{RehashBudget: nodes}).
 func WithRehashBudget(nodes int) Option { return func(c *config) { c.rehashBudget = nodes } }
 
 // WithoutSecondaryIndexes disables the ordered secondary-index access
 // path: the optimizer neither builds indexes lazily nor drives scans
 // with cached ones, so every selection runs as a (possibly
 // storage-index-assisted) table scan. Ablation knob.
+//
+// Deprecated: use WithAblations(Ablations{NoSecondaryIndexes: true}).
 func WithoutSecondaryIndexes() Option { return func(c *config) { c.noSecondaryIdx = true } }
 
 // WithShards partitions the engine into n locality domains. Each shard
@@ -233,6 +259,8 @@ func WithoutSecondaryIndexes() Option { return func(c *config) { c.noSecondaryId
 // repartitioned through a batched exchange. n <= 1 (the default) keeps
 // the single-domain engine. Sharding applies to EngineHashStash; the
 // baseline engines ignore it.
+//
+// Deprecated: use WithTuning(Tuning{Shards: n}).
 func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 
 // WithPartitionKey declares, before data loads, that table is
@@ -253,6 +281,8 @@ func WithPartitionKey(table, column string) Option {
 // WithIndexBuildBudget caps the total bytes of lazily built secondary
 // indexes kept live in the cache; a build that would exceed the budget
 // is skipped and the query scans instead. 0 = unlimited.
+//
+// Deprecated: use WithTuning(Tuning{IndexBuildBudget: bytes}).
 func WithIndexBuildBudget(bytes int64) Option { return func(c *config) { c.indexBudget = bytes } }
 
 // DB is a HashStash database instance. Exec and ExecBatch are safe for
@@ -474,7 +504,7 @@ func (db *DB) InsertRows(table string, rows [][]Value) error {
 	}
 	t := db.cat.Table(table)
 	if t == nil {
-		return fmt.Errorf("hashstash: unknown table %q", table)
+		return fmt.Errorf("hashstash: %w %q", hashstasherr.ErrUnknownTable, table)
 	}
 	for _, row := range rows {
 		t.AppendRow(row...)
@@ -494,7 +524,7 @@ func (db *DB) BuildIndex(table, column string) error {
 	}
 	t := db.cat.Table(table)
 	if t == nil {
-		return fmt.Errorf("hashstash: unknown table %q", table)
+		return fmt.Errorf("hashstash: %w %q", hashstasherr.ErrUnknownTable, table)
 	}
 	return t.BuildIndexOn(column)
 }
@@ -503,61 +533,19 @@ func (db *DB) BuildIndex(table, column string) error {
 func (db *DB) Tables() []string { return db.cat.TableNames() }
 
 // Exec parses and runs one SQL query through the configured engine
-// (query-at-a-time interface).
+// (query-at-a-time interface). It is ExecContext under
+// context.Background(); use ExecContext for cancellation and
+// deadlines.
 func (db *DB) Exec(sql string) (*Result, error) {
-	q, err := sqlparser.Parse(sql, db.cat)
-	if err != nil {
-		return nil, err
-	}
-	return db.run(q)
-}
-
-func (db *DB) run(q *plan.Query) (*Result, error) {
-	if db.engine == EngineMaterialized {
-		// Queries only read base and materialized tables (the temp cache
-		// registry synchronizes internally), so they share the lock and
-		// run concurrently.
-		db.matMu.RLock()
-		defer db.matMu.RUnlock()
-		return db.mat.Run(q)
-	}
-	if db.router != nil {
-		return db.router.Run(q)
-	}
-	return db.opt.Run(q)
+	return db.ExecContext(context.Background(), sql)
 }
 
 // ExecBatch runs a set of queries through the query-batch interface:
 // mergeable queries share reuse-aware plans (Section 4 of the paper).
-// Results are returned in input order.
+// Results are returned in input order. It is ExecBatchContext under
+// context.Background().
 func (db *DB) ExecBatch(sqls []string) ([]*Result, error) {
-	if db.engine != EngineHashStash || db.router != nil {
-		// Baselines have no shared plans, and sharded batches run
-		// query-at-a-time through the router (each query still routes or
-		// scatters individually); run queries individually.
-		out := make([]*Result, len(sqls))
-		for i, sql := range sqls {
-			r, err := db.Exec(sql)
-			if err != nil {
-				return nil, fmt.Errorf("query %d: %w", i, err)
-			}
-			out[i] = r
-		}
-		return out, nil
-	}
-	queries := make([]*plan.Query, len(sqls))
-	for i, sql := range sqls {
-		q, err := sqlparser.Parse(sql, db.cat)
-		if err != nil {
-			return nil, fmt.Errorf("query %d: %w", i, err)
-		}
-		queries[i] = q
-	}
-	batch, err := db.batch.RunBatch(queries)
-	if err != nil {
-		return nil, err
-	}
-	return batch.Results, nil
+	return db.ExecBatchContext(context.Background(), sqls)
 }
 
 // CacheStats reports hash-table cache statistics (temporary-table cache

@@ -1,0 +1,82 @@
+// Package hashstasherr is the typed error set of the public HashStash
+// API. Callers branch on failure classes with errors.Is / errors.As
+// instead of matching message strings, and the serving front-end maps
+// them onto wire status codes (400 for unknown tables/columns and
+// parse errors, 408 for cancellation, 429 for admission backpressure).
+//
+// The sentinels are wrapped, not returned bare: an error produced deep
+// in the catalog still reads "catalog: unknown table \"foo\"" but
+// satisfies errors.Is(err, hashstasherr.ErrUnknownTable).
+package hashstasherr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Every error the engine returns for these failure
+// classes wraps the matching sentinel.
+var (
+	// ErrUnknownTable marks a reference to a table the catalog does not
+	// know (queries, inserts, index builds).
+	ErrUnknownTable = errors.New("unknown table")
+	// ErrUnknownColumn marks a reference to a column (or alias) that
+	// does not resolve against the queried relations.
+	ErrUnknownColumn = errors.New("unknown column")
+	// ErrOverloaded is admission backpressure: the serving queue (or a
+	// tenant's fair share of it) is full. Retry later; the server maps
+	// it to HTTP 429.
+	ErrOverloaded = errors.New("server overloaded")
+	// ErrCanceled marks a query aborted by its context (cancellation or
+	// deadline) before completing. The concrete error also wraps the
+	// context's own cause, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) keep working.
+	ErrCanceled = errors.New("query canceled")
+)
+
+// ParseError is a structured SQL parse failure: the byte offset of the
+// offending token in the statement, the parser's message and a short
+// source excerpt starting at the offset.
+type ParseError struct {
+	// Pos is the byte offset into the SQL text where parsing failed.
+	Pos int
+	// Msg is the parser's diagnosis ("expected FROM", "bad number ...").
+	Msg string
+	// Context is a short excerpt of the source at Pos.
+	Context string
+	// Err optionally carries a sentinel the failure also belongs to
+	// (an unresolvable column reference wraps ErrUnknownColumn).
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sqlparser: %s (at %q)", e.Msg, e.Context)
+}
+
+// Unwrap exposes the optional underlying sentinel.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// CanceledError is a context-aborted query. It unwraps to both
+// ErrCanceled and the context's own error, so callers can branch on
+// either.
+type CanceledError struct {
+	// Cause is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("hashstash: query canceled: %v", e.Cause)
+}
+
+// Unwrap exposes ErrCanceled and the context cause for errors.Is.
+func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }
+
+// Canceled wraps a context error as a CanceledError (ErrCanceled bare
+// when cause is nil).
+func Canceled(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return &CanceledError{Cause: cause}
+}

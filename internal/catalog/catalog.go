@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"hashstash/hashstasherr"
 	"hashstash/internal/expr"
 	"hashstash/internal/storage"
 	"hashstash/internal/types"
@@ -120,11 +121,11 @@ func (c *Catalog) TableNames() []string {
 func (c *Catalog) Resolve(table, column string) (types.Kind, error) {
 	t := c.Table(table)
 	if t == nil {
-		return 0, fmt.Errorf("catalog: unknown table %q", table)
+		return 0, fmt.Errorf("catalog: %w %q", hashstasherr.ErrUnknownTable, table)
 	}
 	col := t.Column(column)
 	if col == nil {
-		return 0, fmt.Errorf("catalog: table %q has no column %q", table, column)
+		return 0, fmt.Errorf("catalog: %w %q in table %q", hashstasherr.ErrUnknownColumn, column, table)
 	}
 	return col.Kind, nil
 }

@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
+	"hashstash/hashstasherr"
 	"hashstash/internal/exec/sched"
 	"hashstash/internal/expr"
 	"hashstash/internal/hashtable"
@@ -54,6 +56,10 @@ type Parallelism struct {
 	// NoSteal disables work stealing between the per-worker deques.
 	// Ablation knob.
 	NoSteal bool
+	// Ctx aborts the run on cancellation or deadline expiry: in-flight
+	// morsels finish, queued ones are skipped, and the runner returns
+	// an error wrapping hashstasherr.ErrCanceled. Nil never cancels.
+	Ctx context.Context
 }
 
 // RunParallel executes pipelines on the work-stealing scheduler,
@@ -63,7 +69,7 @@ type Parallelism struct {
 // DAG edges.
 func RunParallel(pipelines []*Pipeline, par Parallelism) error {
 	if par.Workers <= 1 || len(pipelines) == 0 {
-		return Run(pipelines)
+		return runSerialCtx(pipelines, par.Ctx)
 	}
 	deps := pipelineDeps(pipelines)
 	jobs := make([]*sched.Job, len(pipelines))
@@ -76,7 +82,24 @@ func RunParallel(pipelines []*Pipeline, par Parallelism) error {
 			jobs[i].Deps = []int{i - 1}
 		}
 	}
-	return sched.Run(jobs, sched.Options{Workers: par.Workers, NoSteal: par.NoSteal})
+	return sched.Run(jobs, sched.Options{Workers: par.Workers, NoSteal: par.NoSteal, Ctx: par.Ctx})
+}
+
+// runSerialCtx is the serial pipeline loop with cancellation checked
+// between pipelines (each pipeline is the abort grain when there is no
+// scheduler to skip morsels).
+func runSerialCtx(pipelines []*Pipeline, ctx context.Context) error {
+	for _, p := range pipelines {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return hashstasherr.Canceled(err)
+			}
+		}
+		if err := p.Run(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunSharded executes several shards' pipeline sets as one scheduler
@@ -100,7 +123,7 @@ func RunSharded(shards [][]*Pipeline, par Parallelism) error {
 			return RunParallel(shards[0], par)
 		}
 		for _, ps := range shards {
-			if err := Run(ps); err != nil {
+			if err := runSerialCtx(ps, par.Ctx); err != nil {
 				return err
 			}
 		}
@@ -141,7 +164,7 @@ func RunSharded(shards [][]*Pipeline, par Parallelism) error {
 		}
 		base += len(ps)
 	}
-	return sched.Run(jobs, sched.Options{Workers: total, NoSteal: par.NoSteal, WorkerGroup: groups})
+	return sched.Run(jobs, sched.Options{Workers: total, NoSteal: par.NoSteal, WorkerGroup: groups, Ctx: par.Ctx})
 }
 
 // job lowers one pipeline into a scheduler job. The split decision is

@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hashstash/hashstasherr"
+)
+
+// TestCancelStopsDispatch: canceling Options.Ctx mid-run fails the
+// pool — tasks claimed after the cancellation are skipped, and Run
+// reports an error satisfying both errors.Is(hashstasherr.ErrCanceled)
+// and errors.Is(context.Canceled).
+func TestCancelStopsDispatch(t *testing.T) {
+	const workers, n = 2, 64
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	running := make(chan struct{}, n)
+	var ran atomic.Int64
+	job := &Job{
+		NTasks: n,
+		Run: func(w, i int) error {
+			ran.Add(1)
+			running <- struct{}{}
+			<-release // hold the worker until the test releases it
+			return nil
+		},
+	}
+
+	go func() {
+		// Wait until every worker is parked inside a task, cancel, give
+		// the context watcher time to register the failure (it is the
+		// only runnable goroutine selecting on ctx.Done), then release
+		// the workers.
+		for i := 0; i < workers; i++ {
+			<-running
+		}
+		cancel()
+		time.Sleep(100 * time.Millisecond)
+		close(release)
+	}()
+
+	err := Run([]*Job{job}, Options{Workers: workers, Ctx: ctx})
+	if err == nil {
+		t.Fatal("Run returned nil after cancellation")
+	}
+	if !errors.Is(err, hashstasherr.ErrCanceled) {
+		t.Fatalf("error %v does not wrap hashstasherr.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	// The tasks in flight at cancellation time finish; everything still
+	// queued is skipped.
+	if got := ran.Load(); got >= n {
+		t.Fatalf("all %d tasks ran despite cancellation", got)
+	}
+}
+
+// TestCancelSerial: the serial path observes a pre-canceled context
+// before dispatching any task.
+func TestCancelSerial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	job := &Job{
+		NTasks: 8,
+		Run:    func(w, i int) error { ran.Add(1); return nil },
+	}
+	err := Run([]*Job{job}, Options{Workers: 1, Ctx: ctx})
+	if !errors.Is(err, hashstasherr.ErrCanceled) {
+		t.Fatalf("serial run under canceled ctx returned %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran under a pre-canceled context", ran.Load())
+	}
+}

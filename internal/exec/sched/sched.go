@@ -17,9 +17,12 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"hashstash/hashstasherr"
 )
 
 // Job is one schedulable unit: NTasks independent tasks plus an
@@ -71,6 +74,12 @@ type Options struct {
 	// the shard's workers until the whole shard drains. Nil puts every
 	// worker in group 0 (the unsharded behaviour).
 	WorkerGroup []int
+	// Ctx aborts the run when it is canceled or its deadline passes:
+	// cancellation rides the existing first-error-wins path (fail), so
+	// queued morsels are skipped, parked workers wake and exit, and Run
+	// returns an error wrapping hashstasherr.ErrCanceled and the
+	// context's own cause. Nil never cancels.
+	Ctx context.Context
 }
 
 // task addresses one unit of work.
@@ -164,7 +173,7 @@ func Run(jobs []*Job, opts Options) error {
 		return err
 	}
 	if opts.Workers <= 1 {
-		return runSerial(jobs, order)
+		return runSerial(jobs, order, opts.Ctx)
 	}
 
 	s := &scheduler{
@@ -190,6 +199,21 @@ func Run(jobs []*Job, opts Options) error {
 		}
 	}
 
+	// The watcher turns context cancellation into the first-error-wins
+	// failure: queued tasks are skipped and parked workers wake. The
+	// stop channel bounds the watcher to this run.
+	if opts.Ctx != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-opts.Ctx.Done():
+				s.fail(hashstasherr.Canceled(opts.Ctx.Err()))
+			case <-stop:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
@@ -207,15 +231,31 @@ func Run(jobs []*Job, opts Options) error {
 
 // runSerial executes the DAG on the calling goroutine in topological
 // order — the Workers <= 1 path, equivalent to the serial runner.
-func runSerial(jobs []*Job, order []int) error {
+// Cancellation is checked between tasks (a morsel is the abort grain).
+func runSerial(jobs []*Job, order []int, ctx context.Context) error {
+	canceled := func() error {
+		if ctx == nil {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return hashstasherr.Canceled(err)
+		}
+		return nil
+	}
 	for _, ji := range order {
 		j := jobs[ji]
+		if err := canceled(); err != nil {
+			return err
+		}
 		if j.Prepare != nil {
 			if err := j.Prepare(j); err != nil {
 				return err
 			}
 		}
 		for i := 0; i < j.NTasks; i++ {
+			if err := canceled(); err != nil {
+				return err
+			}
 			if err := j.Run(0, i); err != nil {
 				return err
 			}

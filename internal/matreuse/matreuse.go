@@ -10,6 +10,7 @@
 package matreuse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -262,6 +263,12 @@ func (s *tempScan) Next(out *storage.Batch) bool {
 
 // Run executes one query with materialization-based reuse.
 func (e *Engine) Run(q *plan.Query) (*optimizer.Result, error) {
+	return e.RunContext(context.Background(), q)
+}
+
+// RunContext is Run under a context: cancellation aborts morsel
+// dispatch before the temp-table registrations happen.
+func (e *Engine) RunContext(ctx context.Context, q *plan.Query) (*optimizer.Result, error) {
 	planned, err := e.planner.PlanQuery(q)
 	if err != nil {
 		return nil, err
@@ -276,8 +283,10 @@ func (e *Engine) Run(q *plan.Query) (*optimizer.Result, error) {
 	if compileErr != nil {
 		return nil, compileErr
 	}
+	par := e.Par
+	par.Ctx = ctx
 	t0 := time.Now()
-	if err := exec.RunParallel(c.pipelines, e.Par); err != nil {
+	if err := exec.RunParallel(c.pipelines, par); err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(t0)

@@ -1,10 +1,12 @@
 package optimizer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
+	"hashstash/hashstasherr"
 	"hashstash/internal/exec"
 	"hashstash/internal/htcache"
 	"hashstash/internal/plan"
@@ -42,12 +44,28 @@ type Result struct {
 // which keeps every snapshot it resolved at plan time alive until its
 // probes finish.
 func (o *Optimizer) Run(q *plan.Query) (*Result, error) {
+	return o.RunContext(context.Background(), q)
+}
+
+// RunContext is Run under a context: cancellation or deadline expiry
+// aborts morsel dispatch (in-flight morsels finish, queued ones are
+// skipped) and the query unwinds through the normal failure path —
+// pins released, half-built tables abandoned — returning an error that
+// wraps hashstasherr.ErrCanceled and the context's own cause.
+func (o *Optimizer) RunContext(ctx context.Context, q *plan.Query) (*Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, hashstasherr.Canceled(err)
+		}
+	}
 	p, err := o.Prepare(q)
 	if err != nil {
 		return nil, err
 	}
+	par := p.Parallelism()
+	par.Ctx = ctx
 	t1 := time.Now()
-	runErr := exec.RunParallel(p.Pipelines(), p.Parallelism())
+	runErr := exec.RunParallel(p.Pipelines(), par)
 	return p.Finish(runErr, time.Since(t1))
 }
 

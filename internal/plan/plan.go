@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"hashstash/hashstasherr"
 	"hashstash/internal/catalog"
 	"hashstash/internal/expr"
 	"hashstash/internal/storage"
@@ -106,13 +107,13 @@ func (q *Query) Validate(cat *catalog.Catalog) error {
 		}
 		seen[r.Alias] = true
 		if cat.Table(r.Table) == nil {
-			return fmt.Errorf("plan: unknown table %q", r.Table)
+			return fmt.Errorf("plan: %w %q", hashstasherr.ErrUnknownTable, r.Table)
 		}
 	}
 	resolve := func(ref storage.ColRef) (types.Kind, error) {
 		rel := q.RelByAlias(ref.Table)
 		if rel == nil {
-			return 0, fmt.Errorf("plan: unknown alias %q in %v", ref.Table, ref)
+			return 0, fmt.Errorf("plan: %w: unknown alias %q in %v", hashstasherr.ErrUnknownColumn, ref.Table, ref)
 		}
 		return cat.Resolve(rel.Table, ref.Column)
 	}

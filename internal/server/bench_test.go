@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"hashstash"
+	"hashstash/internal/workload"
+)
+
+// benchServe drives the serving front-end at saturation (open-loop
+// arrival order from the workload generator, replayed at max rate by
+// a fixed client pool) and reports per-query latency. The batching-on
+// vs batching-off pair is the serving layer's headline comparison:
+// same engine, same wire path, shared plans on or off.
+func benchServe(b *testing.B, disableBatching bool) {
+	// A one-byte cache budget turns hash-table reuse off: with reuse in
+	// play the repeated solo texts execute almost for free and the pair
+	// measures the caching subsystem (which has its own benchmarks),
+	// not the serving layer's share-vs-solo tradeoff.
+	db := hashstash.Open(hashstash.WithTuning(hashstash.Tuning{CacheBudget: 1}))
+	if err := db.LoadTPCH(0.002); err != nil {
+		b.Fatal(err)
+	}
+	srv := New(db, Config{
+		BatchWindow:     2 * time.Millisecond,
+		MaxBatch:        32,
+		MaxQueue:        1024,
+		DefaultTimeout:  60 * time.Second,
+		DisableBatching: disableBatching,
+	})
+	defer srv.Close()
+
+	arrivals := workload.GenerateOpenLoop(b.N, 0, workload.MixSimilar, []string{"a", "b"}, 11)
+	const clients = 8
+	work := make(chan workload.Arrival, len(arrivals))
+	for _, a := range arrivals {
+		work <- a
+	}
+	close(work)
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range work {
+				if _, _, err := srv.Execute(context.Background(), a.Tenant, a.SQL); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errc:
+		b.Fatal(err)
+	default:
+	}
+}
+
+func BenchmarkServeSimilarBatched(b *testing.B) { benchServe(b, false) }
+func BenchmarkServeSimilarSolo(b *testing.B)    { benchServe(b, true) }

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"hashstash"
+	"hashstash/hashstasherr"
+	"hashstash/internal/types"
+)
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL       string `json:"sql"`
+	Tenant    string `json:"tenant,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// queryResponse is the POST /query success body.
+type queryResponse struct {
+	Columns []string        `json:"columns"`
+	Rows    [][]interface{} `json:"rows"`
+	Batched bool            `json:"batched"`
+	Mode    string          `json:"mode"`
+}
+
+// errorResponse is any error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// statusFor maps the typed error taxonomy to HTTP statuses: client
+// mistakes (parse, unknown table/column) are 400, deadline/cancel 408,
+// admission refusal 429, everything else 500.
+func statusFor(err error) int {
+	var pe *hashstasherr.ParseError
+	switch {
+	case errors.As(err, &pe),
+		errors.Is(err, hashstasherr.ErrUnknownTable),
+		errors.Is(err, hashstasherr.ErrUnknownColumn):
+		return http.StatusBadRequest
+	case errors.Is(err, hashstasherr.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	case errors.Is(err, hashstasherr.ErrOverloaded):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// jsonCell converts one engine value to its JSON representation.
+func jsonCell(v hashstash.Value) interface{} {
+	switch v.Kind {
+	case types.Int64:
+		return v.I
+	case types.Float64:
+		return v.F
+	case types.String:
+		return v.S
+	default:
+		// Dates (and any future kinds) render through their canonical
+		// string form.
+		return v.String()
+	}
+}
+
+// Handler returns the HTTP front-end:
+//
+//	POST /query    {"sql": ..., "tenant": ..., "timeout_ms": ...}
+//	GET  /stats    server + cache statistics
+//	GET  /healthz  liveness
+//
+// The tenant may also arrive in the X-Hashstash-Tenant header; the
+// body field wins.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing sql"})
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = r.Header.Get("X-Hashstash-Tenant")
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	res, info, err := s.Execute(ctx, tenant, req.SQL)
+	if err != nil {
+		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+		return
+	}
+	resp := queryResponse{
+		Columns: res.Columns,
+		Rows:    make([][]interface{}, len(res.Rows)),
+		Batched: info.Batched,
+		Mode:    info.Mode,
+	}
+	for i, row := range res.Rows {
+		cells := make([]interface{}, len(row))
+		for j, v := range row {
+			cells[j] = jsonCell(v)
+		}
+		resp.Rows[i] = cells
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Server Stats                `json:"server"`
+		Cache  hashstash.CacheStats `json:"cache"`
+	}{s.Stats(), s.db.CacheStats()})
+}

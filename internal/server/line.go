@@ -1,0 +1,85 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+)
+
+// ServeLine runs the keep-alive line protocol on l until the listener
+// closes: one statement per line, one JSON result object per line.
+//
+//	HELLO <tenant>   bind the connection's tenant        -> OK <tenant>
+//	STATS            server statistics                   -> one JSON line
+//	QUIT             close the connection
+//	<sql>            execute                             -> one JSON line
+//
+// A connection is a session: its tenant scopes fair admission and its
+// statement texts hit the per-tenant prepared cache.
+func (s *Server) ServeLine(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// lineResponse is one line-protocol result.
+type lineResponse struct {
+	Columns []string        `json:"columns,omitempty"`
+	Rows    [][]interface{} `json:"rows,omitempty"`
+	Batched bool            `json:"batched"`
+	Mode    string          `json:"mode,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	tenant := ""
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(conn)
+	enc := json.NewEncoder(out)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "QUIT":
+			return
+		case strings.HasPrefix(line, "HELLO "):
+			tenant = strings.TrimSpace(strings.TrimPrefix(line, "HELLO "))
+			_, _ = out.WriteString("OK " + tenant + "\n")
+		case line == "STATS":
+			_ = enc.Encode(s.Stats())
+		default:
+			res, info, err := s.Execute(context.Background(), tenant, line)
+			resp := lineResponse{Mode: info.Mode, Batched: info.Batched}
+			if err != nil {
+				resp.Error = err.Error()
+			} else {
+				resp.Columns = res.Columns
+				resp.Rows = make([][]interface{}, len(res.Rows))
+				for i, row := range res.Rows {
+					cells := make([]interface{}, len(row))
+					for j, v := range row {
+						cells[j] = jsonCell(v)
+					}
+					resp.Rows[i] = cells
+				}
+			}
+			_ = enc.Encode(resp)
+		}
+		if out.Flush() != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,639 @@
+// Package server is the HashStash serving front-end: a network-facing
+// layer over DB that turns the paper's offline shared-work experiments
+// into an online policy. Concurrently arriving queries enter an
+// admission queue keyed by batchable shape (same table/join spine, per
+// the shared-plan classifier); queries of one shape collect inside a
+// tunable batch window and dispatch as one shared batch plan, with
+// per-query results demultiplexed back to their callers.
+//
+// Policy:
+//
+//   - Window sizing. Each shape tracks an EWMA of its arrival rate.
+//     A query only waits when the rate predicts at least one companion
+//     inside the window (expected = rate × window ≥ 1) — a cold or
+//     slow shape dispatches solo immediately, paying zero added
+//     latency. A full group (MaxBatch) dispatches before the window
+//     elapses.
+//   - Benefit gating. Waiting must pay: the shared-plan cost model
+//     (DB.EstimateSharingGain, internal/costmodel-backed) must predict
+//     a positive saving for merging queries of the shape; shapes whose
+//     modeled sharing never pays bypass the queue permanently.
+//   - Deadline degradation. A query whose deadline cannot absorb the
+//     batch window plus its estimated run time skips the queue and
+//     runs solo — degradation, not an error. Queued groups also
+//     dispatch early when the tightest member's slack runs out.
+//   - Fair admission with backpressure. The queue is bounded
+//     (MaxQueue) and no tenant may hold more than TenantShare of it;
+//     admission past either bound fails fast with
+//     hashstasherr.ErrOverloaded (HTTP 429), never by blocking.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hashstash"
+	"hashstash/hashstasherr"
+)
+
+// Config tunes the serving policy. Zero values take the defaults.
+type Config struct {
+	// BatchWindow is how long the first query of a shape may wait for
+	// companions before its group dispatches. Default 2ms.
+	BatchWindow time.Duration
+	// MaxQueue bounds the total queries queued across all shapes;
+	// admission beyond it fails with ErrOverloaded. Default 256.
+	MaxQueue int
+	// MaxBatch caps one dispatched group (clamped to the 64-query
+	// shared-plan tag limit). A full group dispatches immediately.
+	// Default 32.
+	MaxBatch int
+	// DefaultTimeout applies to queries whose context carries no
+	// deadline. Default 10s.
+	DefaultTimeout time.Duration
+	// TenantShare is the fraction of MaxQueue one tenant may hold
+	// (fair admission). Default 0.5.
+	TenantShare float64
+	// DisableBatching routes every query solo (the serving-layer
+	// ablation: same wire surface, no shared plans).
+	DisableBatching bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxBatch > 64 {
+		c.MaxBatch = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.TenantShare <= 0 || c.TenantShare > 1 {
+		c.TenantShare = 0.5
+	}
+	return c
+}
+
+// Stats are the server's cumulative counters (atomically maintained;
+// Stats() snapshots them).
+type Stats struct {
+	// TotalQueries counts every query admitted to Execute.
+	TotalQueries int64
+	// BatchedQueries counts queries that executed inside a multi-query
+	// shared plan.
+	BatchedQueries int64
+	// SoloQueries counts queries that executed alone (bypass, windowed
+	// groups of one, and degraded queries).
+	SoloQueries int64
+	// Batches counts dispatched multi-query groups.
+	Batches int64
+	// SharedPlans counts executed shared (multi-query) plans.
+	SharedPlans int64
+	// PlansExecuted counts executed plans of any kind — under batching
+	// it stays below TotalQueries, the point of the exercise.
+	PlansExecuted int64
+	// DegradedDeadline counts queries that skipped the queue because
+	// their deadline could not absorb the window.
+	DegradedDeadline int64
+	// RateBypass counts queries that skipped the queue because the
+	// arrival rate predicted no companion.
+	RateBypass int64
+	// NoGainBypass counts queries whose shape's modeled sharing never
+	// pays.
+	NoGainBypass int64
+	// Overloads counts admissions refused with ErrOverloaded.
+	Overloads int64
+	// BatchFallbacks counts dispatched groups whose shared plan failed
+	// and whose members were re-run solo.
+	BatchFallbacks int64
+	// QueueDepth is the current number of queued queries.
+	QueueDepth int64
+}
+
+// QueryInfo describes how one query was executed.
+type QueryInfo struct {
+	// Batched reports execution inside a multi-query shared plan.
+	Batched bool
+	// Mode is the admission outcome: "batched", "solo" (windowed group
+	// of one), "bypass-shape", "bypass-off", "bypass-rate",
+	// "bypass-gain", "degraded-deadline", or "fallback".
+	Mode string
+}
+
+// pending is one queued query awaiting group dispatch.
+type pending struct {
+	q        *hashstash.Query
+	tenant   string
+	deadline time.Time // zero = none (DefaultTimeout always sets one)
+	res      *hashstash.Result
+	err      error
+	batched  bool
+	fallback bool
+	done     chan struct{}
+}
+
+// shapeQueue collects one shape's in-flight queries and its arrival
+// model.
+type shapeQueue struct {
+	pending []*pending
+	// gen invalidates a stale window timer: it increments per dispatch
+	// so a timer armed for a previous group never fires a new one
+	// early.
+	gen uint64
+	// dispatchBy is the earliest member's slack bound (the moment the
+	// group must go even if the window has not elapsed).
+	dispatchBy time.Time
+	// rate is the EWMA arrival rate (arrivals/sec); last is the
+	// previous arrival.
+	rate float64
+	last time.Time
+	// gain memoizes the shape's modeled-sharing verdict and solo cost
+	// estimate (model ns), computed on first arrival.
+	gainChecked bool
+	gainOK      bool
+	estCost     float64
+}
+
+// Server is the serving front-end over one DB.
+type Server struct {
+	db  *hashstash.DB
+	cfg Config
+	// canBatch is whether the engine supports shared plans at all (the
+	// baselines and the sharded router run query-at-a-time).
+	canBatch bool
+
+	mu           sync.Mutex
+	cond         *sync.Cond // signals inflight changes for Close
+	shapes       map[string]*shapeQueue
+	queued       int
+	tenantQueued map[string]int
+	inflight     int // dispatched groups still executing
+	closed       bool
+
+	sessMu   sync.Mutex
+	sessions map[string]*hashstash.Session
+
+	total            atomic.Int64
+	batchedQueries   atomic.Int64
+	soloQueries      atomic.Int64
+	batches          atomic.Int64
+	sharedPlans      atomic.Int64
+	plansExecuted    atomic.Int64
+	degradedDeadline atomic.Int64
+	rateBypass       atomic.Int64
+	noGainBypass     atomic.Int64
+	overloads        atomic.Int64
+	batchFallbacks   atomic.Int64
+}
+
+// ewmaAlpha weights the newest inter-arrival observation.
+const ewmaAlpha = 0.3
+
+// New wraps a database in a serving front-end.
+func New(db *hashstash.DB, cfg Config) *Server {
+	s := &Server{
+		db:           db,
+		cfg:          cfg.withDefaults(),
+		canBatch:     db.SupportsSharedPlans(),
+		shapes:       make(map[string]*shapeQueue),
+		tenantQueued: make(map[string]int),
+		sessions:     make(map[string]*hashstash.Session),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// DB returns the underlying database.
+func (s *Server) DB() *hashstash.DB { return s.db }
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	depth := s.queued
+	s.mu.Unlock()
+	return Stats{
+		TotalQueries:     s.total.Load(),
+		BatchedQueries:   s.batchedQueries.Load(),
+		SoloQueries:      s.soloQueries.Load(),
+		Batches:          s.batches.Load(),
+		SharedPlans:      s.sharedPlans.Load(),
+		PlansExecuted:    s.plansExecuted.Load(),
+		DegradedDeadline: s.degradedDeadline.Load(),
+		RateBypass:       s.rateBypass.Load(),
+		NoGainBypass:     s.noGainBypass.Load(),
+		Overloads:        s.overloads.Load(),
+		BatchFallbacks:   s.batchFallbacks.Load(),
+		QueueDepth:       int64(depth),
+	}
+}
+
+// session returns the tenant's shared session (per-tenant prepared
+// caches; many connections of one tenant share one).
+func (s *Server) session(tenant string) *hashstash.Session {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	sess, ok := s.sessions[tenant]
+	if !ok {
+		sess = s.db.NewSession(hashstash.WithTenant(tenant))
+		s.sessions[tenant] = sess
+	}
+	return sess
+}
+
+// Execute runs one SQL statement for a tenant through the admission
+// queue. It blocks until the query's group dispatches and executes (or
+// the query bypasses the queue), honoring ctx: cancellation while
+// still queued withdraws the query and returns an error wrapping
+// hashstasherr.ErrCanceled; admission past the queue bounds returns
+// one wrapping hashstasherr.ErrOverloaded.
+func (s *Server) Execute(ctx context.Context, tenant, sql string) (*hashstash.Result, QueryInfo, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q, err := s.session(tenant).Parse(sql)
+	if err != nil {
+		return nil, QueryInfo{}, err
+	}
+	s.total.Add(1)
+
+	if _, hasDL := ctx.Deadline(); !hasDL {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+		defer cancel()
+	}
+	deadline, _ := ctx.Deadline()
+
+	if s.cfg.DisableBatching || !s.canBatch {
+		return s.solo(ctx, q, QueryInfo{Mode: "bypass-off"})
+	}
+	shape, ok := hashstash.BatchShape(q)
+	if !ok {
+		return s.solo(ctx, q, QueryInfo{Mode: "bypass-shape"})
+	}
+
+	p, info, admitErr := s.admit(ctx, q, tenant, shape, deadline)
+	if admitErr != nil {
+		return nil, info, admitErr
+	}
+	if p == nil {
+		// Bypassed the queue (rate, gain or deadline policy): solo now.
+		return s.solo(ctx, q, info)
+	}
+
+	select {
+	case <-p.done:
+		return p.res, s.infoOf(p), p.err
+	case <-ctx.Done():
+		if s.withdraw(shape, p) {
+			return nil, QueryInfo{Mode: "canceled"}, hashstasherr.Canceled(ctx.Err())
+		}
+		// Already dispatched: the group runs to its own deadline; this
+		// caller stops waiting for the demux.
+		return nil, QueryInfo{Mode: "canceled"}, hashstasherr.Canceled(ctx.Err())
+	}
+}
+
+func (s *Server) infoOf(p *pending) QueryInfo {
+	switch {
+	case p.fallback:
+		return QueryInfo{Mode: "fallback"}
+	case p.batched:
+		return QueryInfo{Batched: true, Mode: "batched"}
+	default:
+		return QueryInfo{Mode: "solo"}
+	}
+}
+
+// solo executes a query outside the queue on the caller's goroutine.
+func (s *Server) solo(ctx context.Context, q *hashstash.Query, info QueryInfo) (*hashstash.Result, QueryInfo, error) {
+	switch info.Mode {
+	case "degraded-deadline":
+		s.degradedDeadline.Add(1)
+	case "bypass-rate":
+		s.rateBypass.Add(1)
+	case "bypass-gain":
+		s.noGainBypass.Add(1)
+	}
+	s.soloQueries.Add(1)
+	s.plansExecuted.Add(1)
+	res, err := s.db.ExecParsed(ctx, q)
+	return res, info, err
+}
+
+// shapeGate computes the memoized per-shape policy inputs (modeled
+// sharing gain and solo cost estimate). Planning runs outside s.mu.
+func (s *Server) shapeGate(shape string, q *hashstash.Query) (gainOK bool, estCost float64) {
+	s.mu.Lock()
+	sq := s.shapes[shape]
+	if sq != nil && sq.gainChecked {
+		gainOK, estCost = sq.gainOK, sq.estCost
+		s.mu.Unlock()
+		return gainOK, estCost
+	}
+	s.mu.Unlock()
+
+	// The minimum group (k=2) decides the sign; bigger groups only gain
+	// more. The estimate is reuse-aware, so it reflects the current
+	// cache state at first sight of the shape.
+	gain := s.db.EstimateSharingGain(q, 2)
+	cost, err := s.db.EstimateCost(q)
+	if err != nil {
+		cost = 0
+	}
+
+	s.mu.Lock()
+	sq = s.shape(shape)
+	if !sq.gainChecked {
+		sq.gainChecked = true
+		sq.gainOK = gain > 0
+		sq.estCost = cost
+	}
+	gainOK, estCost = sq.gainOK, sq.estCost
+	s.mu.Unlock()
+	return gainOK, estCost
+}
+
+// shape returns (creating) a shape's queue. Callers hold s.mu.
+func (s *Server) shape(key string) *shapeQueue {
+	sq := s.shapes[key]
+	if sq == nil {
+		sq = &shapeQueue{}
+		s.shapes[key] = sq
+	}
+	return sq
+}
+
+// admit applies the window policy and either enqueues the query
+// (returning its pending handle), tells the caller to run solo
+// (nil pending, info says why), or refuses with ErrOverloaded.
+func (s *Server) admit(ctx context.Context, q *hashstash.Query, tenant, shape string, deadline time.Time) (*pending, QueryInfo, error) {
+	gainOK, estCost := s.shapeGate(shape, q)
+	window := s.cfg.BatchWindow
+	estDur := time.Duration(estCost)
+	now := time.Now()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, QueryInfo{}, fmt.Errorf("server shutting down: %w", hashstasherr.ErrOverloaded)
+	}
+	sq := s.shape(shape)
+
+	// Arrival-rate EWMA: the observation is the inverse inter-arrival
+	// gap of this shape.
+	if !sq.last.IsZero() {
+		dt := now.Sub(sq.last).Seconds()
+		if dt <= 0 {
+			dt = 1e-9
+		}
+		sq.rate = (1-ewmaAlpha)*sq.rate + ewmaAlpha*(1/dt)
+	}
+	sq.last = now
+
+	if !gainOK {
+		s.mu.Unlock()
+		return nil, QueryInfo{Mode: "bypass-gain"}, nil
+	}
+	// Deadline gate: waiting out the window plus (twice, for safety)
+	// the modeled run time must fit the caller's budget. Degradation,
+	// not an error.
+	if !deadline.IsZero() && deadline.Sub(now) < window+2*estDur {
+		s.mu.Unlock()
+		return nil, QueryInfo{Mode: "degraded-deadline"}, nil
+	}
+	// Rate gate: only wait when the model expects a companion inside
+	// the window. Joining an already-forming group always pays.
+	if len(sq.pending) == 0 && sq.rate*window.Seconds() < 1 {
+		s.mu.Unlock()
+		return nil, QueryInfo{Mode: "bypass-rate"}, nil
+	}
+
+	// Bounded queue with per-tenant fair shares.
+	tenantCap := int(float64(s.cfg.MaxQueue) * s.cfg.TenantShare)
+	if tenantCap < 1 {
+		tenantCap = 1
+	}
+	if s.queued >= s.cfg.MaxQueue || s.tenantQueued[tenant] >= tenantCap {
+		s.mu.Unlock()
+		s.overloads.Add(1)
+		return nil, QueryInfo{}, fmt.Errorf("admission queue full: %w", hashstasherr.ErrOverloaded)
+	}
+
+	p := &pending{q: q, tenant: tenant, deadline: deadline, done: make(chan struct{})}
+	sq.pending = append(sq.pending, p)
+	s.queued++
+	s.tenantQueued[tenant]++
+
+	// The group must dispatch before its tightest member runs out of
+	// slack (deadline minus modeled run time, with the same 2x safety).
+	memberBy := deadline.Add(-2 * estDur)
+	if sq.dispatchBy.IsZero() || memberBy.Before(sq.dispatchBy) {
+		sq.dispatchBy = memberBy
+	}
+
+	if len(sq.pending) >= s.cfg.MaxBatch {
+		// Full group: dispatch now, off the caller's goroutine.
+		batch := s.takeLocked(sq)
+		s.mu.Unlock()
+		go s.runBatch(batch)
+		return p, QueryInfo{}, nil
+	}
+	if len(sq.pending) == 1 {
+		// First member arms the window timer (bounded by its own
+		// slack). gen guards against the timer outliving this group.
+		gen := sq.gen
+		wait := window
+		if d := sq.dispatchBy.Sub(now); d < wait {
+			wait = d
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		time.AfterFunc(wait, func() { s.dispatchShape(shape, gen) })
+	}
+	s.mu.Unlock()
+	return p, QueryInfo{}, nil
+}
+
+// takeLocked removes and returns a shape's whole group, bumping gen
+// (stale timers no-op) and marking the batch in flight. Callers hold
+// s.mu.
+func (s *Server) takeLocked(sq *shapeQueue) []*pending {
+	batch := sq.pending
+	sq.pending = nil
+	sq.gen++
+	sq.dispatchBy = time.Time{}
+	for _, p := range batch {
+		s.queued--
+		s.tenantQueued[p.tenant]--
+		if s.tenantQueued[p.tenant] <= 0 {
+			delete(s.tenantQueued, p.tenant)
+		}
+	}
+	if len(batch) > 0 {
+		s.inflight++
+	}
+	return batch
+}
+
+// dispatchShape fires a shape's window timer: the group that armed the
+// timer (generation gen) dispatches; anything newer keeps collecting.
+func (s *Server) dispatchShape(shape string, gen uint64) {
+	s.mu.Lock()
+	sq := s.shapes[shape]
+	if sq == nil || sq.gen != gen || len(sq.pending) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	batch := s.takeLocked(sq)
+	s.mu.Unlock()
+	s.runBatch(batch)
+}
+
+// withdraw removes a still-queued query (its caller's context fired).
+// It reports false when the query already left the queue with a group.
+func (s *Server) withdraw(shape string, p *pending) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sq := s.shapes[shape]
+	if sq == nil {
+		return false
+	}
+	for i, cand := range sq.pending {
+		if cand == p {
+			sq.pending = append(sq.pending[:i], sq.pending[i+1:]...)
+			s.queued--
+			s.tenantQueued[p.tenant]--
+			if s.tenantQueued[p.tenant] <= 0 {
+				delete(s.tenantQueued, p.tenant)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// runBatch executes one dispatched group through the shared-plan path
+// and demultiplexes per-query results to their pending handles. The
+// batch runs under its own context bounded by the farthest member
+// deadline — one member's cancellation never aborts companions.
+func (s *Server) runBatch(batch []*pending) {
+	defer func() {
+		s.mu.Lock()
+		s.inflight--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	if len(batch) == 0 {
+		return
+	}
+
+	ctx := context.Background()
+	var maxDL time.Time
+	for _, p := range batch {
+		if p.deadline.After(maxDL) {
+			maxDL = p.deadline
+		}
+	}
+	if !maxDL.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, maxDL)
+		defer cancel()
+	}
+
+	if len(batch) == 1 {
+		// A window that closed with one member: solo, not an error.
+		p := batch[0]
+		s.soloQueries.Add(1)
+		s.plansExecuted.Add(1)
+		p.res, p.err = s.db.ExecParsed(ctx, p.q)
+		close(p.done)
+		return
+	}
+
+	qs := make([]*hashstash.Query, len(batch))
+	for i, p := range batch {
+		qs[i] = p.q
+	}
+	br, err := s.db.ExecParsedBatch(ctx, qs)
+	if err != nil {
+		// Shared-plan failure degrades every member to solo execution
+		// under its own deadline.
+		s.batchFallbacks.Add(1)
+		for _, p := range batch {
+			mctx := context.Background()
+			var cancel context.CancelFunc
+			if !p.deadline.IsZero() {
+				mctx, cancel = context.WithDeadline(mctx, p.deadline)
+			}
+			s.soloQueries.Add(1)
+			s.plansExecuted.Add(1)
+			p.fallback = true
+			p.res, p.err = s.db.ExecParsed(mctx, p.q)
+			if cancel != nil {
+				cancel()
+			}
+			close(p.done)
+		}
+		return
+	}
+
+	s.plansExecuted.Add(int64(len(br.Groups)))
+	s.batches.Add(1)
+	inShared := make([]bool, len(batch))
+	for _, g := range br.Groups {
+		if len(g) > 1 {
+			s.sharedPlans.Add(1)
+			s.batchedQueries.Add(int64(len(g)))
+			for _, qi := range g {
+				inShared[qi] = true
+			}
+		} else {
+			s.soloQueries.Add(1)
+		}
+	}
+	for i, p := range batch {
+		p.res = br.Results[i]
+		p.batched = inShared[i]
+		close(p.done)
+	}
+}
+
+// Close drains the server: no new admissions, every queued group
+// dispatches immediately, and Close blocks until in-flight groups
+// finish demultiplexing.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	var batches [][]*pending
+	for _, sq := range s.shapes {
+		if len(sq.pending) > 0 {
+			batches = append(batches, s.takeLocked(sq))
+		}
+	}
+	s.mu.Unlock()
+
+	for _, b := range batches {
+		s.runBatch(b)
+	}
+
+	s.mu.Lock()
+	for s.inflight > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}

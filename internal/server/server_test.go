@@ -1,0 +1,506 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hashstash"
+	"hashstash/hashstasherr"
+	"hashstash/internal/workload"
+)
+
+func openTPCH(t *testing.T, opts ...hashstash.Option) *hashstash.DB {
+	t.Helper()
+	db := hashstash.Open(opts...)
+	if err := db.LoadTPCH(0.002); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// canonical renders a result order-independently for equivalence
+// checks (float cells rounded to absorb summation-order drift).
+func canonical(r *hashstash.Result) string {
+	rows := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			if v.Kind == 1 { // types.Float64
+				parts[j] = fmt.Sprintf("%.4f", v.F)
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		rows = append(rows, strings.Join(parts, "|"))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// similarSQL is a family of same-spine queries (batchable together).
+func similarSQL(i int) string {
+	return fmt.Sprintf(`SELECT c.c_age, SUM(l.l_extendedprice) AS revenue
+		FROM customer c, orders o, lineitem l
+		WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+		  AND l.l_shipdate >= DATE '1995-%02d-01' GROUP BY c.c_age`, 1+i%12)
+}
+
+// TestServerBatchingEquivalence: concurrent clients sending same-spine
+// queries get byte-equivalent results to solo execution, and the
+// server executes fewer plans than queries (shared-plan batching).
+func TestServerBatchingEquivalence(t *testing.T) {
+	// Restrict hash-table reuse to exact matches: the similar family's
+	// >= predicates subsume each other, so with subsumption reuse on, a
+	// warm cache makes solo plans cheaper than sharing and the DP
+	// (correctly) refuses to merge. The ablated engine keeps solo plans
+	// at full cost, making the batch the modeled winner.
+	db := openTPCH(t, hashstash.WithAblations(hashstash.Ablations{
+		NoPartialReuse:     true,
+		NoOverlappingReuse: true,
+	}))
+	srv := New(db, Config{
+		BatchWindow:    150 * time.Millisecond,
+		MaxBatch:       16,
+		DefaultTimeout: 60 * time.Second,
+	})
+	defer srv.Close()
+
+	solo := openTPCH(t)
+	want := make(map[string]string)
+	const clients = 24
+	for i := 0; i < clients; i++ {
+		sql := similarSQL(i)
+		if _, ok := want[sql]; !ok {
+			res, err := solo.Exec(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[sql] = canonical(res)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	got := make([]string, clients)
+	modes := make([]string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, info, err := srv.Execute(context.Background(), fmt.Sprintf("t%d", i%3), similarSQL(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = canonical(res)
+			modes[i] = info.Mode
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if got[i] != want[similarSQL(i)] {
+			t.Errorf("client %d (mode %s) diverged from solo execution", i, modes[i])
+		}
+	}
+	st := srv.Stats()
+	if st.TotalQueries != clients {
+		t.Fatalf("TotalQueries = %d, want %d", st.TotalQueries, clients)
+	}
+	if st.BatchedQueries == 0 {
+		t.Fatalf("no queries batched: %+v (modes %v)", st, modes)
+	}
+	if st.PlansExecuted >= st.TotalQueries {
+		t.Fatalf("batching executed %d plans for %d queries", st.PlansExecuted, st.TotalQueries)
+	}
+	t.Logf("stats: %+v", st)
+}
+
+// TestServerBackpressure: a burst past MaxQueue is refused with
+// ErrOverloaded; admitted queries still complete (Close flushes them).
+func TestServerBackpressure(t *testing.T) {
+	db := openTPCH(t)
+	srv := New(db, Config{
+		BatchWindow:    5 * time.Second,
+		MaxQueue:       4,
+		MaxBatch:       64,
+		DefaultTimeout: 60 * time.Second,
+		TenantShare:    1,
+	})
+
+	const clients = 12
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var overloads, ok int
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := srv.Execute(context.Background(), "", similarSQL(0))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, hashstasherr.ErrOverloaded):
+				overloads++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+
+	// Wait for the queue to fill (the excess callers bounce), then
+	// Close: it flushes the queued group so the waiters return.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Overloads == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Close()
+	wg.Wait()
+
+	st := srv.Stats()
+	if st.Overloads == 0 || overloads == 0 {
+		t.Fatalf("no backpressure: stats %+v, callers saw %d overloads", st, overloads)
+	}
+	if ok == 0 {
+		t.Fatal("no query completed")
+	}
+	if ok+overloads != clients {
+		t.Fatalf("accounted %d+%d of %d clients", ok, overloads, clients)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue not drained: %d", st.QueueDepth)
+	}
+}
+
+// TestServerTenantFairness: one tenant cannot occupy more than
+// TenantShare of the queue; another tenant still gets in.
+func TestServerTenantFairness(t *testing.T) {
+	db := openTPCH(t)
+	srv := New(db, Config{
+		BatchWindow:    5 * time.Second,
+		MaxQueue:       8,
+		MaxBatch:       64,
+		DefaultTimeout: 60 * time.Second,
+		TenantShare:    0.25, // per-tenant cap: 2
+	})
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := map[string]map[string]int{"A": {}, "B": {}}
+	run := func(tenant string, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, _, err := srv.Execute(context.Background(), tenant, similarSQL(0))
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err == nil:
+					counts[tenant]["ok"]++
+				case errors.Is(err, hashstasherr.ErrOverloaded):
+					counts[tenant]["overload"]++
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}()
+		}
+	}
+
+	// Tenant A bursts past its share; the first A query may bypass the
+	// queue solo (cold rate), at most 2 queue, the rest bounce.
+	run("A", 7)
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Overloads == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Tenant B arrives while A is saturated and still gets its share.
+	run("B", 2)
+	for {
+		mu.Lock()
+		bDone := counts["B"]["ok"]+counts["B"]["overload"] == 2
+		mu.Unlock()
+		// A holds 2 slots; B's pair raises the depth to 4 once queued.
+		bQueued := srv.Stats().QueueDepth >= 4
+		if bDone || bQueued || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Close()
+	wg.Wait()
+
+	if counts["A"]["overload"] == 0 {
+		t.Fatalf("tenant A never throttled: %v", counts)
+	}
+	if counts["B"]["overload"] != 0 {
+		t.Fatalf("tenant B throttled despite free share: %v", counts)
+	}
+	if counts["B"]["ok"] != 2 {
+		t.Fatalf("tenant B completed %d of 2: %v", counts["B"]["ok"], counts)
+	}
+}
+
+// TestServerDeadlineDegradation: a query whose deadline cannot absorb
+// the batch window runs solo immediately — a result, not an error.
+func TestServerDeadlineDegradation(t *testing.T) {
+	db := openTPCH(t)
+	srv := New(db, Config{
+		// Window far beyond the caller's deadline: waiting can never
+		// fit, so the query must degrade. The 3s budget itself is ample
+		// for the solo run (the gate compares deadline to window, not
+		// to wall time).
+		BatchWindow:    30 * time.Second,
+		DefaultTimeout: 60 * time.Second,
+	})
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	res, info, err := srv.Execute(ctx, "", similarSQL(0))
+	if err != nil {
+		t.Fatalf("tight-deadline query failed: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if info.Mode != "degraded-deadline" {
+		t.Fatalf("mode = %q, want degraded-deadline", info.Mode)
+	}
+	if srv.Stats().DegradedDeadline == 0 {
+		t.Fatal("DegradedDeadline counter not bumped")
+	}
+}
+
+// TestServerQueuedCancel: canceling a queued query withdraws it with a
+// typed error and frees its queue slot.
+func TestServerQueuedCancel(t *testing.T) {
+	db := openTPCH(t)
+	srv := New(db, Config{
+		BatchWindow:    5 * time.Second,
+		MaxBatch:       64,
+		DefaultTimeout: 60 * time.Second,
+	})
+	defer srv.Close()
+
+	// Warm the shape's arrival rate so the next query queues.
+	if _, _, err := srv.Execute(context.Background(), "", similarSQL(0)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Execute(ctx, "", similarSQL(0))
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().QueueDepth == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if srv.Stats().QueueDepth == 0 {
+		t.Fatal("query never queued")
+	}
+	cancel()
+	err := <-done
+	if !errors.Is(err, hashstasherr.ErrCanceled) {
+		t.Fatalf("withdrawn query returned %v", err)
+	}
+	if srv.Stats().QueueDepth != 0 {
+		t.Fatal("withdrawn query left a queue slot")
+	}
+}
+
+// TestServerClosedRejects: Execute after Close fails fast with
+// ErrOverloaded.
+func TestServerClosedRejects(t *testing.T) {
+	db := openTPCH(t)
+	srv := New(db, Config{})
+	srv.Close()
+	_, _, err := srv.Execute(context.Background(), "", similarSQL(0))
+	if !errors.Is(err, hashstasherr.ErrOverloaded) {
+		t.Fatalf("post-Close Execute returned %v", err)
+	}
+}
+
+// TestServerHTTP: the HTTP front-end round-trips queries, maps the
+// error taxonomy to statuses, and serves stats.
+func TestServerHTTP(t *testing.T) {
+	db := openTPCH(t)
+	srv := New(db, Config{DefaultTimeout: 60 * time.Second})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) (int, map[string]interface{}) {
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, m
+	}
+
+	code, m := post(fmt.Sprintf(`{"sql": %q, "tenant": "acme"}`, similarSQL(0)))
+	if code != http.StatusOK {
+		t.Fatalf("query status %d: %v", code, m)
+	}
+	if len(m["rows"].([]interface{})) == 0 {
+		t.Fatal("no rows over HTTP")
+	}
+	if code, _ := post(`{"sql": "SELECT x.y FROM nope x"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown table status %d, want 400", code)
+	}
+	if code, _ := post(`{"sql": "SELECT FROM"}`); code != http.StatusBadRequest {
+		t.Fatalf("parse error status %d, want 400", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Server Stats `json:"server"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Server.TotalQueries == 0 {
+		t.Fatal("stats endpoint reports no traffic")
+	}
+	if resp, err = http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+}
+
+// TestServerLineProtocol: HELLO/SQL/STATS/QUIT over a TCP connection.
+func TestServerLineProtocol(t *testing.T) {
+	db := openTPCH(t)
+	srv := New(db, Config{DefaultTimeout: 60 * time.Second})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.ServeLine(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	send := func(line string) string {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatal(err)
+		}
+		out, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(out)
+	}
+
+	if got := send("HELLO acme"); got != "OK acme" {
+		t.Fatalf("HELLO reply %q", got)
+	}
+	oneLine := strings.Join(strings.Fields(similarSQL(0)), " ")
+	var qr lineResponse
+	if err := json.Unmarshal([]byte(send(oneLine)), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Error != "" || len(qr.Rows) == 0 {
+		t.Fatalf("line query reply: %+v", qr)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(send("STATS")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalQueries == 0 {
+		t.Fatal("line STATS reports no traffic")
+	}
+	if _, err := fmt.Fprintln(conn, "QUIT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.ReadString('\n'); err == nil {
+		t.Fatal("connection stayed open after QUIT")
+	}
+}
+
+// TestServerOpenLoopWorkload: replaying a generated open-loop arrival
+// schedule through the server batches the similar mix and stays
+// byte-correct (spot-checked against solo execution).
+func TestServerOpenLoopWorkload(t *testing.T) {
+	db := openTPCH(t)
+	srv := New(db, Config{
+		BatchWindow:    100 * time.Millisecond,
+		DefaultTimeout: 60 * time.Second,
+	})
+	defer srv.Close()
+
+	arrivals := workload.GenerateOpenLoop(30, 2000, workload.MixSimilar, []string{"a", "b"}, 7)
+	solo := openTPCH(t)
+	want := make(map[string]string)
+	for _, a := range arrivals {
+		if _, ok := want[a.SQL]; !ok {
+			res, err := solo.Exec(a.SQL)
+			if err != nil {
+				t.Fatalf("workload SQL does not parse solo: %v", err)
+			}
+			want[a.SQL] = canonical(res)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(arrivals))
+	for _, a := range arrivals {
+		wg.Add(1)
+		go func(a workload.Arrival) {
+			defer wg.Done()
+			if d := time.Until(start.Add(a.At)); d > 0 {
+				time.Sleep(d)
+			}
+			res, _, err := srv.Execute(context.Background(), a.Tenant, a.SQL)
+			if err != nil {
+				errCh <- fmt.Errorf("%s: %w", a.SQL, err)
+				return
+			}
+			if canonical(res) != want[a.SQL] {
+				errCh <- fmt.Errorf("result diverged for %s", a.SQL)
+			}
+		}(a)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	st := srv.Stats()
+	if st.TotalQueries != int64(len(arrivals)) {
+		t.Fatalf("TotalQueries = %d, want %d", st.TotalQueries, len(arrivals))
+	}
+	t.Logf("open-loop stats: %+v", st)
+}

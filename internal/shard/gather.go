@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -19,11 +20,17 @@ import (
 // queries go straight to their shard's optimizer, everything else runs
 // as scatter-gather.
 func (e *Engine) Run(q *plan.Query) (*optimizer.Result, error) {
+	return e.RunContext(context.Background(), q)
+}
+
+// RunContext is Run under a context: cancellation aborts the routed
+// shard's (or every scatter leg's) morsel dispatch.
+func (e *Engine) RunContext(ctx context.Context, q *plan.Query) (*optimizer.Result, error) {
 	if s, ok := e.routeShard(q); ok {
 		e.shards[s].Queries.Add(1)
-		return e.shards[s].Opt.Run(q)
+		return e.shards[s].Opt.RunContext(ctx, q)
 	}
-	return e.scatter(q)
+	return e.scatter(ctx, q)
 }
 
 // scatter fans a query out to every shard and merges the legs. The
@@ -35,7 +42,7 @@ func (e *Engine) Run(q *plan.Query) (*optimizer.Result, error) {
 // pipelines run under one scheduler invocation with shard-affine worker
 // groups; work stealing crosses shards only when a group's deques run
 // dry.
-func (e *Engine) scatter(q *plan.Query) (*optimizer.Result, error) {
+func (e *Engine) scatter(ctx context.Context, q *plan.Query) (*optimizer.Result, error) {
 	pl := e.planExchanges(q)
 	qr, temps, err := e.applyExchanges(q, pl)
 	defer e.dropTemps(temps)
@@ -87,8 +94,10 @@ func (e *Engine) scatter(q *plan.Query) (*optimizer.Result, error) {
 	for s, p := range preps {
 		pipelines[s] = p.Pipelines()
 	}
+	spar := e.par
+	spar.Ctx = ctx
 	t0 := time.Now()
-	runErr := exec.RunSharded(pipelines, e.par)
+	runErr := exec.RunSharded(pipelines, spar)
 	execTime := time.Since(t0)
 
 	results := make([]*optimizer.Result, n)

@@ -15,6 +15,7 @@
 package shared
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -52,10 +53,48 @@ func (b *BatchResult) NumSharedPlans() int { return len(b.Groups) }
 // qid-tagged union cannot express, so they run as singletons (which
 // route through the single-query executor and its order/limit paths).
 func mergeable(a, b *plan.Query) bool {
-	if a.OrderBy != nil || b.OrderBy != nil || a.Limit > 0 || b.Limit > 0 {
-		return false
+	ka, oka := ShapeKey(a)
+	kb, okb := ShapeKey(b)
+	return oka && okb && ka == kb
+}
+
+// ShapeKey classifies a query for batch admission: queries with equal
+// keys are mergeable into one shared plan. The second return is false
+// for queries that never merge (ORDER BY / LIMIT — ordering and
+// truncation are per-query properties the qid-tagged union cannot
+// express). The serving front-end keys its admission queues on this.
+func ShapeKey(q *plan.Query) (string, bool) {
+	if q.OrderBy != nil || q.Limit > 0 {
+		return "", false
 	}
-	return a.JoinGraphSignature() == b.JoinGraphSignature()
+	return q.JoinGraphSignature(), true
+}
+
+// SharingGain models the saving (ns) of executing k queries of q's
+// shape as one shared plan instead of k solo plans: k times the single
+// plan's estimated cost minus the shared plan's estimate over k copies.
+// Negative or zero means modeled sharing does not pay. The serving
+// front-end's admission policy gates batch windows on it.
+func (s *Optimizer) SharingGain(q *plan.Query, k int) float64 {
+	if k < 2 {
+		return 0
+	}
+	if _, ok := ShapeKey(q); !ok {
+		return 0
+	}
+	reader := s.Single.Cache.EnterReader()
+	defer reader.Exit()
+	p, err := s.Single.PlanQuery(q)
+	if err != nil {
+		return 0
+	}
+	copies := make([]*plan.Query, k)
+	group := make([]int, k)
+	for i := range copies {
+		copies[i] = q
+		group[i] = i
+	}
+	return float64(k)*p.EstimatedCost - s.sharedPlanCost(copies, group)
 }
 
 // configKey canonically encodes a merge configuration.
@@ -221,6 +260,13 @@ func hullConstraint(a, b expr.Constraint) (expr.Constraint, bool) {
 // RunBatch plans and executes a batch, returning per-query results in
 // input order.
 func (s *Optimizer) RunBatch(queries []*plan.Query) (*BatchResult, error) {
+	return s.RunBatchContext(context.Background(), queries)
+}
+
+// RunBatchContext is RunBatch under a context: cancellation or
+// deadline expiry aborts the in-flight group's morsel dispatch and the
+// batch returns an error wrapping hashstasherr.ErrCanceled.
+func (s *Optimizer) RunBatchContext(ctx context.Context, queries []*plan.Query) (*BatchResult, error) {
 	// Plan as an epoch reader: merge costing resolves cached snapshots,
 	// which stay unreclaimed (and, being frozen, immutable) until the
 	// reader exits — concurrent widening queries publish successors
@@ -234,14 +280,14 @@ func (s *Optimizer) RunBatch(queries []*plan.Query) (*BatchResult, error) {
 	out := &BatchResult{Results: make([]*optimizer.Result, len(queries)), Groups: groups}
 	for _, g := range groups {
 		if len(g) == 1 {
-			res, err := s.Single.Run(queries[g[0]])
+			res, err := s.Single.RunContext(ctx, queries[g[0]])
 			if err != nil {
 				return nil, fmt.Errorf("shared: query %d: %w", g[0], err)
 			}
 			out.Results[g[0]] = res
 			continue
 		}
-		results, err := s.runSharedGroup(queries, g)
+		results, err := s.runSharedGroup(ctx, queries, g)
 		if err != nil {
 			return nil, err
 		}

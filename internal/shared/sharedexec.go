@@ -1,6 +1,7 @@
 package shared
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -44,7 +45,7 @@ type groupExec struct {
 // touch the published snapshot other queries are probing. The group
 // registers as an epoch reader for its lifetime, keeping every
 // snapshot it resolved alive until its pipelines drain.
-func (s *Optimizer) runSharedGroup(queries []*plan.Query, group []int) ([]*optimizer.Result, error) {
+func (s *Optimizer) runSharedGroup(ctx context.Context, queries []*plan.Query, group []int) ([]*optimizer.Result, error) {
 	reader := s.Single.Cache.EnterReader()
 	defer reader.Exit()
 	g := &groupExec{s: s, rep: queries[group[0]]}
@@ -82,6 +83,7 @@ func (s *Optimizer) runSharedGroup(queries []*plan.Query, group []int) ([]*optim
 		MorselRows:      s.Single.Opts.MorselRows,
 		SerialPipelines: s.Single.Opts.SerialPipelines,
 		NoSteal:         s.Single.Opts.NoSteal,
+		Ctx:             ctx,
 	})
 	elapsed := time.Since(t0)
 	if runErr != nil {

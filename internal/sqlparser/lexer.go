@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"hashstash/hashstasherr"
 )
 
 type tokenKind uint8
@@ -100,7 +102,7 @@ func (l *lexer) lexNumber() error {
 	}
 	text := l.src[start:l.pos]
 	if strings.HasSuffix(text, ".") {
-		return fmt.Errorf("sqlparser: malformed number %q at %d", text, start)
+		return l.errAt(start, fmt.Sprintf("malformed number %q", text))
 	}
 	l.toks = append(l.toks, token{kind: tokNumber, text: text, pos: start})
 	return nil
@@ -126,7 +128,16 @@ func (l *lexer) lexString() error {
 		b.WriteByte(c)
 		l.pos++
 	}
-	return fmt.Errorf("sqlparser: unterminated string at %d", start)
+	return l.errAt(start, "unterminated string")
+}
+
+// errAt builds a structured ParseError at a byte offset of the source.
+func (l *lexer) errAt(pos int, msg string) error {
+	end := pos + 20
+	if end > len(l.src) {
+		end = len(l.src)
+	}
+	return &hashstasherr.ParseError{Pos: pos, Msg: msg, Context: l.src[pos:end]}
 }
 
 var twoCharSymbols = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true}
@@ -143,6 +154,6 @@ func (l *lexer) lexSymbol() error {
 		l.pos++
 		return nil
 	default:
-		return fmt.Errorf("sqlparser: unexpected character %q at %d", c, l.pos)
+		return l.errAt(l.pos, fmt.Sprintf("unexpected character %q", c))
 	}
 }

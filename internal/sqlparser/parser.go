@@ -1,10 +1,12 @@
 package sqlparser
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
+	"hashstash/hashstasherr"
 	"hashstash/internal/catalog"
 	"hashstash/internal/expr"
 	"hashstash/internal/plan"
@@ -63,7 +65,19 @@ func (p *parser) cur() token  { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
 
 func (p *parser) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("sqlparser: %s (at %q)", fmt.Sprintf(format, args...), p.context())
+	return p.errWrap(nil, format, args...)
+}
+
+// errWrap builds a structured ParseError at the current token,
+// optionally tagged with a sentinel from hashstasherr (an unresolvable
+// column reference also satisfies errors.Is(err, ErrUnknownColumn)).
+func (p *parser) errWrap(sentinel error, format string, args ...interface{}) error {
+	return &hashstasherr.ParseError{
+		Pos:     p.cur().pos,
+		Msg:     fmt.Sprintf(format, args...),
+		Context: p.context(),
+		Err:     sentinel,
+	}
 }
 
 func (p *parser) context() string {
@@ -515,7 +529,7 @@ func (p *parser) ownerOf(col string) (string, error) {
 		}
 	}
 	if owner == "" {
-		return "", p.errf("unknown column %q", col)
+		return "", p.errWrap(hashstasherr.ErrUnknownColumn, "unknown column %q", col)
 	}
 	return owner, nil
 }
@@ -523,11 +537,19 @@ func (p *parser) ownerOf(col string) (string, error) {
 func (p *parser) resolveKind(ref storage.ColRef) (types.Kind, error) {
 	rel := p.q.RelByAlias(ref.Table)
 	if rel == nil {
-		return 0, p.errf("unknown alias %q", ref.Table)
+		return 0, p.errWrap(hashstasherr.ErrUnknownColumn, "unknown alias %q", ref.Table)
 	}
 	kind, err := p.cat.Resolve(rel.Table, ref.Column)
 	if err != nil {
-		return 0, p.errf("%v", err)
+		// Keep the catalog's sentinel (unknown column/table) visible
+		// through the parse-position wrapper.
+		var sentinel error
+		if errors.Is(err, hashstasherr.ErrUnknownColumn) {
+			sentinel = hashstasherr.ErrUnknownColumn
+		} else if errors.Is(err, hashstasherr.ErrUnknownTable) {
+			sentinel = hashstasherr.ErrUnknownTable
+		}
+		return 0, p.errWrap(sentinel, "%v", err)
 	}
 	return kind, nil
 }

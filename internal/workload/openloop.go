@@ -1,0 +1,111 @@
+// Package workload generates open-loop serving workloads: timestamped
+// query arrivals (Poisson inter-arrival times) over a small family of
+// TPC-H statement shapes, for driving the serving front-end in tests
+// and benchmarks. Open-loop means arrival times are fixed up front —
+// clients do not wait for responses before sending — so queueing and
+// batching behavior under a target rate is measured, not hidden.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Arrival is one scheduled query.
+type Arrival struct {
+	// At is the offset from workload start.
+	At time.Duration
+	// SQL is the statement text.
+	SQL string
+	// Tenant issues the query.
+	Tenant string
+	// Shape indexes the statement template the SQL came from (arrivals
+	// with equal Shape are batchable together).
+	Shape int
+}
+
+// Mix selects the statement-shape composition.
+type Mix int
+
+const (
+	// MixIdentical replays one statement text verbatim.
+	MixIdentical Mix = iota
+	// MixSimilar draws from one join spine with shifted predicate
+	// windows (the shared-plan sweet spot: same shape, different
+	// selections).
+	MixSimilar
+	// MixDistinct interleaves unrelated shapes (little to share).
+	MixDistinct
+)
+
+// q3Like renders the paper's running example — the customer ⋈ orders ⋈
+// lineitem aggregation — with a shifted shipdate window.
+func q3Like(week int) string {
+	day := 1 + (week*7)%28
+	return fmt.Sprintf(
+		"SELECT c.c_age, SUM(l.l_extendedprice) AS revenue "+
+			"FROM customer c, orders o, lineitem l "+
+			"WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey "+
+			"AND l.l_shipdate >= DATE '1995-%02d-%02d' GROUP BY c.c_age",
+		1+week%12, day)
+}
+
+// distinctShapes are unrelated statements (different tables / join
+// spines), for the nothing-to-share mix.
+var distinctShapes = []string{
+	"SELECT o.o_shippriority, SUM(o.o_totalprice) AS total FROM orders o GROUP BY o.o_shippriority",
+	"SELECT l.l_returnflag, SUM(l.l_quantity) AS qty FROM lineitem l GROUP BY l.l_returnflag",
+	"SELECT c.c_mktsegment, SUM(c.c_acctbal) AS bal FROM customer c GROUP BY c.c_mktsegment",
+	"SELECT c.c_age, SUM(o.o_totalprice) AS spend FROM customer c, orders o WHERE c.c_custkey = o.o_custkey GROUP BY c.c_age",
+}
+
+// uniform maps one rng draw to (0,1].
+func uniform(r *rng) float64 {
+	return (float64(r.next()>>11) + 1) / (1 << 53)
+}
+
+// GenerateOpenLoop schedules n arrivals at mean rate queries/sec
+// (Poisson process) over the given mix, round-robining across tenants.
+// The same seed reproduces the same workload.
+func GenerateOpenLoop(n int, rate float64, mix Mix, tenants []string, seed uint64) []Arrival {
+	if n <= 0 {
+		return nil
+	}
+	if rate <= 0 {
+		rate = 100
+	}
+	if len(tenants) == 0 {
+		tenants = []string{""}
+	}
+	if seed == 0 {
+		seed = 0x4f50454e // "OPEN"
+	}
+	r := &rng{state: seed}
+	arrivals := make([]Arrival, n)
+	var at time.Duration
+	for i := range arrivals {
+		// Exponential inter-arrival gap with mean 1/rate.
+		gap := -math.Log(uniform(r)) / rate
+		at += time.Duration(gap * float64(time.Second))
+		var sql string
+		var shape int
+		switch mix {
+		case MixIdentical:
+			sql, shape = q3Like(0), 0
+		case MixSimilar:
+			shape = 0
+			sql = q3Like(int(r.intn(16)))
+		default:
+			shape = int(r.intn(int64(len(distinctShapes))))
+			sql = distinctShapes[shape]
+		}
+		arrivals[i] = Arrival{
+			At:     at,
+			SQL:    sql,
+			Tenant: tenants[i%len(tenants)],
+			Shape:  shape,
+		}
+	}
+	return arrivals
+}

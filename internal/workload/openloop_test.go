@@ -1,0 +1,53 @@
+package workload
+
+import "testing"
+
+func TestGenerateOpenLoopDeterministic(t *testing.T) {
+	a := GenerateOpenLoop(50, 500, MixSimilar, []string{"x", "y"}, 42)
+	b := GenerateOpenLoop(50, 500, MixSimilar, []string{"x", "y"}, 42)
+	if len(a) != 50 {
+		t.Fatalf("got %d arrivals", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across equal seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateOpenLoopProperties(t *testing.T) {
+	arrivals := GenerateOpenLoop(200, 1000, MixDistinct, []string{"a", "b", "c"}, 7)
+	last := arrivals[0].At
+	shapes := map[int]int{}
+	tenants := map[string]int{}
+	for _, a := range arrivals[1:] {
+		if a.At < last {
+			t.Fatal("arrival times not monotone")
+		}
+		last = a.At
+		shapes[a.Shape]++
+		tenants[a.Tenant]++
+		if a.SQL == "" {
+			t.Fatal("empty SQL")
+		}
+	}
+	if len(shapes) < 2 {
+		t.Fatalf("distinct mix produced %d shapes", len(shapes))
+	}
+	if len(tenants) != 3 {
+		t.Fatalf("tenant round-robin covered %d tenants", len(tenants))
+	}
+	// Mean inter-arrival of a 1000/s Poisson stream over 200 samples
+	// lands well inside [0.1ms, 10ms].
+	mean := last / 199
+	if mean <= 0 || mean > 10_000_000 {
+		t.Fatalf("implausible mean inter-arrival %v", mean)
+	}
+
+	identical := GenerateOpenLoop(10, 100, MixIdentical, nil, 1)
+	for _, a := range identical[1:] {
+		if a.SQL != identical[0].SQL || a.Shape != 0 {
+			t.Fatal("identical mix produced differing statements")
+		}
+	}
+}

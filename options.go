@@ -1,0 +1,122 @@
+package hashstash
+
+// Grouped configuration. The 20+ single-purpose With* options grew one
+// per PR; new code configures Open with two structs — Tuning (capacity
+// and execution sizing) and Ablations (paper-experiment feature
+// switches) — and the old options remain as thin deprecated wrappers.
+// See ARCHITECTURE.md for the migration table.
+
+// Tuning groups the capacity and execution-sizing knobs. Zero values
+// leave the engine defaults untouched, so partial literals compose:
+//
+//	hashstash.Open(hashstash.WithTuning(hashstash.Tuning{
+//	    CacheBudget: 64 << 20,
+//	    Parallelism: 8,
+//	}))
+type Tuning struct {
+	// CacheBudget bounds the hash-table cache in bytes (0 = unlimited).
+	CacheBudget int64
+	// ColdTierBudget bounds the compact cold tier in bytes (0 = cold
+	// tier disabled).
+	ColdTierBudget int64
+	// IndexBuildBudget caps the total bytes of lazily built secondary
+	// indexes (0 = unlimited).
+	IndexBuildBudget int64
+	// Parallelism is the morsel-driven worker-pool size (0 = all CPUs,
+	// 1 = serial).
+	Parallelism int
+	// MorselRows overrides the morsel granularity (0 = storage default).
+	MorselRows int
+	// RehashBudget caps chain nodes per bucket-maintenance pass (0 =
+	// hashtable default).
+	RehashBudget int
+	// Shards partitions the engine into n locality domains (<= 1 keeps
+	// the single-domain engine).
+	Shards int
+}
+
+// WithTuning applies every non-zero field of t. It composes with the
+// other options; later options win on overlap.
+func WithTuning(t Tuning) Option {
+	return func(c *config) {
+		if t.CacheBudget != 0 {
+			c.budget = t.CacheBudget
+		}
+		if t.ColdTierBudget != 0 {
+			c.coldBudget = t.ColdTierBudget
+		}
+		if t.IndexBuildBudget != 0 {
+			c.indexBudget = t.IndexBuildBudget
+		}
+		if t.Parallelism != 0 {
+			c.parallelism = t.Parallelism
+		}
+		if t.MorselRows != 0 {
+			c.morselRows = t.MorselRows
+		}
+		if t.RehashBudget != 0 {
+			c.rehashBudget = t.RehashBudget
+		}
+		if t.Shards != 0 {
+			c.shards = t.Shards
+		}
+	}
+}
+
+// Ablations groups the feature switches used by the paper's ablation
+// experiments. Every field defaults to false (= feature on); setting
+// one disables the named mechanism.
+type Ablations struct {
+	// LRUEviction replaces benefit-per-byte eviction with plain LRU and
+	// disables the cold tier.
+	LRUEviction bool
+	// NoBenefitOptimizations disables the Section 3.4 benefit-oriented
+	// optimizations.
+	NoBenefitOptimizations bool
+	// NoPartialReuse disables partial reuse.
+	NoPartialReuse bool
+	// NoOverlappingReuse disables overlapping reuse.
+	NoOverlappingReuse bool
+	// NoInterPipelineParallelism restricts the scheduler to one
+	// pipeline at a time in compile order.
+	NoInterPipelineParallelism bool
+	// NoWorkStealing pins each worker to its seeded morsel partition.
+	NoWorkStealing bool
+	// NoBucketRehash disables incremental bucket maintenance of widened
+	// cached tables.
+	NoBucketRehash bool
+	// NoSecondaryIndexes disables the ordered secondary-index access
+	// path.
+	NoSecondaryIndexes bool
+}
+
+// WithAblations applies the set switches (unset fields leave the
+// features enabled).
+func WithAblations(a Ablations) Option {
+	return func(c *config) {
+		if a.LRUEviction {
+			c.lruEviction = true
+		}
+		if a.NoBenefitOptimizations {
+			c.benefit = false
+		}
+		if a.NoPartialReuse {
+			c.partial = false
+		}
+		if a.NoOverlappingReuse {
+			c.overlapping = false
+		}
+		if a.NoInterPipelineParallelism {
+			c.serialPipelines = true
+		}
+		if a.NoWorkStealing {
+			c.noSteal = true
+		}
+		if a.NoBucketRehash {
+			c.noBucketRehash = true
+		}
+		if a.NoSecondaryIndexes {
+			c.noSecondaryIdx = true
+		}
+	}
+}

@@ -7,6 +7,7 @@ package hashstash
 // BenchmarkCacheTiering through cmd/benchjson against BENCH_cache.json.
 
 import (
+	"context"
 	"testing"
 
 	"hashstash/internal/btree"
@@ -43,7 +44,7 @@ func runSteps(tb testing.TB, db *DB, steps []workload.Step) float64 {
 	tb.Helper()
 	total := 0.0
 	for _, st := range steps {
-		res, err := db.run(st.Query)
+		res, err := db.ExecParsed(context.Background(), st.Query)
 		if err != nil {
 			tb.Fatal(err)
 		}
