@@ -17,10 +17,21 @@
 //	-timeout       default per-query timeout (default 10s)
 //	-tenant-share  fraction of the queue one tenant may hold (default 0.5)
 //	-no-batching   serve every query solo (ablation)
+//	-mem-soft      soft memory watermark in bytes (0 = off): shed cache,
+//	               veto index builds, shrink batch windows
+//	-mem-hard      hard memory watermark in bytes (0 = off): refuse
+//	               admission with 429 + Retry-After
+//	-drain         graceful-shutdown drain bound (default 10s)
 //	-sf, -cache, -parallel, -shards  engine knobs as in cmd/hashstash
+//
+// On SIGINT/SIGTERM the server drains gracefully: listeners close, new
+// admissions are refused with a retriable error, queued groups
+// dispatch, and in-flight queries finish (bounded by -drain). A second
+// signal exits immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -44,6 +55,9 @@ func main() {
 		timeout     = flag.Duration("timeout", 10*time.Second, "default per-query timeout")
 		tenantShare = flag.Float64("tenant-share", 0.5, "fraction of the queue one tenant may hold")
 		noBatching  = flag.Bool("no-batching", false, "serve every query solo (ablation)")
+		memSoft     = flag.Int64("mem-soft", 0, "soft memory watermark in bytes (0 = off)")
+		memHard     = flag.Int64("mem-hard", 0, "hard memory watermark in bytes (0 = off)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain bound")
 		sf          = flag.Float64("sf", 0.01, "TPC-H scale factor")
 		budget      = flag.Int64("cache", 0, "hash table cache budget in bytes (0 = unlimited)")
 		parallel    = flag.Int("parallel", 0, "execution worker-pool size (0 = all CPUs, 1 = serial)")
@@ -53,8 +67,10 @@ func main() {
 
 	opts := []hashstash.Option{
 		hashstash.WithTuning(hashstash.Tuning{
-			CacheBudget: *budget,
-			Parallelism: *parallel,
+			CacheBudget:     *budget,
+			Parallelism:     *parallel,
+			SoftMemoryLimit: *memSoft,
+			HardMemoryLimit: *memHard,
 		}),
 	}
 	if *shards > 1 {
@@ -80,6 +96,7 @@ func main() {
 		DefaultTimeout:  *timeout,
 		TenantShare:     *tenantShare,
 		DisableBatching: *noBatching,
+		DrainTimeout:    *drain,
 	})
 
 	httpLn, err := net.Listen("tcp", *listen)
@@ -113,12 +130,30 @@ func main() {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	<-sigc
-	fmt.Println("\nshutting down")
-	_ = httpSrv.Close()
+	fmt.Println("\ndraining")
+
+	// Second signal: give up on the drain and exit hard.
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "second signal: exiting immediately")
+		os.Exit(1)
+	}()
+
+	// Stop accepting first, then drain in-flight work. httpSrv.Shutdown
+	// waits for active handlers (each holding an Execute call); the
+	// server's own Shutdown then drains queued groups and closes any
+	// idle line-protocol connections.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
 	if lineLn != nil {
 		_ = lineLn.Close()
 	}
-	srv.Close()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "http drain:", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "drain:", err)
+	}
 	st := srv.Stats()
 	fmt.Printf("served %d queries: %d batched in %d shared plans, %d solo, %d plans total\n",
 		st.TotalQueries, st.BatchedQueries, st.SharedPlans, st.SoloQueries, st.PlansExecuted)

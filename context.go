@@ -128,7 +128,17 @@ func (db *DB) EstimateSharingGain(q *Query, k int) float64 {
 }
 
 // runContext routes a parsed query to the configured engine under ctx.
-func (db *DB) runContext(ctx context.Context, q *plan.Query) (*Result, error) {
+// It is the outermost panic boundary on the query path: the engines'
+// own recover sites (scheduler hooks, serial exec, optimizer
+// prepare/finish) unwind their cache state precisely, so anything
+// reaching here is merge/route bookkeeping — converted to a typed
+// InternalError so one query's failure never unwinds the caller.
+func (db *DB) runContext(ctx context.Context, q *plan.Query) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, hashstasherr.Internal("query", r)
+		}
+	}()
 	if ctx == nil {
 		ctx = context.Background()
 	}

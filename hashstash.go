@@ -52,6 +52,7 @@ package hashstash
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 
@@ -59,8 +60,10 @@ import (
 	"hashstash/internal/catalog"
 	"hashstash/internal/costmodel"
 	"hashstash/internal/exec"
+	"hashstash/internal/faultinject"
 	"hashstash/internal/htcache"
 	"hashstash/internal/matreuse"
+	"hashstash/internal/memgov"
 	"hashstash/internal/optimizer"
 	"hashstash/internal/shard"
 	"hashstash/internal/shared"
@@ -134,6 +137,9 @@ type config struct {
 	shards          int
 	partKeys        map[string]string
 	partOrder       []string
+	memSoft         int64
+	memHard         int64
+	faults          string
 }
 
 // WithCacheBudget bounds the hash-table cache (bytes); the garbage
@@ -306,6 +312,9 @@ type DB struct {
 	// used for parsing — and every data/query path goes through the
 	// router.
 	router *shard.Engine
+	// gov is the memory-pressure governor (nil unless Tuning sets a
+	// watermark). The serving front-end refreshes it at admission.
+	gov *memgov.Governor
 }
 
 // Open creates an empty database.
@@ -324,6 +333,21 @@ func Open(opts ...Option) *DB {
 	strategy := cfg.strategy
 	if cfg.engine == EngineNoReuse {
 		strategy = NeverReuse
+	}
+	if spec := cfg.faults; spec != "" {
+		// Deterministic fault injection for resilience testing; a bad
+		// spec is a programming error in the test harness.
+		if err := faultinject.Arm(spec); err != nil {
+			panic(fmt.Sprintf("hashstash: bad fault spec %q: %v", spec, err))
+		}
+	} else if spec := os.Getenv("HASHSTASH_FAULTS"); spec != "" {
+		if err := faultinject.Arm(spec); err != nil {
+			panic(fmt.Sprintf("hashstash: bad HASHSTASH_FAULTS %q: %v", spec, err))
+		}
+	}
+	var gov *memgov.Governor
+	if cfg.memSoft > 0 || cfg.memHard > 0 {
+		gov = memgov.New(cfg.memSoft, cfg.memHard)
 	}
 
 	// newDomain builds one locality domain: a catalog plus a cache and
@@ -355,7 +379,9 @@ func Open(opts ...Option) *DB {
 			RehashBudget:       cfg.rehashBudget,
 			NoSecondaryIndexes: cfg.noSecondaryIdx,
 			IndexBuildBudget:   split(cfg.indexBudget),
+			MemGov:             gov,
 		})
+		gov.AddSource(cache)
 		cache.SetRehash(!cfg.noBucketRehash, cfg.rehashBudget)
 		if cfg.lruEviction {
 			cache.SetPolicy(htcache.PolicyLRU)
@@ -412,8 +438,15 @@ func Open(opts ...Option) *DB {
 		mat:    mat,
 		engine: cfg.engine,
 		router: router,
+		gov:    gov,
 	}
 }
+
+// MemoryGovernor returns the memory-pressure governor, or nil when no
+// watermark is configured. The serving front-end refreshes it at
+// admission; embedders can call Refresh/Stats directly. All governor
+// methods are nil-receiver-safe.
+func (db *DB) MemoryGovernor() *memgov.Governor { return db.gov }
 
 // Shards reports the number of shards (1 for the default engine).
 func (db *DB) Shards() int {

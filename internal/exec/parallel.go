@@ -95,7 +95,7 @@ func runSerialCtx(pipelines []*Pipeline, ctx context.Context) error {
 				return hashstasherr.Canceled(err)
 			}
 		}
-		if err := p.Run(); err != nil {
+		if err := runPipelineSafe(p); err != nil {
 			return err
 		}
 	}

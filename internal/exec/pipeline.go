@@ -3,6 +3,8 @@ package exec
 import (
 	"sync/atomic"
 
+	"hashstash/hashstasherr"
+	"hashstash/internal/faultinject"
 	"hashstash/internal/storage"
 )
 
@@ -40,6 +42,12 @@ func (p *Pipeline) newBatches() []*storage.Batch {
 // serial runner (whole source, pipeline sink) and the parallel runner
 // (one morsel, per-worker sink).
 func (p *Pipeline) stream(src Source, batches []*storage.Batch, sink Sink) error {
+	// The highest-frequency fault point: one hit per morsel (parallel)
+	// or per pipeline (serial), where the chaos suite simulates
+	// operator panics.
+	if err := faultinject.Inject(faultinject.ExecMorsel); err != nil {
+		return err
+	}
 	if err := src.Open(); err != nil {
 		return err
 	}
@@ -99,9 +107,21 @@ func (p *Pipeline) OutSchema() storage.Schema {
 // with one worker.
 func Run(pipelines []*Pipeline) error {
 	for _, p := range pipelines {
-		if err := p.Run(); err != nil {
+		if err := runPipelineSafe(p); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// runPipelineSafe is the serial-path panic boundary, mirroring the
+// scheduler's per-hook recover: an operator panic fails the pipeline's
+// query with a typed InternalError instead of unwinding the caller.
+func runPipelineSafe(p *Pipeline) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = hashstasherr.Internal("exec.serial", r)
+		}
+	}()
+	return p.Run()
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hashstash/hashstasherr"
+	"hashstash/internal/testutil"
 )
 
 // TestCancelStopsDispatch: canceling Options.Ctx mid-run fails the
@@ -15,6 +16,7 @@ import (
 // reports an error satisfying both errors.Is(hashstasherr.ErrCanceled)
 // and errors.Is(context.Canceled).
 func TestCancelStopsDispatch(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const workers, n = 2, 64
 	ctx, cancel := context.WithCancel(context.Background())
 	release := make(chan struct{})

@@ -23,7 +23,22 @@ import (
 	"sync/atomic"
 
 	"hashstash/hashstasherr"
+	"hashstash/internal/faultinject"
 )
+
+// safeCall is the panic-isolation boundary for every job hook
+// (Prepare/Run/Finish) on both the pooled and serial paths: an
+// operator panic becomes a typed *hashstasherr.InternalError carrying
+// the stack, failing only the run it belongs to instead of the
+// process.
+func safeCall(op string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = hashstasherr.Internal(op, r)
+		}
+	}()
+	return fn()
+}
 
 // Job is one schedulable unit: NTasks independent tasks plus an
 // optional Finish hook that runs exactly once after the last task
@@ -219,6 +234,16 @@ func Run(jobs []*Job, opts Options) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Last-resort backstop: the hooks are individually recovered
+			// in safeCall, so anything reaching here is scheduler
+			// bookkeeping itself panicking. fail() sets done, so the
+			// surviving workers drain and Run returns the error instead
+			// of the process dying.
+			defer func() {
+				if r := recover(); r != nil {
+					s.fail(hashstasherr.Internal("sched.worker", r))
+				}
+			}()
 			s.worker(w)
 		}(w)
 	}
@@ -247,8 +272,13 @@ func runSerial(jobs []*Job, order []int, ctx context.Context) error {
 		if err := canceled(); err != nil {
 			return err
 		}
+		if err := safeCall("sched.dispatch", func() error {
+			return faultinject.Inject(faultinject.SchedDispatch)
+		}); err != nil {
+			return err
+		}
 		if j.Prepare != nil {
-			if err := j.Prepare(j); err != nil {
+			if err := safeCall("sched.prepare", func() error { return j.Prepare(j) }); err != nil {
 				return err
 			}
 		}
@@ -256,12 +286,13 @@ func runSerial(jobs []*Job, order []int, ctx context.Context) error {
 			if err := canceled(); err != nil {
 				return err
 			}
-			if err := j.Run(0, i); err != nil {
+			i := i
+			if err := safeCall("sched.run", func() error { return j.Run(0, i) }); err != nil {
 				return err
 			}
 		}
 		if j.Finish != nil {
-			if err := j.Finish(); err != nil {
+			if err := safeCall("sched.finish", func() error { return j.Finish() }); err != nil {
 				return err
 			}
 		}
@@ -371,8 +402,15 @@ func (s *scheduler) spread(ji int) {
 	if !js.seeded.CompareAndSwap(false, true) {
 		return
 	}
+	if !s.failed.Load() {
+		if err := safeCall("sched.dispatch", func() error {
+			return faultinject.Inject(faultinject.SchedDispatch)
+		}); err != nil {
+			s.fail(err)
+		}
+	}
 	if js.job.Prepare != nil && !s.failed.Load() {
-		if err := js.job.Prepare(js.job); err != nil {
+		if err := safeCall("sched.prepare", func() error { return js.job.Prepare(js.job) }); err != nil {
 			s.fail(err)
 		}
 	}
@@ -483,7 +521,7 @@ func (s *scheduler) poll(w int) (task, bool) {
 func (s *scheduler) exec(w int, t task) {
 	js := s.jobs[t.job]
 	if !s.failed.Load() {
-		if err := js.job.Run(w, t.idx); err != nil {
+		if err := safeCall("sched.run", func() error { return js.job.Run(w, t.idx) }); err != nil {
 			s.fail(err)
 		}
 	}
@@ -499,7 +537,7 @@ func (s *scheduler) exec(w int, t task) {
 func (s *scheduler) finishJob(ji int) {
 	js := s.jobs[ji]
 	if !s.failed.Load() && js.job.Finish != nil {
-		if err := js.job.Finish(); err != nil {
+		if err := safeCall("sched.finish", func() error { return js.job.Finish() }); err != nil {
 			s.fail(err)
 		}
 	}

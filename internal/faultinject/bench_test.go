@@ -1,0 +1,34 @@
+package faultinject
+
+import "testing"
+
+// BenchmarkFaultpointOverhead measures the disarmed fast path — the
+// cost every morsel, publish and dispatch pays in production. The CI
+// gate holds it at exactly 0 allocs/op; ns/op should be a relaxed
+// atomic load and a branch.
+func BenchmarkFaultpointOverhead(b *testing.B) {
+	Disarm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Inject(ExecMorsel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultpointArmedMiss measures an armed process hitting a
+// point whose trigger does not fire this hit (every:2^62) — the cost
+// other points pay while chaos targets one of them.
+func BenchmarkFaultpointArmedMiss(b *testing.B) {
+	if err := Arm("exec.morsel=err:every:4611686018427387904"); err != nil {
+		b.Fatal(err)
+	}
+	defer Disarm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Inject(ExecMorsel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"hashstash/hashstasherr"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	Disarm()
+	for _, pt := range Catalog() {
+		if err := Inject(pt); err != nil {
+			t.Fatalf("disarmed Inject(%s) = %v", pt, err)
+		}
+	}
+}
+
+func TestOnceFiresExactlyOnce(t *testing.T) {
+	defer Disarm()
+	if err := Arm("htcache.publish=err:once"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject(HTCachePublish); !IsInjected(err) {
+		t.Fatalf("first hit = %v, want injected", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := Inject(HTCachePublish); err != nil {
+			t.Fatalf("hit %d = %v, want nil", i+2, err)
+		}
+	}
+	// Other points stay silent.
+	if err := Inject(SchedDispatch); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	defer Disarm()
+	if err := Arm("sched.dispatch=err:every:3"); err != nil {
+		t.Fatal(err)
+	}
+	var fires []int
+	for i := 1; i <= 9; i++ {
+		if Inject(SchedDispatch) != nil {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	defer Disarm()
+	run := func() []int {
+		if err := Arm("exec.morsel=err:p:0.3:42"); err != nil {
+			t.Fatal(err)
+		}
+		var fires []int
+		for i := 0; i < 200; i++ {
+			if Inject(ExecMorsel) != nil {
+				fires = append(fires, i)
+			}
+		}
+		return fires
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("p=0.3 fired %d/200 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("reruns differ: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rerun diverged at fire %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer Disarm()
+	if err := Arm("exec.morsel=panic:once"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic mode did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !IsInjected(err) {
+			t.Fatalf("panic value = %v, want injected error", r)
+		}
+	}()
+	_ = Inject(ExecMorsel)
+}
+
+func TestInjectedClassifiesAsInternal(t *testing.T) {
+	defer Disarm()
+	if err := Arm("server.admit=err:once"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject(ServerAdmit)
+	if !errors.Is(err, hashstasherr.ErrInternal) {
+		t.Fatalf("injected fault does not classify as ErrInternal: %v", err)
+	}
+	if hashstasherr.IsRetriable(err) {
+		t.Fatalf("injected fault must not be retriable: %v", err)
+	}
+}
+
+func TestBadSpecsRejected(t *testing.T) {
+	defer Disarm()
+	for _, spec := range []string{
+		"noequals",
+		"p=err:every:0",
+		"p=err:every:x",
+		"p=err:p:1.5",
+		"p=err:p:0.5:notanum",
+		"p=boom:once",
+		"p=err:sometimes",
+	} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) accepted", spec)
+		}
+	}
+	// A bad spec must not disturb the previous arming.
+	if err := Arm("htcache.revive=err:once"); err != nil {
+		t.Fatal(err)
+	}
+	_ = Arm("broken")
+	if err := Inject(HTCacheRevive); !IsInjected(err) {
+		t.Fatalf("previous arming lost after bad spec: %v", err)
+	}
+}
+
+func TestFiredCountsHits(t *testing.T) {
+	defer Disarm()
+	if err := Arm("spill.encode=err:every:100"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		_ = Inject(SpillEncode)
+	}
+	if got := Fired(SpillEncode); got != 7 {
+		t.Fatalf("Fired = %d, want 7", got)
+	}
+}

@@ -41,6 +41,7 @@ import (
 
 	"hashstash/internal/btree"
 	"hashstash/internal/expr"
+	"hashstash/internal/faultinject"
 	"hashstash/internal/hashtable"
 	"hashstash/internal/storage"
 )
@@ -193,6 +194,14 @@ type Entry struct {
 	// become candidates only after the building query releases them, so
 	// a concurrent query can never plan reuse of a half-built table.
 	ready bool
+
+	// quarantined marks a poisoned artifact: a query panicked while
+	// holding it pinned (Quarantine), or it was registered under a
+	// struck lineage. Quarantined entries never publish — Release drops
+	// them instead of making them candidates — and the lineage stays
+	// struck until a base table changes (InvalidateTable clears the
+	// strike with the artifacts).
+	quarantined bool
 }
 
 // Ready reports whether the entry has been published (its build
@@ -258,6 +267,18 @@ type Stats struct {
 	ProbeChainNodes int64
 	TombstoneSkips  int64
 
+	// Failure containment: Quarantines counts panic blames laid on
+	// cached artifacts (strikes), QuarantinedLineages is the number of
+	// currently struck lineages (nothing under them republishes until a
+	// base table changes), PressureEvictions counts entries the memory
+	// governor shed above its soft watermark. Readers is the live epoch
+	// reader count — zero at rest; the chaos suite asserts it returns
+	// there.
+	Quarantines         int64
+	QuarantinedLineages int
+	PressureEvictions   int64
+	Readers             int
+
 	// Index is the secondary-index slice of the cache's lifecycle.
 	Index IndexStats
 
@@ -299,13 +320,23 @@ type Cache struct {
 	registered int64
 	evictedB   int64
 
-	// Epoch-based reclamation of superseded snapshots.
+	// Epoch-based reclamation of superseded snapshots. retiredB is the
+	// retired set's running footprint (FootprintBytes must not sweep).
 	epoch     int64
 	readers   map[*Reader]struct{}
 	retired   []retiredSnap
+	retiredB  int64
 	widenPub  int64
 	widenLost int64
 	reclaims  int64
+
+	// Quarantine state: strikes is keyed by Lineage.StructKey; while a
+	// lineage is struck, nothing registered under it ever publishes.
+	// InvalidateTable clears strikes whose lineage touches the changed
+	// table — new base data absolves the shape.
+	strikes       map[string]*strikeRec
+	quarantines   int64
+	pressureEvict int64
 
 	// Bucket-maintenance policy (SetRehash) and accumulated counters.
 	rehashOff    bool
@@ -349,6 +380,13 @@ type Cache struct {
 	bloomFP        atomic.Int64
 }
 
+// strikeRec is one quarantined lineage: how many panics were blamed on
+// artifacts of this shape, and which base tables absolve it.
+type strikeRec struct {
+	count  int64
+	tables []string
+}
+
 // retiredSnap is a superseded snapshot awaiting reader drain. The
 // strong reference here is what "not yet reclaimed" means: dropping it
 // (plus the readers' own references draining) makes the old version's
@@ -376,6 +414,7 @@ func New(budget int64) *Cache {
 		byStruct: make(map[string][]*Entry),
 		readers:  make(map[*Reader]struct{}),
 		cold:     make(map[int64]*coldEntry),
+		strikes:  make(map[string]*strikeRec),
 	}
 }
 
@@ -415,6 +454,7 @@ func (r *Reader) Exit() {
 // observe it.
 func (c *Cache) retireLocked(s *Snapshot, e *Entry) {
 	c.retired = append(c.retired, retiredSnap{snap: s, entry: e, epoch: c.epoch})
+	c.retiredB += s.byteSize()
 	c.epoch++
 	c.reclaimLocked()
 }
@@ -440,6 +480,7 @@ func (c *Cache) reclaimLocked() {
 		if rs.epoch < minEpoch && rs.entry.Pins == 0 {
 			rs.snap.reclaimed.Store(true)
 			c.reclaims++
+			c.retiredB -= rs.snap.byteSize()
 			c.foldLocked(rs.snap)
 			continue
 		}
@@ -482,6 +523,11 @@ func (c *Cache) Register(ht *hashtable.Table, lin Lineage) *Entry {
 	c.nextID++
 	c.entries[e.ID] = e
 	key := lin.StructKey()
+	if _, struck := c.strikes[key]; struck {
+		// Struck lineage: the build proceeds (the query needs its own
+		// table) but the artifact will never publish — Release drops it.
+		e.quarantined = true
+	}
 	c.byStruct[key] = append(c.byStruct[key], e)
 	c.hotBytes += e.Bytes
 	c.registered++
@@ -523,6 +569,9 @@ func (c *Cache) RegisterIndex(tree *btree.Tree, col storage.ColRef) *Entry {
 	c.nextID++
 	c.entries[e.ID] = e
 	key := lin.StructKey()
+	if _, struck := c.strikes[key]; struck {
+		e.quarantined = true
+	}
 	c.byStruct[key] = append(c.byStruct[key], e)
 	c.hotBytes += e.Bytes
 	c.idxBytes += e.Bytes
@@ -549,6 +598,17 @@ func (c *Cache) IndexBytes() int64 {
 func (c *Cache) InvalidateTable(table string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// New base data absolves struck lineages over this table: the
+	// poisoned artifacts are gone (below, like any stale artifact), and
+	// rebuilds from the fresh rows may publish again.
+	for key, rec := range c.strikes {
+		for _, t := range rec.tables {
+			if t == table {
+				delete(c.strikes, key)
+				break
+			}
+		}
+	}
 	dropped := 0
 	for _, e := range c.entries {
 		if e.Pins > 0 {
@@ -615,6 +675,16 @@ func (c *Cache) SetRehash(enabled bool, budget int) {
 // untouched — they drain under the epoch scheme — and the rebuilt
 // buckets become visible atomically with the CAS below.
 func (c *Cache) PublishWidened(e *Entry, prev *Snapshot, ht *hashtable.Table, filter expr.Box) bool {
+	// Fault point: an err-mode injection degrades to the lost-CAS path
+	// (benign — the caller's table was correct for its own query, the
+	// cache just keeps the predecessor); panic mode unwinds through the
+	// publishing query's containment boundary.
+	if err := faultinject.Inject(faultinject.HTCachePublish); err != nil {
+		c.mu.Lock()
+		c.widenLost++
+		c.mu.Unlock()
+		return false
+	}
 	c.mu.RLock()
 	rehash, budget := !c.rehashOff, c.rehashBudget
 	c.mu.RUnlock()
@@ -720,6 +790,20 @@ func (c *Cache) Release(e *Entry) {
 	if e.Pins > 0 {
 		e.Pins--
 	}
+	if e.quarantined {
+		// Poisoned or struck lineage: never publish. The artifact is
+		// dropped the moment its last pin goes (other concurrent users
+		// keep probing their resolved snapshot until they release).
+		if e.Pins == 0 {
+			if _, ok := c.entries[e.ID]; ok {
+				c.evict(e)
+			} else if ce, ok := c.cold[e.ID]; ok {
+				c.dropColdLocked(ce)
+			}
+		}
+		c.reclaimLocked()
+		return
+	}
 	snap := e.cur.Load()
 	if !e.ready {
 		if snap.HT != nil {
@@ -731,6 +815,44 @@ func (c *Cache) Release(e *Entry) {
 	e.LastUsed = c.tick()
 	c.reclaimLocked()
 	c.gcLocked()
+}
+
+// Quarantine blames an entry for a contained panic: its lineage is
+// struck (nothing registered under the same structural key publishes
+// until a base table of the lineage changes) and the artifact itself
+// is dropped as soon as its last pin releases. Callers invoke it for
+// every snapshot a panicking query held pinned — conservative blame:
+// the panic fired somewhere inside the query's probe pipelines, and a
+// repeatedly-crashing cached table must not take down every query
+// that reuses it.
+func (c *Cache) Quarantine(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := e.Lineage.StructKey()
+	rec := c.strikes[key]
+	if rec == nil {
+		rec = &strikeRec{tables: append([]string(nil), e.Lineage.Tables...)}
+		c.strikes[key] = rec
+	}
+	rec.count++
+	c.quarantines++
+	e.quarantined = true
+	e.ready = false
+	if e.Pins == 0 {
+		if _, ok := c.entries[e.ID]; ok {
+			c.evict(e)
+		} else if ce, ok := c.cold[e.ID]; ok {
+			c.dropColdLocked(ce)
+		}
+		c.reclaimLocked()
+	}
+}
+
+// QuarantinedLineages reports how many lineages are currently struck.
+func (c *Cache) QuarantinedLineages() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.strikes)
 }
 
 // Abandon unpins and removes an entry that its creator no longer wants
@@ -778,6 +900,52 @@ func (c *Cache) TotalBytes() int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.hotBytes
+}
+
+// FootprintBytes reports the cache's total resident memory: hot
+// entries, cold-tier spills (including pending demotions still holding
+// their full artifact) and superseded snapshots awaiting reader drain.
+// Running counters only — this is the memory governor's feed, called
+// on every admission.
+func (c *Cache) FootprintBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hotBytes + c.coldBytes + c.retiredB
+}
+
+// Shed releases at least target bytes of unpinned cache memory if it
+// can: cold-tier spills go first (the cheapest loss — compact, already
+// demoted), then hot victims in policy order, bypassing demotion (the
+// point is to free memory now, not to move it). Returns the bytes
+// actually released. The memory governor calls this above its soft
+// watermark.
+func (c *Cache) Shed(target int64) int64 {
+	if target <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	released := int64(0)
+	for released < target {
+		ce := c.coldVictimLocked()
+		if ce == nil {
+			break
+		}
+		released += ce.bytes
+		c.dropColdLocked(ce)
+		c.pressureEvict++
+	}
+	for released < target {
+		v := c.victimLocked()
+		if v == nil {
+			break
+		}
+		released += v.Bytes
+		c.evict(v)
+		c.pressureEvict++
+	}
+	c.reclaimLocked()
+	return released
 }
 
 // setEntryBytesLocked records a new footprint for the entry, keeping
@@ -972,6 +1140,10 @@ func (c *Cache) Stats() Stats {
 		TombstonesReclaimed: c.maint.ReclaimedTombstones,
 		CompactionsAvoided:  c.maint.CompactionsAvoided,
 		Compactions:         c.maint.Compactions,
+		Quarantines:         c.quarantines,
+		QuarantinedLineages: len(c.strikes),
+		PressureEvictions:   c.pressureEvict,
+		Readers:             len(c.readers),
 	}
 	s.Probes = c.probeAcc.Probes
 	s.ProbeChainNodes = c.probeAcc.ChainNodes
@@ -1050,6 +1222,10 @@ func (s Stats) Add(o Stats) Stats {
 	s.Probes += o.Probes
 	s.ProbeChainNodes += o.ProbeChainNodes
 	s.TombstoneSkips += o.TombstoneSkips
+	s.Quarantines += o.Quarantines
+	s.QuarantinedLineages += o.QuarantinedLineages
+	s.PressureEvictions += o.PressureEvictions
+	s.Readers += o.Readers
 	s.Index.Builds += o.Index.Builds
 	s.Index.RangeProbes += o.Index.RangeProbes
 	s.Index.RowsGathered += o.Index.RowsGathered

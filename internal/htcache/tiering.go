@@ -6,6 +6,7 @@ import (
 
 	"hashstash/internal/btree"
 	"hashstash/internal/expr"
+	"hashstash/internal/faultinject"
 	"hashstash/internal/hashtable"
 	"hashstash/internal/storage"
 	"hashstash/internal/types"
@@ -203,6 +204,12 @@ func (c *Cache) spillPendingLocked(minEpoch int64) {
 		if ce.hot == nil || ce.epoch >= minEpoch || ce.e.Pins > 0 {
 			continue
 		}
+		if err := faultinject.Inject(faultinject.SpillEncode); err != nil {
+			// The artifact could not be encoded: drop it outright rather
+			// than keeping an unspillable pending demotion forever.
+			c.dropColdLocked(ce)
+			continue
+		}
 		hot := ce.hot
 		c.foldLocked(hot) // final: no reader can probe it anymore
 		var compact int64
@@ -285,6 +292,11 @@ func (c *Cache) coldVictimLocked() *coldEntry {
 // hot either (evicted meanwhile), or if an index revival lacks its
 // column — callers fall back to a fresh build.
 func (c *Cache) Revive(e *Entry, col *storage.Column) *Snapshot {
+	// Fault point: a failed revival is exactly a nil return — the
+	// caller prices and runs the fresh build instead.
+	if err := faultinject.Inject(faultinject.HTCacheRevive); err != nil {
+		return nil
+	}
 	c.mu.Lock()
 	ce, ok := c.cold[e.ID]
 	if !ok {

@@ -236,6 +236,11 @@ func (c *compiler) tryIndexScan(n *Node, rel plan.Rel, boxes []expr.Box) exec.So
 		if b := o.Opts.IndexBuildBudget; b > 0 && o.Cache.IndexBytes()+btree.EstimateBytes(int(ts.Rows)) > b {
 			return nil
 		}
+		if !o.Opts.MemGov.AllowIndexBuild() {
+			// Under memory pressure a deliberate new allocation loses the
+			// ski-rental argument regardless of modeled benefit.
+			return nil
+		}
 		col := tbl.Column(cand.colBase.Column)
 		if col == nil {
 			return nil

@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -66,7 +67,35 @@ func (o *Optimizer) RunContext(ctx context.Context, q *plan.Query) (*Result, err
 	par.Ctx = ctx
 	t1 := time.Now()
 	runErr := exec.RunParallel(p.Pipelines(), par)
-	return p.Finish(runErr, time.Since(t1))
+	res, err := p.finishSafe(runErr, time.Since(t1))
+	return res, err
+}
+
+// finishSafe runs Finish under a panic boundary: a panic while
+// publishing (an injected htcache.publish fault, snapshot-maintenance
+// gone wrong) still unwinds the prepared state — pins released,
+// created tables abandoned, the epoch reader exited — so one poisoned
+// publication cannot leak epochs or take the process down.
+func (p *Prepared) finishSafe(runErr error, execTime time.Duration) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = hashstasherr.Internal("optimizer.finish", r)
+			res = nil
+			if !p.done {
+				// Finish never ran: unwind everything ourselves.
+				p.done = true
+				p.o.discard(p.compiled)
+				p.reader.Exit()
+			} else {
+				// Finish panicked mid-way. Its own defer already exited
+				// the epoch reader; the publication sites fire before the
+				// release loops, so the pins are still held — discard
+				// releases them (and abandons created tables).
+				p.o.discard(p.compiled)
+			}
+		}
+	}()
+	return p.Finish(runErr, execTime)
 }
 
 // Prepared is a planned and compiled query whose pipelines have not run
@@ -88,8 +117,18 @@ type Prepared struct {
 // Prepare plans and compiles a query, entering the cache as an epoch
 // reader. Every Prepare must be paired with exactly one Finish or
 // Abort.
-func (o *Optimizer) Prepare(q *plan.Query) (*Prepared, error) {
+func (o *Optimizer) Prepare(q *plan.Query) (p *Prepared, err error) {
 	reader := o.Cache.EnterReader()
+	// Panic boundary for planning/compilation (this also covers the
+	// sharded executor's scatter goroutines, which call Prepare
+	// directly): the epoch reader must exit or cache reclamation stalls
+	// forever.
+	defer func() {
+		if r := recover(); r != nil {
+			reader.Exit()
+			p, err = nil, hashstasherr.Internal("optimizer.plan", r)
+		}
+	}()
 	t0 := time.Now()
 	planned, err := o.PlanQuery(q)
 	if err != nil {
@@ -134,6 +173,18 @@ func (p *Prepared) Finish(runErr error, execTime time.Duration) (*Result, error)
 
 	o, compiled := p.o, p.compiled
 	if runErr != nil {
+		// A contained panic (or injected internal fault) while this
+		// query held cached snapshots: conservatively quarantine every
+		// pinned artifact. The panic may have fired mid-probe over any
+		// of them, and a poisoned table must not crash the next query
+		// that reuses it — its lineage is struck until the base table
+		// changes (see htcache.Quarantine).
+		var ie *hashstasherr.InternalError
+		if errors.As(runErr, &ie) {
+			for _, e := range compiled.pinned {
+				o.Cache.Quarantine(e)
+			}
+		}
 		o.discard(compiled)
 		return nil, runErr
 	}

@@ -33,6 +33,7 @@ import (
 	"hashstash/internal/expr"
 	"hashstash/internal/hashtable"
 	"hashstash/internal/htcache"
+	"hashstash/internal/memgov"
 	"hashstash/internal/plan"
 	"hashstash/internal/storage"
 )
@@ -106,6 +107,10 @@ type Options struct {
 	// indexes live in the cache (<= 0 = unlimited). A build that would
 	// exceed it is skipped and the constraint scans instead.
 	IndexBuildBudget int64
+	// MemGov, when set, vetoes lazy index builds under memory pressure
+	// (the ski-rental gate is forced closed at the soft watermark and
+	// above). Nil means no governance.
+	MemGov *memgov.Governor
 }
 
 // DefaultOptions returns the HashStash defaults.

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"hashstash"
 	"hashstash/hashstasherr"
+	"hashstash/internal/memgov"
 	"hashstash/internal/types"
 )
 
@@ -32,10 +34,11 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// statusFor maps the typed error taxonomy to HTTP statuses: client
+// StatusFor maps the typed error taxonomy to HTTP statuses: client
 // mistakes (parse, unknown table/column) are 400, deadline/cancel 408,
-// admission refusal 429, everything else 500.
-func statusFor(err error) int {
+// admission refusal 429, draining 503, and internal failures —
+// including isolated operator panics — 500.
+func StatusFor(err error) int {
 	var pe *hashstasherr.ParseError
 	switch {
 	case errors.As(err, &pe),
@@ -47,6 +50,8 @@ func statusFor(err error) int {
 		return http.StatusRequestTimeout
 	case errors.Is(err, hashstasherr.ErrOverloaded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, hashstasherr.ErrShuttingDown):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -68,23 +73,60 @@ func jsonCell(v hashstash.Value) interface{} {
 	}
 }
 
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	// Status is "ok", "degraded" (soft memory pressure: measures
+	// active, still serving), "overloaded" (hard watermark: admission
+	// refused) or "draining" (shutdown in progress).
+	Status string `json:"status"`
+	// Measures lists the active degradation measures (empty when ok).
+	Measures []string `json:"measures,omitempty"`
+	// FootprintBytes is the governed memory footprint at last refresh.
+	FootprintBytes int64 `json:"footprint_bytes,omitempty"`
+}
+
 // Handler returns the HTTP front-end:
 //
 //	POST /query    {"sql": ..., "tenant": ..., "timeout_ms": ...}
 //	GET  /stats    server + cache statistics
-//	GET  /healthz  liveness
+//	GET  /healthz  health with degradation detail
 //
 // The tenant may also arrive in the X-Hashstash-Tenant header; the
-// body field wins.
+// body field wins. /healthz answers 200 while the server can serve
+// (ok and degraded) and 503 when it cannot (overloaded, draining), so
+// load balancers route away exactly when admission would refuse.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+
+	resp := healthResponse{Status: "ok"}
+	code := http.StatusOK
+	if gov := s.governor(); gov != nil {
+		switch gov.Refresh() {
+		case memgov.Soft:
+			resp.Status = "degraded"
+		case memgov.Hard:
+			resp.Status = "overloaded"
+			code = http.StatusServiceUnavailable
+		}
+		resp.Measures = gov.Measures()
+		resp.FootprintBytes = gov.Footprint()
+	}
+	if draining {
+		resp.Status = "draining"
+		resp.Measures = append(resp.Measures, "shutdown")
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body interface{}) {
@@ -121,7 +163,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	res, info, err := s.Execute(ctx, tenant, req.SQL)
 	if err != nil {
-		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+		var oe *hashstasherr.OverloadedError
+		if errors.As(err, &oe) && oe.RetryAfter > 0 {
+			secs := int(oe.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		writeJSON(w, StatusFor(err), errorResponse{Error: err.Error()})
 		return
 	}
 	resp := queryResponse{

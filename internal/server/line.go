@@ -7,6 +7,7 @@ import (
 	"errors"
 	"net"
 	"strings"
+	"time"
 )
 
 // ServeLine runs the keep-alive line protocol on l until the listener
@@ -18,7 +19,11 @@ import (
 //	<sql>            execute                             -> one JSON line
 //
 // A connection is a session: its tenant scopes fair admission and its
-// statement texts hit the per-tenant prepared cache.
+// statement texts hit the per-tenant prepared cache. Connections carry
+// read and write deadlines (Config.ReadTimeout / WriteTimeout): a
+// half-open client that stops sending — or stops reading — is reaped
+// instead of pinning a goroutine forever. Shutdown closes tracked
+// connections after the drain.
 func (s *Server) ServeLine(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
@@ -28,8 +33,33 @@ func (s *Server) ServeLine(l net.Listener) error {
 			}
 			return err
 		}
+		if !s.trackConn(conn) {
+			_ = conn.Close() // draining: refuse instead of serving
+			continue
+		}
 		go s.serveConn(conn)
 	}
+}
+
+// trackConn registers a live connection for Shutdown to close; it
+// reports false when the server is already draining.
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return false
+	}
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+	return true
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
 }
 
 // lineResponse is one line-protocol result.
@@ -41,14 +71,46 @@ type lineResponse struct {
 	Error   string          `json:"error,omitempty"`
 }
 
+// errTrackingReader records the first read error so serveConn can
+// tell a real statement from the partial tail bufio.Scanner emits
+// when a read deadline (or the peer) kills the connection mid-line.
+type errTrackingReader struct {
+	conn net.Conn
+	err  error
+}
+
+func (r *errTrackingReader) Read(p []byte) (int, error) {
+	n, err := r.conn.Read(p)
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+	return n, err
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	defer s.untrackConn(conn)
+	// A panic while serving one connection (encoding a pathological
+	// value, a bug in the handler) drops that connection, not the
+	// server: the accept loop and every other connection keep going.
+	defer func() { recover() }()
+
 	tenant := ""
-	scanner := bufio.NewScanner(conn)
+	in := &errTrackingReader{conn: conn}
+	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	out := bufio.NewWriter(conn)
 	enc := json.NewEncoder(out)
-	for scanner.Scan() {
+	for {
+		if s.cfg.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		if !scanner.Scan() || in.err != nil {
+			// in.err set with a token in hand means the token is an
+			// unterminated tail (deadline or disconnect mid-line) — a
+			// half-open client's fragment, never executed.
+			return
+		}
 		line := strings.TrimSpace(scanner.Text())
 		switch {
 		case line == "":
@@ -77,6 +139,9 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 			}
 			_ = enc.Encode(resp)
+		}
+		if s.cfg.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		}
 		if out.Flush() != nil {
 			return

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hashstash/hashstasherr"
+	"hashstash/internal/memgov"
+	"hashstash/internal/testutil"
+)
+
+// stubSource is an unsheddable memory source with a settable
+// footprint, for forcing governor levels in tests.
+type stubSource struct{ fp atomic.Int64 }
+
+func (s *stubSource) FootprintBytes() int64 { return s.fp.Load() }
+func (s *stubSource) Shed(int64) int64      { return 0 }
+
+// TestLineHalfOpenClient: a client that connects and then stops
+// sending is reaped by the read deadline instead of pinning its
+// handler goroutine forever.
+func TestLineHalfOpenClient(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	db := openTPCH(t)
+	srv := New(db, Config{ReadTimeout: 150 * time.Millisecond})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.ServeLine(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("HELLO t1\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("greeting read: %v", err)
+	}
+
+	// Half-open: a partial statement with no newline, then silence. The
+	// server must close the connection once the read deadline passes.
+	if _, err := conn.Write([]byte("SELECT c_age FROM")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server kept a half-open connection alive past its read deadline")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never closed the half-open connection (client read timed out)")
+	}
+}
+
+// TestServerShutdownDuringStorm: Shutdown under concurrent load drains
+// cleanly — every in-flight query either completes or fails with the
+// retriable shutdown error, Stats/healthz never race the drain, and no
+// goroutines leak.
+func TestServerShutdownDuringStorm(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	db := openTPCH(t)
+	srv := New(db, Config{BatchWindow: 20 * time.Millisecond, DefaultTimeout: 30 * time.Second})
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 32
+	var wg sync.WaitGroup
+	var completed, rejected, failed atomic.Int64
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 8; j++ {
+				_, _, err := srv.Execute(context.Background(), fmt.Sprintf("t%d", i%4), similarSQL(i+j))
+				switch {
+				case err == nil:
+					completed.Add(1)
+				case hashstasherr.IsRetriable(err):
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+					t.Errorf("storm query failed non-retriably: %v", err)
+				}
+			}
+		}(i)
+	}
+	// Observers hammer the read-only surfaces throughout the drain.
+	obsDone := make(chan struct{})
+	go func() {
+		defer close(obsDone)
+		for {
+			select {
+			case <-time.After(2 * time.Millisecond):
+				_ = srv.Stats()
+				resp, err := http.Get(ts.URL + "/healthz")
+				if err == nil {
+					resp.Body.Close()
+				}
+			case <-start:
+				return
+			}
+		}
+	}()
+	close(start)
+	<-obsDone
+
+	time.Sleep(30 * time.Millisecond) // let the storm build
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown did not drain: %v", err)
+	}
+	wg.Wait()
+
+	if completed.Load() == 0 {
+		t.Fatal("no storm query completed before the drain")
+	}
+	if failed.Load() != 0 {
+		t.Fatalf("%d queries failed non-retriably during shutdown", failed.Load())
+	}
+	// Post-shutdown: admission refuses retriably, health reports
+	// draining, stats stay serveable.
+	_, _, err := srv.Execute(context.Background(), "", similarSQL(0))
+	if !errors.Is(err, hashstasherr.ErrShuttingDown) {
+		t.Fatalf("post-shutdown Execute = %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", resp.StatusCode)
+	}
+	_ = srv.Stats()
+}
+
+// TestCircuitBreaker: consecutive shared-plan failures open a shape's
+// breaker (queries bypass batching), the open interval backs off, and
+// a successful half-open trial closes it again.
+func TestCircuitBreaker(t *testing.T) {
+	db := openTPCH(t)
+	srv := New(db, Config{BreakerThreshold: 3, BreakerBackoff: 50 * time.Millisecond})
+	defer srv.Close()
+	const shape = "spine"
+	srv.mu.Lock()
+	srv.shape(shape)
+	srv.mu.Unlock()
+
+	// Two failures: under threshold, still closed.
+	srv.noteShared(shape, true, true)
+	srv.noteShared(shape, true, true)
+	srv.mu.Lock()
+	open := !srv.shapes[shape].openUntil.IsZero()
+	srv.mu.Unlock()
+	if open {
+		t.Fatal("breaker opened below threshold")
+	}
+
+	// Third failure trips it.
+	srv.noteShared(shape, true, true)
+	srv.mu.Lock()
+	sq := srv.shapes[shape]
+	open = !sq.openUntil.IsZero()
+	firstBackoff := sq.backoff
+	srv.mu.Unlock()
+	if !open {
+		t.Fatal("breaker did not open at threshold")
+	}
+	if got := srv.Stats().BreakerTrips; got != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", got)
+	}
+
+	// A failed half-open trial re-opens with doubled backoff.
+	srv.noteShared(shape, true, true)
+	srv.mu.Lock()
+	secondBackoff := sq.backoff
+	srv.mu.Unlock()
+	if secondBackoff != 2*firstBackoff {
+		t.Fatalf("backoff after failed trial = %v, want %v", secondBackoff, 2*firstBackoff)
+	}
+
+	// A successful trial closes and resets.
+	srv.noteShared(shape, false, true)
+	srv.mu.Lock()
+	open = !sq.openUntil.IsZero()
+	streak := sq.failStreak
+	srv.mu.Unlock()
+	if open || streak != 0 {
+		t.Fatalf("breaker not reset by success: open=%v streak=%d", open, streak)
+	}
+	if got := srv.Stats().BreakerResets; got != 1 {
+		t.Fatalf("BreakerResets = %d, want 1", got)
+	}
+}
+
+// TestGovernorAdmission: the memory governor's grades act at
+// admission — Hard refuses with 429 + Retry-After, Soft serves with a
+// shrunken window, and /healthz reports each state.
+func TestGovernorAdmission(t *testing.T) {
+	db := openTPCH(t)
+	gov := memgov.New(1000, 2000)
+	src := &stubSource{}
+	gov.AddSource(src)
+	srv := New(db, Config{Governor: gov, DefaultTimeout: 30 * time.Second})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	healthz := func() (int, string) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// OK: serves, healthz 200/ok.
+	if _, _, err := srv.Execute(context.Background(), "", similarSQL(0)); err != nil {
+		t.Fatalf("Execute at OK: %v", err)
+	}
+	if code, body := healthz(); code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz at OK = %d %s", code, body)
+	}
+
+	// Hard: refused with Retry-After; healthz 503/overloaded.
+	src.fp.Store(5000)
+	_, _, err := srv.Execute(context.Background(), "", similarSQL(1))
+	if !errors.Is(err, hashstasherr.ErrOverloaded) {
+		t.Fatalf("Execute at Hard = %v, want ErrOverloaded", err)
+	}
+	var oe *hashstasherr.OverloadedError
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+		t.Fatalf("hard rejection lacks Retry-After: %v", err)
+	}
+	if !hashstasherr.IsRetriable(err) {
+		t.Fatalf("hard rejection not retriable: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"sql":"SELECT c_age FROM customer"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("hard query status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if code, body := healthz(); code != http.StatusServiceUnavailable || !strings.Contains(body, "overloaded") {
+		t.Fatalf("healthz at Hard = %d %s", code, body)
+	}
+	if srv.Stats().MemRejects == 0 {
+		t.Fatal("MemRejects not counted")
+	}
+
+	// Soft: serves with shrunken window; healthz 200/degraded.
+	src.fp.Store(1500)
+	if _, _, err := srv.Execute(context.Background(), "", similarSQL(2)); err != nil {
+		t.Fatalf("Execute at Soft: %v", err)
+	}
+	if srv.Stats().WindowShrinks == 0 {
+		t.Fatal("WindowShrinks not counted at Soft")
+	}
+	if code, body := healthz(); code != http.StatusOK || !strings.Contains(body, "degraded") {
+		t.Fatalf("healthz at Soft = %d %s", code, body)
+	}
+}

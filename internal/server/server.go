@@ -31,12 +31,15 @@ package server
 import (
 	"context"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hashstash"
 	"hashstash/hashstasherr"
+	"hashstash/internal/faultinject"
+	"hashstash/internal/memgov"
 )
 
 // Config tunes the serving policy. Zero values take the defaults.
@@ -60,6 +63,27 @@ type Config struct {
 	// DisableBatching routes every query solo (the serving-layer
 	// ablation: same wire surface, no shared plans).
 	DisableBatching bool
+	// ReadTimeout bounds how long a line-protocol connection may sit
+	// idle between statements (half-open clients are reaped). Default
+	// 5m; negative disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one line-protocol response. Default
+	// 30s; negative disables.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds Close's graceful drain (Shutdown with an
+	// explicit context ignores it). Default 10s.
+	DrainTimeout time.Duration
+	// BreakerThreshold is how many consecutive shared-plan failures of
+	// one shape trip its circuit breaker (subsequent queries of the
+	// shape bypass batching until a half-open trial succeeds). Default
+	// 3; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerBackoff is the initial open interval of a tripped breaker;
+	// it doubles per consecutive trip, capped at 16x. Default 250ms.
+	BreakerBackoff time.Duration
+	// Governor overrides the database's memory governor (tests inject
+	// one with synthetic pressure). Nil uses DB.MemoryGovernor().
+	Governor *memgov.Governor
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +104,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TenantShare <= 0 || c.TenantShare > 1 {
 		c.TenantShare = 0.5
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerBackoff <= 0 {
+		c.BreakerBackoff = 250 * time.Millisecond
 	}
 	return c
 }
@@ -118,6 +157,24 @@ type Stats struct {
 	BatchFallbacks int64
 	// QueueDepth is the current number of queued queries.
 	QueueDepth int64
+	// WindowShrinks counts admissions whose batch window was shrunk by
+	// memory pressure (governor at Soft).
+	WindowShrinks int64
+	// MemRejects counts admissions refused by the memory governor at
+	// the hard watermark.
+	MemRejects int64
+	// BreakerTrips counts circuit-breaker openings (a shape's shared
+	// plans failed BreakerThreshold times in a row).
+	BreakerTrips int64
+	// BreakerBypassed counts queries that skipped batching because
+	// their shape's breaker was open.
+	BreakerBypassed int64
+	// BreakerResets counts breakers closed again by a successful
+	// half-open trial.
+	BreakerResets int64
+	// ShutdownRejects counts queries refused because the server was
+	// draining.
+	ShutdownRejects int64
 }
 
 // QueryInfo describes how one query was executed.
@@ -162,6 +219,14 @@ type shapeQueue struct {
 	gainChecked bool
 	gainOK      bool
 	estCost     float64
+	// Circuit breaker: failStreak consecutive shared-plan failures trip
+	// it (openUntil in the future); after the open interval one
+	// half-open trial group (trialOpen) probes recovery — success
+	// closes the breaker, failure re-opens it with doubled backoff.
+	failStreak int
+	openUntil  time.Time
+	trialOpen  bool
+	backoff    time.Duration
 }
 
 // Server is the serving front-end over one DB.
@@ -173,12 +238,18 @@ type Server struct {
 	canBatch bool
 
 	mu           sync.Mutex
-	cond         *sync.Cond // signals inflight changes for Close
+	cond         *sync.Cond // signals inflight/active changes for Shutdown
 	shapes       map[string]*shapeQueue
 	queued       int
 	tenantQueued map[string]int
 	inflight     int // dispatched groups still executing
+	active       int // solo executions on caller goroutines
 	closed       bool
+
+	// connMu guards the live line-protocol connections; Shutdown closes
+	// them after the drain so serveConn loops exit.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 
 	sessMu   sync.Mutex
 	sessions map[string]*hashstash.Session
@@ -194,6 +265,12 @@ type Server struct {
 	noGainBypass     atomic.Int64
 	overloads        atomic.Int64
 	batchFallbacks   atomic.Int64
+	windowShrinks    atomic.Int64
+	memRejects       atomic.Int64
+	breakerTrips     atomic.Int64
+	breakerBypassed  atomic.Int64
+	breakerResets    atomic.Int64
+	shutdownRejects  atomic.Int64
 }
 
 // ewmaAlpha weights the newest inter-arrival observation.
@@ -207,10 +284,21 @@ func New(db *hashstash.DB, cfg Config) *Server {
 		canBatch:     db.SupportsSharedPlans(),
 		shapes:       make(map[string]*shapeQueue),
 		tenantQueued: make(map[string]int),
+		conns:        make(map[net.Conn]struct{}),
 		sessions:     make(map[string]*hashstash.Session),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// governor returns the effective memory governor: the config override
+// (tests) or the database's. May be nil; all governor methods are
+// nil-receiver-safe.
+func (s *Server) governor() *memgov.Governor {
+	if s.cfg.Governor != nil {
+		return s.cfg.Governor
+	}
+	return s.db.MemoryGovernor()
 }
 
 // DB returns the underlying database.
@@ -234,6 +322,12 @@ func (s *Server) Stats() Stats {
 		Overloads:        s.overloads.Load(),
 		BatchFallbacks:   s.batchFallbacks.Load(),
 		QueueDepth:       int64(depth),
+		WindowShrinks:    s.windowShrinks.Load(),
+		MemRejects:       s.memRejects.Load(),
+		BreakerTrips:     s.breakerTrips.Load(),
+		BreakerBypassed:  s.breakerBypassed.Load(),
+		BreakerResets:    s.breakerResets.Load(),
+		ShutdownRejects:  s.shutdownRejects.Load(),
 	}
 }
 
@@ -260,11 +354,31 @@ func (s *Server) Execute(ctx context.Context, tenant, sql string) (*hashstash.Re
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := faultinject.Inject(faultinject.ServerAdmit); err != nil {
+		return nil, QueryInfo{}, err
+	}
 	q, err := s.session(tenant).Parse(sql)
 	if err != nil {
 		return nil, QueryInfo{}, err
 	}
 	s.total.Add(1)
+
+	// Memory-pressure governance at admission: Hard refuses with a
+	// computed Retry-After (retriable), Soft shrinks this query's batch
+	// window so groups dispatch sooner and queue memory drains.
+	window := s.cfg.BatchWindow
+	if gov := s.governor(); gov != nil {
+		switch gov.Refresh() {
+		case memgov.Hard:
+			gov.NoteReject()
+			s.memRejects.Add(1)
+			s.overloads.Add(1)
+			return nil, QueryInfo{}, hashstasherr.Overloaded("memory pressure", gov.RetryAfter())
+		case memgov.Soft:
+			window /= 4
+			s.windowShrinks.Add(1)
+		}
+	}
 
 	if _, hasDL := ctx.Deadline(); !hasDL {
 		var cancel context.CancelFunc
@@ -281,7 +395,7 @@ func (s *Server) Execute(ctx context.Context, tenant, sql string) (*hashstash.Re
 		return s.solo(ctx, q, QueryInfo{Mode: "bypass-shape"})
 	}
 
-	p, info, admitErr := s.admit(ctx, q, tenant, shape, deadline)
+	p, info, admitErr := s.admit(ctx, q, tenant, shape, deadline, window)
 	if admitErr != nil {
 		return nil, info, admitErr
 	}
@@ -315,6 +429,8 @@ func (s *Server) infoOf(p *pending) QueryInfo {
 }
 
 // solo executes a query outside the queue on the caller's goroutine.
+// It registers with the drain accounting so Shutdown never closes the
+// database under a running query.
 func (s *Server) solo(ctx context.Context, q *hashstash.Query, info QueryInfo) (*hashstash.Result, QueryInfo, error) {
 	switch info.Mode {
 	case "degraded-deadline":
@@ -323,7 +439,23 @@ func (s *Server) solo(ctx context.Context, q *hashstash.Query, info QueryInfo) (
 		s.rateBypass.Add(1)
 	case "bypass-gain":
 		s.noGainBypass.Add(1)
+	case "bypass-breaker":
+		s.breakerBypassed.Add(1)
 	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.shutdownRejects.Add(1)
+		return nil, info, fmt.Errorf("solo execution refused: %w", hashstasherr.ErrShuttingDown)
+	}
+	s.active++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
 	s.soloQueries.Add(1)
 	s.plansExecuted.Add(1)
 	res, err := s.db.ExecParsed(ctx, q)
@@ -375,19 +507,31 @@ func (s *Server) shape(key string) *shapeQueue {
 
 // admit applies the window policy and either enqueues the query
 // (returning its pending handle), tells the caller to run solo
-// (nil pending, info says why), or refuses with ErrOverloaded.
-func (s *Server) admit(ctx context.Context, q *hashstash.Query, tenant, shape string, deadline time.Time) (*pending, QueryInfo, error) {
+// (nil pending, info says why), or refuses with a retriable error.
+func (s *Server) admit(ctx context.Context, q *hashstash.Query, tenant, shape string, deadline time.Time, window time.Duration) (*pending, QueryInfo, error) {
 	gainOK, estCost := s.shapeGate(shape, q)
-	window := s.cfg.BatchWindow
 	estDur := time.Duration(estCost)
 	now := time.Now()
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, QueryInfo{}, fmt.Errorf("server shutting down: %w", hashstasherr.ErrOverloaded)
+		s.shutdownRejects.Add(1)
+		return nil, QueryInfo{}, fmt.Errorf("admission refused: %w", hashstasherr.ErrShuttingDown)
 	}
 	sq := s.shape(shape)
+
+	// Circuit breaker: a shape whose shared plans keep failing bypasses
+	// batching entirely (solo execution still serves the query) until
+	// the open interval elapses; then exactly one trial group probes
+	// recovery (half-open).
+	if s.cfg.BreakerThreshold > 0 && !sq.openUntil.IsZero() {
+		if now.Before(sq.openUntil) || sq.trialOpen {
+			s.mu.Unlock()
+			return nil, QueryInfo{Mode: "bypass-breaker"}, nil
+		}
+		sq.trialOpen = true
+	}
 
 	// Arrival-rate EWMA: the observation is the inverse inter-arrival
 	// gap of this shape.
@@ -445,7 +589,7 @@ func (s *Server) admit(ctx context.Context, q *hashstash.Query, tenant, shape st
 		// Full group: dispatch now, off the caller's goroutine.
 		batch := s.takeLocked(sq)
 		s.mu.Unlock()
-		go s.runBatch(batch)
+		go s.runBatch(shape, batch)
 		return p, QueryInfo{}, nil
 	}
 	if len(sq.pending) == 1 {
@@ -497,7 +641,7 @@ func (s *Server) dispatchShape(shape string, gen uint64) {
 	}
 	batch := s.takeLocked(sq)
 	s.mu.Unlock()
-	s.runBatch(batch)
+	s.runBatch(shape, batch)
 }
 
 // withdraw removes a still-queued query (its caller's context fired).
@@ -523,11 +667,53 @@ func (s *Server) withdraw(shape string, p *pending) bool {
 	return false
 }
 
+// noteShared records a shared-plan outcome in the shape's circuit
+// breaker: BreakerThreshold consecutive failures open it (exponential
+// backoff, doubling per consecutive trip); any success closes it.
+// Groups of one exercise no shared plan and leave the breaker alone,
+// except to end a half-open trial inconclusively.
+func (s *Server) noteShared(shape string, failed, shared bool) {
+	if s.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sq := s.shapes[shape]
+	if sq == nil {
+		return
+	}
+	if !shared {
+		sq.trialOpen = false
+		return
+	}
+	if failed {
+		sq.failStreak++
+		sq.trialOpen = false
+		if sq.failStreak >= s.cfg.BreakerThreshold || !sq.openUntil.IsZero() {
+			if sq.backoff <= 0 {
+				sq.backoff = s.cfg.BreakerBackoff
+			} else if sq.backoff < 16*s.cfg.BreakerBackoff {
+				sq.backoff *= 2
+			}
+			sq.openUntil = time.Now().Add(sq.backoff)
+			s.breakerTrips.Add(1)
+		}
+		return
+	}
+	if !sq.openUntil.IsZero() {
+		s.breakerResets.Add(1)
+	}
+	sq.failStreak = 0
+	sq.openUntil = time.Time{}
+	sq.trialOpen = false
+	sq.backoff = 0
+}
+
 // runBatch executes one dispatched group through the shared-plan path
 // and demultiplexes per-query results to their pending handles. The
 // batch runs under its own context bounded by the farthest member
 // deadline — one member's cancellation never aborts companions.
-func (s *Server) runBatch(batch []*pending) {
+func (s *Server) runBatch(shape string, batch []*pending) {
 	defer func() {
 		s.mu.Lock()
 		s.inflight--
@@ -554,6 +740,7 @@ func (s *Server) runBatch(batch []*pending) {
 	if len(batch) == 1 {
 		// A window that closed with one member: solo, not an error.
 		p := batch[0]
+		s.noteShared(shape, false, false)
 		s.soloQueries.Add(1)
 		s.plansExecuted.Add(1)
 		p.res, p.err = s.db.ExecParsed(ctx, p.q)
@@ -566,6 +753,7 @@ func (s *Server) runBatch(batch []*pending) {
 		qs[i] = p.q
 	}
 	br, err := s.db.ExecParsedBatch(ctx, qs)
+	s.noteShared(shape, err != nil, true)
 	if err != nil {
 		// Shared-plan failure degrades every member to solo execution
 		// under its own deadline.
@@ -609,31 +797,79 @@ func (s *Server) runBatch(batch []*pending) {
 	}
 }
 
-// Close drains the server: no new admissions, every queued group
-// dispatches immediately, and Close blocks until in-flight groups
-// finish demultiplexing.
+// Close drains the server under the configured DrainTimeout. Prefer
+// Shutdown for an explicit deadline.
 func (s *Server) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+}
+
+// Shutdown gracefully drains the server: new admissions are refused
+// with a retriable ErrShuttingDown, every queued group dispatches
+// immediately, and Shutdown blocks until in-flight groups and solo
+// executions finish — or ctx expires, in which case it returns ctx's
+// error with work still draining in the background. Either way the
+// tracked line-protocol connections are closed before returning, so
+// blocked serveConn reads unwind. Shutdown is idempotent; concurrent
+// calls all wait.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
+	already := s.closed
 	s.closed = true
-	var batches [][]*pending
-	for _, sq := range s.shapes {
-		if len(sq.pending) > 0 {
-			batches = append(batches, s.takeLocked(sq))
+	var batches []struct {
+		shape string
+		group []*pending
+	}
+	if !already {
+		for shape, sq := range s.shapes {
+			if len(sq.pending) > 0 {
+				batches = append(batches, struct {
+					shape string
+					group []*pending
+				}{shape, s.takeLocked(sq)})
+			}
 		}
 	}
 	s.mu.Unlock()
 
+	// Queued groups still get served: the clients are already waiting
+	// on their pending handles, so failing them here would turn a
+	// graceful drain into an outage.
 	for _, b := range batches {
-		s.runBatch(b)
+		s.runBatch(b.shape, b.group)
 	}
 
+	// Wait for the drain, racing ctx. The watcher goroutine turns ctx
+	// expiry into a cond broadcast so the wait loop can observe it.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
 	s.mu.Lock()
-	for s.inflight > 0 {
+	for (s.inflight > 0 || s.active > 0) && ctx.Err() == nil {
 		s.cond.Wait()
 	}
+	drained := s.inflight == 0 && s.active == 0
 	s.mu.Unlock()
+
+	s.connMu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.conns = make(map[net.Conn]struct{})
+	s.connMu.Unlock()
+
+	if !drained {
+		return fmt.Errorf("drain deadline: %w", ctx.Err())
+	}
+	return nil
 }

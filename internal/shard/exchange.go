@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"hashstash/internal/expr"
+	"hashstash/internal/faultinject"
 	"hashstash/internal/plan"
 	"hashstash/internal/storage"
 	"hashstash/internal/types"
@@ -261,6 +262,11 @@ func (e *Engine) applyExchanges(q *plan.Query, pl []placement) (*plan.Query, []s
 			continue
 		}
 		rel := q.Relations[i]
+		if err := faultinject.Inject(faultinject.ShardExchange); err != nil {
+			// Temps built for earlier placements come back for teardown;
+			// the caller's deferred dropTemps unregisters them.
+			return nil, temps, err
+		}
 		tempName := fmt.Sprintf("__exch%d_%s", e.seq.Add(1), rel.Alias)
 		box := q.FilterFor(rel.Alias)
 

@@ -2,10 +2,12 @@ package shared
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"hashstash/hashstasherr"
 	"hashstash/internal/exec"
 	"hashstash/internal/expr"
 	"hashstash/internal/hashtable"
@@ -45,10 +47,21 @@ type groupExec struct {
 // touch the published snapshot other queries are probing. The group
 // registers as an epoch reader for its lifetime, keeping every
 // snapshot it resolved alive until its pipelines drain.
-func (s *Optimizer) runSharedGroup(ctx context.Context, queries []*plan.Query, group []int) ([]*optimizer.Result, error) {
+func (s *Optimizer) runSharedGroup(ctx context.Context, queries []*plan.Query, group []int) (res []*optimizer.Result, err error) {
 	reader := s.Single.Cache.EnterReader()
 	defer reader.Exit()
 	g := &groupExec{s: s, rep: queries[group[0]]}
+	// Panic boundary for the group's caller-goroutine work (planning,
+	// compilation, result collection; pipeline panics are already
+	// contained by the scheduler): unwind the group's pins so one
+	// poisoned shared plan fails only its batch — the server then
+	// degrades the members to solo.
+	defer func() {
+		if r := recover(); r != nil {
+			g.discardAll()
+			res, err = nil, hashstasherr.Internal("shared.group", r)
+		}
+	}()
 	for _, qi := range group {
 		g.queries = append(g.queries, queries[qi])
 	}
@@ -87,6 +100,15 @@ func (s *Optimizer) runSharedGroup(ctx context.Context, queries []*plan.Query, g
 	})
 	elapsed := time.Since(t0)
 	if runErr != nil {
+		// A contained panic while the shared plan probed cached
+		// snapshots: quarantine the pinned artifacts, same blame rule as
+		// the solo path (see optimizer.Prepared.Finish).
+		var ie *hashstasherr.InternalError
+		if errors.As(runErr, &ie) {
+			for _, e := range g.pinned {
+				s.Single.Cache.Quarantine(e)
+			}
+		}
 		g.discardAll()
 		return nil, runErr
 	}
@@ -108,6 +130,7 @@ func (g *groupExec) releaseAll() {
 	for _, e := range g.created {
 		g.s.Single.Cache.Release(e)
 	}
+	g.pinned, g.created = nil, nil
 }
 
 // discardAll unwinds a failed compile or run: reused entries are
@@ -120,6 +143,9 @@ func (g *groupExec) discardAll() {
 	for _, e := range g.created {
 		g.s.Single.Cache.Abandon(e)
 	}
+	// Idempotent: the panic boundary may run after a release path
+	// already unwound the group.
+	g.pinned, g.created = nil, nil
 }
 
 // aliasOf maps a base table to the representative's alias.

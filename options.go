@@ -33,6 +33,14 @@ type Tuning struct {
 	// Shards partitions the engine into n locality domains (<= 1 keeps
 	// the single-domain engine).
 	Shards int
+	// SoftMemoryLimit is the memory governor's soft watermark (bytes):
+	// above it the engine sheds cache, vetoes new index builds and the
+	// serving front-end shrinks batch windows. 0 = no soft watermark.
+	SoftMemoryLimit int64
+	// HardMemoryLimit is the governor's hard watermark (bytes): above
+	// it admission refuses new queries with a retriable overload error
+	// and a computed Retry-After. 0 = no hard watermark.
+	HardMemoryLimit int64
 }
 
 // WithTuning applies every non-zero field of t. It composes with the
@@ -59,6 +67,12 @@ func WithTuning(t Tuning) Option {
 		}
 		if t.Shards != 0 {
 			c.shards = t.Shards
+		}
+		if t.SoftMemoryLimit != 0 {
+			c.memSoft = t.SoftMemoryLimit
+		}
+		if t.HardMemoryLimit != 0 {
+			c.memHard = t.HardMemoryLimit
 		}
 	}
 }
@@ -88,6 +102,14 @@ type Ablations struct {
 	// NoSecondaryIndexes disables the ordered secondary-index access
 	// path.
 	NoSecondaryIndexes bool
+	// Faults arms deterministic fault injection for resilience testing:
+	// a comma-separated spec of point=mode:trigger terms, e.g.
+	// "htcache.publish=err:once,sched.dispatch=panic:every:50". Modes
+	// are err and panic; triggers are once, every:N and p:P[:seed].
+	// Empty leaves injection disarmed (zero-overhead no-ops). The
+	// HASHSTASH_FAULTS environment variable arms the same grammar when
+	// this field is unset. Arming is process-global.
+	Faults string
 }
 
 // WithAblations applies the set switches (unset fields leave the
@@ -117,6 +139,9 @@ func WithAblations(a Ablations) Option {
 		}
 		if a.NoSecondaryIndexes {
 			c.noSecondaryIdx = true
+		}
+		if a.Faults != "" {
+			c.faults = a.Faults
 		}
 	}
 }
